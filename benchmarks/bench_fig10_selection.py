@@ -1,0 +1,124 @@
+"""Figure 10: end-to-end runtime of the content-based selection query.
+
+The query is Figure 3c: red buses, at least a minimum size, visible for at
+least 0.5 s (15 frames at 30 fps) in ``taipei``.  The area threshold is
+adapted to the synthetic bus-size distribution (60,000 px instead of the
+paper's 100,000 px) so the scaled-down test day contains matching events; the
+query structure and every other constant follow the paper.
+
+Three variants, as in the paper: Naive (detection on every frame), NoScope
+oracle (detection on frames containing a bus) and BlazeIt (inferred temporal,
+content and label filters).  The paper reports 8.4x for the oracle and 54x for
+BlazeIt over Naive; the reproduction checks that ordering and that BlazeIt's
+false negative rate stays small.
+"""
+
+from __future__ import annotations
+
+from benchmarks.reporting import print_table, record, speedup_over
+from repro.baselines.selection import naive_selection, noscope_oracle_selection
+from repro.workloads.queries import red_bus_selection_query
+
+VIDEO = "taipei"
+AREA_THRESHOLD = 60_000
+MIN_FRAMES = 15
+
+
+def group_events(frames: list[int], gap: int = 30) -> list[tuple[int, int]]:
+    """Group matched frame indices into events (runs separated by > ``gap``)."""
+    events = []
+    for frame in sorted(frames):
+        if events and frame - events[-1][1] <= gap:
+            events[-1] = (events[-1][0], frame)
+        else:
+            events.append((frame, frame))
+    return events
+
+
+def event_false_negative_rate(
+    found_frames: list[int], reference_frames: list[int], gap: int = 30
+) -> float:
+    """Fraction of reference events with no found frame nearby.
+
+    Selection plans that subsample temporally still catch every event (an
+    object visible for >= K frames is seen at least once), so accuracy for
+    this experiment is measured per event rather than per frame.
+    """
+    events = group_events(reference_frames, gap)
+    if not events:
+        return 0.0
+    found = sorted(found_frames)
+    missed = 0
+    for start, end in events:
+        if not any(start - gap <= frame <= end + gap for frame in found):
+            missed += 1
+    return missed / len(events)
+
+
+def test_fig10_selection_runtime(bench_env, benchmark):
+    def run():
+        bundle = bench_env.get(VIDEO)
+        query = red_bus_selection_query(
+            VIDEO, min_area=AREA_THRESHOLD, min_frames=MIN_FRAMES
+        )
+        engine = bundle.fresh_engine(bench_env.default_config())
+        spec = engine.analyze(query)
+
+        naive = naive_selection(bundle.recorded, spec, engine.udf_registry)
+        oracle = noscope_oracle_selection(bundle.recorded, spec, engine.udf_registry)
+        blazeit = engine.query(query)
+
+        num_frames = bundle.test.num_frames
+        rows = []
+        for label, runtime, calls, matched in [
+            ("Naive", naive.runtime_seconds, naive.detection_calls, naive.matched_frames),
+            ("NoScope (oracle)", oracle.runtime_seconds, oracle.detection_calls, oracle.matched_frames),
+            ("BlazeIt", blazeit.runtime_seconds, blazeit.detection_calls, blazeit.matched_frames),
+        ]:
+            fnr = event_false_negative_rate(matched, naive.matched_frames)
+            throughput = num_frames / runtime if runtime > 0 else float("inf")
+            rows.append(
+                [
+                    label,
+                    runtime,
+                    throughput,
+                    calls,
+                    len(matched),
+                    fnr,
+                    speedup_over(naive.runtime_seconds, runtime),
+                ]
+            )
+            record(
+                "fig10",
+                {
+                    "variant": label,
+                    "runtime_s": runtime,
+                    "throughput_fps": throughput,
+                    "detection_calls": calls,
+                    "matched_frames": len(matched),
+                    "fnr": fnr,
+                    "speedup_vs_naive": speedup_over(naive.runtime_seconds, runtime),
+                },
+            )
+        rows.append(
+            ["(plan)", blazeit.plan_description, "", "", "", "", ""]
+        )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        f"Figure 10 ({VIDEO}): content-based selection (red buses), runtime and FNR",
+        ["variant", "runtime (s)", "throughput (fps)", "det calls", "matched", "event FNR", "speedup"],
+        rows,
+    )
+    by_variant = {row[0]: row for row in rows if row[0] != "(plan)"}
+    naive_runtime = by_variant["Naive"][1]
+    oracle_runtime = by_variant["NoScope (oracle)"][1]
+    blazeit_runtime = by_variant["BlazeIt"][1]
+    # Shape: Naive > NoScope oracle > BlazeIt, with BlazeIt well ahead of the
+    # oracle, and a small event-level false negative rate (the paper reports
+    # only false negatives are possible for these queries).
+    assert oracle_runtime < naive_runtime
+    assert blazeit_runtime < oracle_runtime
+    assert blazeit_runtime < naive_runtime / 10
+    assert by_variant["BlazeIt"][5] <= 0.5

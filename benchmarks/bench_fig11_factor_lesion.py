@@ -1,0 +1,146 @@
+"""Figure 11: factor analysis and lesion study of the selection filters.
+
+The factor analysis adds filter classes one at a time (Naive, +Spatial,
++Temporal, +Content, +Label); the lesion study removes each class from the
+combined plan.  The query is the Figure 3c red-bus query with an added
+region-of-interest constraint (``xmax(mask) < 960``) so the spatial filter
+class participates, mirroring the paper's use of an ROI for this experiment.
+
+Expected shape: every added filter class improves throughput, and removing
+any class from the combined plan degrades it.
+"""
+
+from __future__ import annotations
+
+from benchmarks.reporting import print_table, record
+from repro.baselines.selection import naive_selection
+
+VIDEO = "taipei"
+AREA_THRESHOLD = 60_000
+MIN_FRAMES = 15
+ROI_XMAX = 960
+
+#: Cumulative filter sets for the factor analysis, in the paper's order.
+FACTOR_STEPS = [
+    ("Naive", set()),
+    ("+Spatial", {"spatial"}),
+    ("+Temporal", {"spatial", "temporal"}),
+    ("+Content", {"spatial", "temporal", "content"}),
+    ("+Label", {"spatial", "temporal", "content", "label"}),
+]
+
+ALL_CLASSES = {"spatial", "temporal", "content", "label"}
+
+
+def _query() -> str:
+    return (
+        f"SELECT * FROM {VIDEO} "
+        f"WHERE class = 'bus' "
+        f"AND redness(content) >= 17.5 "
+        f"AND area(mask) > {AREA_THRESHOLD} "
+        f"AND xmax(mask) < {ROI_XMAX} "
+        f"GROUP BY trackid HAVING COUNT(*) > {MIN_FRAMES}"
+    )
+
+
+def test_fig11_factor_analysis_and_lesion_study(bench_env, benchmark):
+    def run():
+        bundle = bench_env.get(VIDEO)
+        # Filter training time is excluded here: the factor analysis isolates
+        # the effectiveness of each filter class, and at the scaled-down video
+        # length the (one-off) training cost would otherwise dominate the
+        # per-query runtime it is meant to explain.
+        engine = bundle.fresh_engine(
+            bench_env.default_config(include_training_time=False)
+        )
+        query = _query()
+        spec = engine.analyze(query)
+        naive = naive_selection(bundle.recorded, spec, engine.udf_registry)
+        num_frames = bundle.test.num_frames
+
+        def throughput(runtime: float) -> float:
+            return num_frames / runtime if runtime > 0 else float("inf")
+
+        factor_rows = []
+        for label, classes in FACTOR_STEPS:
+            result = engine.query(query, selection_filter_classes=classes)
+            factor_rows.append(
+                [
+                    "factor",
+                    label,
+                    result.runtime_seconds,
+                    throughput(result.runtime_seconds),
+                    throughput(result.runtime_seconds) / throughput(naive.runtime_seconds),
+                    result.detection_calls,
+                ]
+            )
+            record(
+                "fig11_factor",
+                {
+                    "step": label,
+                    "runtime_s": result.runtime_seconds,
+                    "throughput_fps": throughput(result.runtime_seconds),
+                    "detection_calls": result.detection_calls,
+                },
+            )
+
+        lesion_rows = []
+        combined = engine.query(query, selection_filter_classes=ALL_CLASSES)
+        lesion_rows.append(
+            [
+                "lesion",
+                "Combined",
+                combined.runtime_seconds,
+                throughput(combined.runtime_seconds),
+                1.0,
+                combined.detection_calls,
+            ]
+        )
+        for removed in ("spatial", "temporal", "content", "label"):
+            classes = ALL_CLASSES - {removed}
+            result = engine.query(query, selection_filter_classes=classes)
+            lesion_rows.append(
+                [
+                    "lesion",
+                    f"-{removed.capitalize()}",
+                    result.runtime_seconds,
+                    throughput(result.runtime_seconds),
+                    throughput(result.runtime_seconds) / throughput(combined.runtime_seconds),
+                    result.detection_calls,
+                ]
+            )
+            record(
+                "fig11_lesion",
+                {
+                    "removed": removed,
+                    "runtime_s": result.runtime_seconds,
+                    "throughput_fps": throughput(result.runtime_seconds),
+                    "detection_calls": result.detection_calls,
+                },
+            )
+        return factor_rows + lesion_rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        f"Figure 11 ({VIDEO}): factor analysis (cumulative) and lesion study",
+        ["study", "configuration", "runtime (s)", "throughput (fps)", "relative", "det calls"],
+        rows,
+    )
+    factor = {row[1]: row for row in rows if row[0] == "factor"}
+    lesion = {row[1]: row for row in rows if row[0] == "lesion"}
+
+    # Factor analysis: each added filter class never hurts, and the full stack
+    # is much faster than naive.
+    order = [label for label, _ in FACTOR_STEPS]
+    for earlier, later in zip(order, order[1:]):
+        assert factor[later][2] <= factor[earlier][2] * 1.05
+    assert factor["+Label"][2] < factor["Naive"][2] / 5
+
+    # Lesion study: removing any filter class slows the combined plan down
+    # (or at worst leaves it unchanged when that class contributed nothing).
+    for removed in ("-Spatial", "-Temporal", "-Content", "-Label"):
+        assert lesion[removed][2] >= lesion["Combined"][2] * 0.95
+    assert any(
+        lesion[removed][2] > lesion["Combined"][2] * 1.2
+        for removed in ("-Spatial", "-Temporal", "-Content", "-Label")
+    )

@@ -1,0 +1,112 @@
+"""Figure 5: sample complexity of naive AQP vs control variates.
+
+For each video and each target error in {0.01, 0.02, 0.03, 0.04, 0.05, 0.1}
+the benchmark measures the number of detector samples the adaptive sampling
+loop needs, with and without the specialized-NN control variate.  The paper
+averages 100 runs; the reproduction averages a configurable smaller number
+(default 20) to stay fast.
+
+Expected shape: control variates never need more samples on average, and the
+reduction grows with the correlation between the specialized NN and the
+detector counts (up to ~2x in the paper).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from benchmarks.reporting import print_table, record
+from repro.aqp.control_variates import control_variate_estimate
+from repro.aqp.sampling import adaptive_sample
+from repro.specialization.count_model import CountSpecializedModel
+
+FIGURE5_VIDEOS = ["taipei", "night-street", "rialto", "grand-canal", "amsterdam", "archie"]
+ERROR_LEVELS = [0.01, 0.02, 0.03, 0.04, 0.05, 0.1]
+RUNS = int(os.environ.get("REPRO_BENCH_CV_RUNS", "20"))
+CONFIDENCE = 0.95
+
+
+def _sample_complexity(bench_env, name: str) -> list[list]:
+    bundle = bench_env.get(name)
+    object_class = bundle.primary_class
+    counts = bundle.recorded.counts(object_class).astype(float)
+    value_range = float(counts.max(initial=0) + 1)
+
+    model = CountSpecializedModel(
+        object_class, training_config=bench_env.default_config().training
+    )
+    model.fit(
+        bundle.labeled_set.train_features,
+        bundle.labeled_set.train_counts(object_class),
+    )
+    features = bundle.test.frame_features(np.arange(bundle.test.num_frames))
+    auxiliary = model.expected_counts(features)
+    correlation = float(np.corrcoef(auxiliary, counts)[0, 1]) if counts.std() > 0 else 0.0
+
+    rows = []
+    for error in ERROR_LEVELS:
+        naive_samples = []
+        cv_samples = []
+        for run in range(RUNS):
+            rng = np.random.default_rng(run)
+            naive = adaptive_sample(
+                sample_fn=lambda idx: counts[idx],
+                population_size=counts.size,
+                error_tolerance=error,
+                confidence=CONFIDENCE,
+                value_range=value_range,
+                rng=rng,
+            )
+            naive_samples.append(naive.samples_used)
+            cv = control_variate_estimate(
+                sample_fn=lambda idx: counts[idx],
+                auxiliary_values=auxiliary,
+                error_tolerance=error,
+                confidence=CONFIDENCE,
+                value_range=value_range,
+                rng=np.random.default_rng(run),
+            )
+            cv_samples.append(cv.samples_used)
+        naive_mean = float(np.mean(naive_samples))
+        cv_mean = float(np.mean(cv_samples))
+        reduction = naive_mean / cv_mean if cv_mean else float("inf")
+        rows.append([name, error, naive_mean, cv_mean, reduction, correlation])
+        record(
+            "fig5",
+            {
+                "video": name,
+                "error": error,
+                "naive_samples": naive_mean,
+                "control_variate_samples": cv_mean,
+                "reduction": reduction,
+                "correlation": correlation,
+            },
+        )
+    return rows
+
+
+@pytest.mark.parametrize("video", FIGURE5_VIDEOS)
+def test_fig5_sample_complexity(bench_env, benchmark, video):
+    rows = benchmark.pedantic(
+        lambda: _sample_complexity(bench_env, video), rounds=1, iterations=1
+    )
+    print_table(
+        f"Figure 5 ({video}): samples needed, naive AQP vs control variates "
+        f"(mean of {RUNS} runs)",
+        ["video", "error", "naive AQP", "control variates", "reduction", "corr"],
+        rows,
+    )
+    # Shape checks: control variates never cost meaningfully more samples, and
+    # tighter error bounds need more samples for both methods.
+    for _, _, naive_mean, cv_mean, _, _ in rows:
+        assert cv_mean <= naive_mean * 1.1
+    naive_by_error = [row[2] for row in rows]
+    assert naive_by_error[0] >= naive_by_error[-1]
+    # At the tightest error the variance reduction should be visible whenever
+    # the specialized NN is reasonably correlated with the detector counts.
+    correlation = rows[0][5]
+    if correlation > 0.6:
+        assert rows[0][4] > 1.1

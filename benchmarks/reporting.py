@@ -1,0 +1,57 @@
+"""Console reporting helpers for the benchmark harness.
+
+Every benchmark prints the rows / series the corresponding paper table or
+figure reports, so ``pytest benchmarks/ --benchmark-only -s`` regenerates the
+evaluation section in text form.  Results are also appended to an in-memory
+registry that the harness can dump at the end of the session.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+#: All rows printed during this session, keyed by experiment id.  Useful when
+#: post-processing results (e.g. to refresh EXPERIMENTS.md).
+RESULTS: dict[str, list[dict]] = {}
+
+
+def record(experiment: str, row: dict) -> None:
+    """Store one result row under an experiment id."""
+    RESULTS.setdefault(experiment, []).append(row)
+
+
+def format_value(value) -> str:
+    """Format one cell for console output."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Print an aligned text table with a title banner."""
+    rendered = [[format_value(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(r[col]) for r in rendered)) if rendered else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print()
+    print("=" * len(line))
+    print(title)
+    print("=" * len(line))
+    print(line)
+    print("-" * len(line))
+    for row in rendered:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    print()
+
+
+def speedup_over(baseline_seconds: float, seconds: float) -> float:
+    """Speedup factor of ``seconds`` relative to ``baseline_seconds``."""
+    if seconds <= 0:
+        return float("inf")
+    return baseline_seconds / seconds

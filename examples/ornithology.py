@@ -1,0 +1,111 @@
+"""Ornithology: bird-feeder analysis with a custom UDF (Section 2).
+
+An ornithologist places a webcam in front of a bird feeder, puts different
+feed on the left and right sides, and wants to know (1) how many birds visit
+each side and (2) how often the visitors are red birds (a proxy for species).
+The example shows how to register a custom scenario, a custom detector class
+set, and a user-defined function, then answer both questions declaratively.
+
+Run with::
+
+    python examples/ornithology.py
+"""
+
+from __future__ import annotations
+
+from repro import BlazeIt, BlazeItConfig, SimulatedDetector
+from repro.udf.registry import UDF
+from repro.video.synthetic import ObjectClassSpec, SyntheticVideo, VideoSpec
+
+NUM_FRAMES = 2500
+WIDTH, HEIGHT = 1280, 720
+
+
+def make_feeder_spec(seed: int, name: str) -> VideoSpec:
+    """Birds visiting a feeder; red birds prefer the left side."""
+    return VideoSpec(
+        name=name,
+        width=WIDTH,
+        height=HEIGHT,
+        fps=30.0,
+        num_frames=NUM_FRAMES,
+        seed=seed,
+        object_classes=(
+            ObjectClassSpec(
+                name="bird",
+                arrival_rate=0.015,
+                mean_duration=60.0,
+                size_range=(40.0, 90.0),
+                color_weights={"red": 2.0, "brown": 1.0},
+                burstiness=0.4,
+                region=(0.05, 0.3, 0.45, 0.9),  # left side of the feeder
+                speed=3.0,
+            ),
+            ObjectClassSpec(
+                name="bird",
+                arrival_rate=0.015,
+                mean_duration=60.0,
+                size_range=(40.0, 90.0),
+                color_weights={"blue": 1.5, "brown": 1.5},
+                burstiness=0.4,
+                region=(0.55, 0.3, 0.95, 0.9),  # right side of the feeder
+                speed=3.0,
+            ),
+        ),
+    )
+
+
+def main() -> None:
+    # A detector configured for birds (the paper's Mask R-CNN supports the
+    # "bird" class of MS-COCO).
+    detector = SimulatedDetector.mask_rcnn(confidence_threshold=0.6)
+    engine = BlazeIt(detector=detector, config=BlazeItConfig(min_training_positives=20))
+
+    # Register a custom UDF: a crude species proxy based on plumage colour.
+    engine.udf_registry.register(
+        UDF(
+            name="red_plumage",
+            object_fn=lambda record: (record.color[0] - record.color[2]) / 2.55
+            if record.color
+            else 0.0,
+            continuous=True,
+        )
+    )
+
+    print(f"Generating the bird-feeder video ({NUM_FRAMES} frames per split)...")
+    engine.register_video(
+        "feeder",
+        test_video=SyntheticVideo.generate(make_feeder_spec(seed=200, name="feeder-test")),
+        train_video=SyntheticVideo.generate(make_feeder_spec(seed=201, name="feeder-train")),
+        heldout_video=SyntheticVideo.generate(make_feeder_spec(seed=202, name="feeder-heldout")),
+    )
+    engine.record_test_day("feeder")
+
+    print("\n-- Visits per feeder side --------------------------------------------")
+    for side, predicate in (
+        ("left", f"xmax(mask) < {int(WIDTH * 0.5)}"),
+        ("right", f"xmin(mask) >= {int(WIDTH * 0.5)}"),
+    ):
+        result = engine.query(
+            f"SELECT timestamp FROM feeder WHERE class = 'bird' AND {predicate}"
+        )
+        visits = {record.trackid for record in result.records}
+        print(f"{side:5s} side: {len(visits):3d} distinct visits")
+
+    print("\n-- Red birds (species proxy) -------------------------------------------")
+    red = engine.query(
+        "SELECT * FROM feeder WHERE class = 'bird' AND red_plumage(content) >= 40"
+    )
+    red_tracks = {record.trackid for record in red.records}
+    print(f"distinct red-bird visits: {len(red_tracks)} "
+          f"({len(red.records)} records, plan: {red.plan_description})")
+
+    print("\n-- Average birds visible per frame -----------------------------------")
+    fcount = engine.query(
+        "SELECT FCOUNT(*) FROM feeder WHERE class = 'bird' ERROR WITHIN 0.1"
+    )
+    print(f"{fcount.value:.2f} birds/frame (strategy: {fcount.method})")
+
+
+if __name__ == "__main__":
+    main()

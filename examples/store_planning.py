@@ -1,0 +1,96 @@
+"""Store planning: counting shoppers per aisle (Section 2).
+
+A retail store owner points a CCTV at two aisles and wants to know which one
+is busier.  The example builds a *custom* synthetic video (this scenario is
+not one of the paper's six webcams), registers it with the engine, and then
+runs one aggregate query per aisle by constraining the mask's horizontal
+extent — exercising the spatial-predicate path of the analyzer.
+
+Run with::
+
+    python examples/store_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import BlazeIt, BlazeItConfig
+from repro.video.synthetic import ObjectClassSpec, SyntheticVideo, VideoSpec
+
+NUM_FRAMES = 2500
+WIDTH, HEIGHT = 1280, 720
+
+
+def make_store_spec(seed: int, name: str) -> VideoSpec:
+    """Shoppers in two aisles: the left aisle is busier than the right."""
+    return VideoSpec(
+        name=name,
+        width=WIDTH,
+        height=HEIGHT,
+        fps=30.0,
+        num_frames=NUM_FRAMES,
+        seed=seed,
+        object_classes=(
+            ObjectClassSpec(
+                name="person",
+                arrival_rate=0.02,
+                mean_duration=90.0,
+                size_range=(50.0, 120.0),
+                color_weights={"blue": 1.0, "black": 1.0, "white": 1.0, "red": 0.5},
+                burstiness=0.3,
+                region=(0.05, 0.2, 0.45, 0.95),  # left aisle
+                speed=2.0,
+            ),
+            ObjectClassSpec(
+                name="person",
+                arrival_rate=0.008,
+                mean_duration=90.0,
+                size_range=(50.0, 120.0),
+                color_weights={"blue": 1.0, "black": 1.0, "white": 1.0},
+                burstiness=0.3,
+                region=(0.55, 0.2, 0.95, 0.95),  # right aisle
+                speed=2.0,
+            ),
+        ),
+    )
+
+
+def main() -> None:
+    engine = BlazeIt(config=BlazeItConfig(min_training_positives=20))
+    print(f"Generating the store CCTV video ({NUM_FRAMES} frames per split)...")
+    engine.register_video(
+        "store",
+        test_video=SyntheticVideo.generate(make_store_spec(seed=100, name="store-test")),
+        train_video=SyntheticVideo.generate(make_store_spec(seed=101, name="store-train")),
+        heldout_video=SyntheticVideo.generate(make_store_spec(seed=102, name="store-heldout")),
+    )
+    engine.record_test_day("store")
+
+    print("\n-- Shoppers per aisle ---------------------------------------------")
+    aisles = {
+        "left aisle": f"xmax(mask) < {int(WIDTH * 0.5)}",
+        "right aisle": f"xmin(mask) >= {int(WIDTH * 0.5)}",
+    }
+    counts = {}
+    for aisle, predicate in aisles.items():
+        result = engine.query(
+            f"SELECT timestamp FROM store WHERE class = 'person' AND {predicate}"
+        )
+        visits = sorted({record.trackid for record in result.records})
+        counts[aisle] = len(visits)
+        print(f"{aisle:12s}: {len(visits):3d} distinct shoppers "
+              f"({len(result.matched_frames)} matching frames, "
+              f"plan: {result.plan_description})")
+
+    busier = max(counts, key=counts.get)
+    print(f"\nThe {busier} sees more traffic — consider promoting products there.")
+
+    print("\n-- Overall store occupancy ------------------------------------------")
+    occupancy = engine.query(
+        "SELECT FCOUNT(*) FROM store WHERE class = 'person' ERROR WITHIN 0.1"
+    )
+    print(f"average shoppers visible per frame: {occupancy.value:.2f} "
+          f"(strategy: {occupancy.method})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""BlazeIt reproduction: declarative aggregation and limit queries over video.
+
+This package reproduces the system described in "BlazeIt: Optimizing
+Declarative Aggregation and Limit Queries for Neural Network-Based Video
+Analytics" (VLDB 2019) on a synthetic video substrate: a FrameQL query
+language, a rule-based optimizer, and the aggregation (control variates),
+scrubbing (importance sampling) and content-based selection (filter inference)
+optimizations.
+
+Quick start::
+
+    from repro import BlazeIt
+
+    engine = BlazeIt()
+    engine.register_scenario("taipei", num_frames=4000)
+    result = engine.query(
+        "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
+        "ERROR WITHIN 0.1 AT CONFIDENCE 95%"
+    )
+    print(result.value, result.method, result.runtime_seconds)
+"""
+
+from repro.core.config import AggregateMethod, BlazeItConfig
+from repro.core.engine import BlazeIt
+from repro.core.labeled_set import LabeledSet
+from repro.core.recorded import RecordedDetections
+from repro.core.results import (
+    AggregateResult,
+    ExactResult,
+    QueryResult,
+    ScrubbingQueryResult,
+    SelectionResult,
+)
+from repro.detection.simulated import SimulatedDetector
+from repro.errors import BlazeItError, FrameQLAnalysisError, FrameQLSyntaxError
+from repro.frameql.analyzer import analyze
+from repro.frameql.parser import parse
+from repro.metrics.runtime import RuntimeLedger, StandardCosts
+from repro.video.scenarios import generate_scenario, list_scenarios
+from repro.video.synthetic import SyntheticVideo
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlazeIt",
+    "BlazeItConfig",
+    "AggregateMethod",
+    "LabeledSet",
+    "RecordedDetections",
+    "QueryResult",
+    "AggregateResult",
+    "ScrubbingQueryResult",
+    "SelectionResult",
+    "ExactResult",
+    "SimulatedDetector",
+    "SyntheticVideo",
+    "generate_scenario",
+    "list_scenarios",
+    "parse",
+    "analyze",
+    "RuntimeLedger",
+    "StandardCosts",
+    "BlazeItError",
+    "FrameQLSyntaxError",
+    "FrameQLAnalysisError",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Approximate query processing substrate.
+
+Implements the sampling machinery of Section 6: an adaptive sampling procedure
+with an epsilon-net minimum sample size and a CLT stopping rule, and the
+control-variates variance-reduction estimator that uses specialized-NN outputs
+as the cheap auxiliary variable.
+"""
+
+from repro.aqp.estimators import (
+    clt_half_width,
+    finite_population_correction,
+    sample_standard_deviation,
+)
+from repro.aqp.sampling import AdaptiveSamplingConfig, SamplingResult, adaptive_sample
+from repro.aqp.control_variates import (
+    ControlVariateResult,
+    control_variate_estimate,
+    optimal_coefficient,
+)
+
+__all__ = [
+    "clt_half_width",
+    "finite_population_correction",
+    "sample_standard_deviation",
+    "AdaptiveSamplingConfig",
+    "SamplingResult",
+    "adaptive_sample",
+    "ControlVariateResult",
+    "control_variate_estimate",
+    "optimal_coefficient",
+]

@@ -1,0 +1,140 @@
+"""Adaptive sampling with an epsilon-net start and a CLT stopping rule.
+
+This is the "traditional AQP" execution mode of Section 6.1: sample frames
+uniformly without replacement, starting from the epsilon-net minimum
+``K / epsilon`` samples, linearly increasing the sample size each round, and
+terminating when the CLT bound certifies the user's absolute error tolerance
+at the requested confidence.  Termination is driven by the *sample variance*,
+which is exactly what lets variance-reduction methods (control variates)
+terminate earlier.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aqp.estimators import (
+    clt_half_width,
+    epsilon_net_minimum_samples,
+    sample_standard_deviation,
+)
+
+
+@dataclass(frozen=True)
+class AdaptiveSamplingConfig:
+    """Tuning knobs of the adaptive sampling loop."""
+
+    #: Fraction of the initial (epsilon-net) sample added per round.
+    growth_fraction: float = 0.5
+    #: Smallest number of samples added per round.
+    min_batch: int = 50
+    #: Hard cap on total samples (defaults to the population size).
+    max_samples: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.growth_fraction <= 0:
+            raise ValueError(
+                f"growth_fraction must be positive, got {self.growth_fraction}"
+            )
+        if self.min_batch < 1:
+            raise ValueError(f"min_batch must be >= 1, got {self.min_batch}")
+
+
+@dataclass
+class SamplingResult:
+    """Result of an adaptive sampling run."""
+
+    estimate: float
+    half_width: float
+    samples_used: int
+    sampled_indices: np.ndarray
+    sampled_values: np.ndarray
+    rounds: int
+    converged: bool
+
+
+def adaptive_sample(
+    sample_fn: Callable[[np.ndarray], np.ndarray],
+    population_size: int,
+    error_tolerance: float,
+    confidence: float,
+    value_range: float,
+    rng: np.random.Generator | None = None,
+    config: AdaptiveSamplingConfig | None = None,
+) -> SamplingResult:
+    """Estimate the population mean of ``sample_fn`` to within a tolerance.
+
+    Parameters
+    ----------
+    sample_fn:
+        Maps an array of population indices (frame indices) to their values
+        (e.g. the detector's per-frame count).  This is the expensive call the
+        procedure minimises.
+    population_size:
+        Number of items (frames) in the population.
+    error_tolerance:
+        User's absolute error bound (``ERROR WITHIN``).
+    confidence:
+        Confidence level for the CLT bound (``AT CONFIDENCE``).
+    value_range:
+        ``K``, the range of the estimated quantity, for the epsilon-net
+        minimum sample size.
+    rng:
+        Source of randomness; defaults to a fresh generator.
+    config:
+        Loop tuning knobs.
+
+    Returns
+    -------
+    SamplingResult
+        The estimate, the final CLT half width, the indices sampled and
+        whether the loop converged before exhausting the population.
+    """
+    if population_size < 1:
+        raise ValueError(f"population_size must be >= 1, got {population_size}")
+    if error_tolerance <= 0:
+        raise ValueError(f"error_tolerance must be positive, got {error_tolerance}")
+    rng = rng or np.random.default_rng()
+    config = config or AdaptiveSamplingConfig()
+    max_samples = min(config.max_samples or population_size, population_size)
+
+    initial = min(
+        epsilon_net_minimum_samples(value_range, error_tolerance), max_samples
+    )
+    batch = max(config.min_batch, int(initial * config.growth_fraction))
+
+    # Sampling without replacement: a random permutation consumed prefix-first.
+    permutation = rng.permutation(population_size)
+    taken = initial
+    values = np.asarray(sample_fn(permutation[:taken]), dtype=np.float64)
+    rounds = 1
+    converged = False
+    while True:
+        std = sample_standard_deviation(values)
+        half_width = clt_half_width(std, taken, confidence, population_size)
+        if half_width < error_tolerance:
+            converged = True
+            break
+        if taken >= max_samples:
+            break
+        next_taken = min(taken + batch, max_samples)
+        new_indices = permutation[taken:next_taken]
+        new_values = np.asarray(sample_fn(new_indices), dtype=np.float64)
+        values = np.concatenate([values, new_values])
+        taken = next_taken
+        rounds += 1
+
+    return SamplingResult(
+        estimate=float(np.mean(values)),
+        half_width=float(clt_half_width(
+            sample_standard_deviation(values), taken, confidence, population_size
+        )),
+        samples_used=taken,
+        sampled_indices=permutation[:taken].copy(),
+        sampled_values=values,
+        rounds=rounds,
+        converged=converged,
+    )

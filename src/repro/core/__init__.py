@@ -1,0 +1,26 @@
+"""BlazeIt core: the engine that optimizes and executes FrameQL queries."""
+
+from repro.core.config import AggregateMethod, BlazeItConfig
+from repro.core.engine import BlazeIt
+from repro.core.labeled_set import LabeledSet
+from repro.core.recorded import RecordedDetections
+from repro.core.results import (
+    AggregateResult,
+    ExactResult,
+    QueryResult,
+    ScrubbingQueryResult,
+    SelectionResult,
+)
+
+__all__ = [
+    "BlazeIt",
+    "BlazeItConfig",
+    "AggregateMethod",
+    "LabeledSet",
+    "RecordedDetections",
+    "QueryResult",
+    "AggregateResult",
+    "ScrubbingQueryResult",
+    "SelectionResult",
+    "ExactResult",
+]

@@ -1,0 +1,95 @@
+"""Engine configuration."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.specialization.trainer import TrainingConfig
+
+
+class AggregateMethod(enum.Enum):
+    """Execution strategy for aggregate queries.
+
+    ``AUTO`` follows Algorithm 1 of the paper: rewrite with the specialized NN
+    when its held-out error satisfies the user's bound, otherwise fall back to
+    control variates; when there is not enough training data, use plain AQP.
+    The explicit values force a particular strategy (used by the benchmarks to
+    produce the per-variant series of Figures 4 and 5).
+    """
+
+    AUTO = "auto"
+    SPECIALIZED_REWRITE = "specialized_rewrite"
+    CONTROL_VARIATES = "control_variates"
+    NAIVE_AQP = "naive_aqp"
+    EXACT = "exact"
+
+
+@dataclass
+class BlazeItConfig:
+    """Configuration of a :class:`~repro.core.engine.BlazeIt` engine.
+
+    Parameters
+    ----------
+    training:
+        Hyper-parameters for specialized-model training.
+    aggregate_method:
+        Strategy override for aggregate queries (``AUTO`` by default).
+    default_error_tolerance:
+        Error bound used when an aggregate query carries no ``ERROR WITHIN``.
+    default_confidence:
+        Confidence used when no ``CONFIDENCE`` clause is present.
+    min_training_positives:
+        Minimum number of training-day frames containing the queried class
+        before specialization is attempted; below this, aggregation falls back
+        to plain AQP and scrubbing to an exhaustive scan.
+    include_training_time:
+        Whether specialized-NN training time is charged to the query ledger
+        ("BlazeIt" vs "BlazeIt (no train)" in Figure 4).
+    specialized_model_type:
+        Architecture used for specialized models: ``"softmax"`` (a linear
+        model; fast and stable even on very small labeled sets, the default)
+        or ``"mlp"`` (a small non-linear network, the closest analogue of the
+        paper's tiny ResNet; used by the benchmark harness, where the labeled
+        sets are large enough to train it reliably).
+    specialized_hidden_size:
+        Hidden width of the MLP specialized models.
+    seed:
+        Seed for all randomised decisions made by the engine.
+    """
+
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    aggregate_method: AggregateMethod = AggregateMethod.AUTO
+    default_error_tolerance: float = 0.1
+    default_confidence: float = 0.95
+    min_training_positives: int = 100
+    include_training_time: bool = True
+    specialized_model_type: str = "softmax"
+    specialized_hidden_size: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.specialized_model_type not in ("softmax", "mlp"):
+            raise ConfigurationError(
+                "specialized_model_type must be 'softmax' or 'mlp', got "
+                f"{self.specialized_model_type!r}"
+            )
+        if self.specialized_hidden_size < 1:
+            raise ConfigurationError(
+                f"specialized_hidden_size must be >= 1, got {self.specialized_hidden_size}"
+            )
+        if self.default_error_tolerance <= 0:
+            raise ConfigurationError(
+                f"default_error_tolerance must be positive, got "
+                f"{self.default_error_tolerance}"
+            )
+        if not 0.0 < self.default_confidence < 1.0:
+            raise ConfigurationError(
+                f"default_confidence must be in (0, 1), got {self.default_confidence}"
+            )
+        if self.min_training_positives < 0:
+            raise ConfigurationError(
+                f"min_training_positives must be non-negative, got "
+                f"{self.min_training_positives}"
+            )

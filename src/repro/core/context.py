@@ -1,0 +1,123 @@
+"""Execution context shared by physical plans.
+
+The context bundles everything a plan needs to run a query over the unseen
+("test day") video: the video itself, the labeled set, the configured
+detector, an optional recording of the detector's output over the test day
+(see :class:`~repro.core.recorded.RecordedDetections`), the UDF registry, the
+engine configuration and a seeded random generator.
+
+It also centralises detector access so every plan charges detection cost the
+same way, whether the output comes from a live detector call or from the
+recording.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import BlazeItConfig
+from repro.core.labeled_set import LabeledSet
+from repro.core.recorded import RecordedDetections
+from repro.detection.base import DetectionResult, ObjectDetector
+from repro.metrics.runtime import OperatorCost, RuntimeLedger
+from repro.udf.registry import UDFRegistry
+from repro.video.synthetic import SyntheticVideo
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a physical plan needs to execute one query."""
+
+    video: SyntheticVideo
+    detector: ObjectDetector
+    udf_registry: UDFRegistry
+    config: BlazeItConfig
+    labeled_set: LabeledSet | None = None
+    recorded: RecordedDetections | None = None
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
+    _features_cache: np.ndarray | None = field(default=None, repr=False)
+
+    # -- detector access -----------------------------------------------------------
+
+    def detect(
+        self,
+        frame_index: int,
+        ledger: RuntimeLedger | None = None,
+        cost_scale: float = 1.0,
+    ) -> DetectionResult:
+        """Run (or replay) object detection on one test-day frame.
+
+        ``cost_scale`` reduces the charged cost when a spatial filter has
+        cropped the frame.
+        """
+        if ledger is not None:
+            cost = self.detector.cost
+            if cost_scale != 1.0:
+                cost = OperatorCost(
+                    name=cost.name, seconds_per_call=cost.seconds_per_call * cost_scale
+                )
+            ledger.charge(cost)
+        if self.recorded is not None:
+            return self.recorded.result(frame_index)
+        return self.detector.detect(self.video, frame_index)
+
+    def detect_counts(
+        self,
+        frame_indices: np.ndarray,
+        object_class: str,
+        ledger: RuntimeLedger | None = None,
+    ) -> np.ndarray:
+        """Detected counts of one class at the given frames, charging per call."""
+        indices = np.asarray(frame_indices, dtype=np.int64)
+        counts = np.empty(indices.shape[0], dtype=np.float64)
+        for row, frame_index in enumerate(indices):
+            result = self.detect(int(frame_index), ledger)
+            counts[row] = result.count(object_class)
+        return counts
+
+    def satisfies_min_counts(
+        self,
+        frame_index: int,
+        min_counts: dict[str, int],
+        ledger: RuntimeLedger | None = None,
+    ) -> bool:
+        """Whether one frame satisfies a count conjunction, charging one call."""
+        result = self.detect(frame_index, ledger)
+        return all(
+            result.count(object_class) >= min_count
+            for object_class, min_count in min_counts.items()
+        )
+
+    # -- cheap features ---------------------------------------------------------------
+
+    def test_features(self, frame_indices: np.ndarray | None = None) -> np.ndarray:
+        """Cheap per-frame features of the test day.
+
+        The full-feature matrix is cached because several plans (specialized
+        rewriting, control variates, scrubbing) all need it.  Feature
+        extraction cost is folded into the specialized-NN inference cost, so
+        no separate charge is made here.
+        """
+        if frame_indices is not None:
+            return self.video.frame_features(np.asarray(frame_indices, dtype=np.int64))
+        if self._features_cache is None:
+            self._features_cache = self.video.frame_features(
+                np.arange(self.video.num_frames)
+            )
+        return self._features_cache
+
+    # -- labeled-set conveniences ---------------------------------------------------------
+
+    def require_labeled_set(self) -> LabeledSet:
+        """The labeled set, raising a clear error when it was never built."""
+        if self.labeled_set is None:
+            raise RuntimeError(
+                "this query plan needs a labeled set; call "
+                "BlazeIt.build_labeled_set() (or register the video with "
+                "train/heldout splits) first"
+            )
+        return self.labeled_set

@@ -1,0 +1,80 @@
+"""Query result types returned by the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frameql.schema import FrameRecord
+from repro.metrics.runtime import RuntimeLedger
+
+
+@dataclass
+class QueryResult:
+    """Fields common to every query result.
+
+    Attributes
+    ----------
+    kind:
+        The query class that was executed (``aggregate``, ``scrubbing``,
+        ``selection`` or ``exact``).
+    method:
+        The physical strategy the optimizer chose (e.g.
+        ``"specialized_rewrite"``, ``"control_variates"``, ``"importance"``).
+    ledger:
+        Simulated-runtime ledger for the execution.
+    detection_calls:
+        Number of full object-detection invocations charged.
+    plan_description:
+        Human-readable description of the executed plan.
+    """
+
+    kind: str
+    method: str
+    ledger: RuntimeLedger = field(default_factory=RuntimeLedger)
+    detection_calls: int = 0
+    plan_description: str = ""
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Total simulated runtime of the query."""
+        return self.ledger.total_seconds
+
+
+@dataclass
+class AggregateResult(QueryResult):
+    """Result of an aggregate query."""
+
+    value: float = 0.0
+    error_tolerance: float | None = None
+    confidence: float = 0.95
+    samples_used: int = 0
+    half_width: float = 0.0
+    correlation: float | None = None
+
+
+@dataclass
+class ScrubbingQueryResult(QueryResult):
+    """Result of a cardinality-limited scrubbing query."""
+
+    frames: list[int] = field(default_factory=list)
+    timestamps: list[float] = field(default_factory=list)
+    limit: int = 0
+    satisfied: bool = False
+
+
+@dataclass
+class SelectionResult(QueryResult):
+    """Result of a content-based selection query."""
+
+    records: list[FrameRecord] = field(default_factory=list)
+    matched_frames: list[int] = field(default_factory=list)
+    frames_scanned: int = 0
+    frames_after_filters: int = 0
+
+
+@dataclass
+class ExactResult(QueryResult):
+    """Result of an exact (unoptimized) query."""
+
+    records: list[FrameRecord] = field(default_factory=list)
+    value: float | None = None

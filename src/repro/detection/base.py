@@ -1,0 +1,96 @@
+"""Detector interface and detection records.
+
+A :class:`Detection` corresponds to one row of the FrameQL schema (Table 1)
+before entity resolution: the object class, the mask (bounding box), the
+detector confidence and the feature vector.  ``trackid`` is filled in later by
+the tracking substrate.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.runtime import OperatorCost, RuntimeLedger
+from repro.video.geometry import BoundingBox
+from repro.video.synthetic import SyntheticVideo
+
+
+@dataclass
+class Detection:
+    """One detected object in one frame."""
+
+    frame_index: int
+    timestamp: float
+    object_class: str
+    box: BoundingBox
+    confidence: float
+    features: np.ndarray | None = None
+    track_id: int | None = None
+    color: tuple[float, float, float] | None = None
+    color_name: str | None = None
+
+    @property
+    def area(self) -> float:
+        """Area of the detection's bounding box."""
+        return self.box.area
+
+
+@dataclass
+class DetectionResult:
+    """All detections produced for one frame."""
+
+    frame_index: int
+    timestamp: float
+    detections: list[Detection] = field(default_factory=list)
+
+    def of_class(self, object_class: str) -> list[Detection]:
+        """Detections of one object class."""
+        return [d for d in self.detections if d.object_class == object_class]
+
+    def count(self, object_class: str | None = None) -> int:
+        """Number of detections, optionally restricted to one class."""
+        if object_class is None:
+            return len(self.detections)
+        return sum(1 for d in self.detections if d.object_class == object_class)
+
+
+class ObjectDetector(abc.ABC):
+    """Interface every object detection method implements.
+
+    The user-configurable object detection method of Section 3: BlazeIt "aims
+    to be as accurate as the configured methods" and treats the detector
+    output as ground truth.
+    """
+
+    #: Human-readable detector name (e.g. ``"mask_rcnn"``).
+    name: str = "detector"
+
+    @property
+    @abc.abstractmethod
+    def cost(self) -> OperatorCost:
+        """Simulated cost of one detection call."""
+
+    @abc.abstractmethod
+    def detect(
+        self,
+        video: SyntheticVideo,
+        frame_index: int,
+        ledger: RuntimeLedger | None = None,
+    ) -> DetectionResult:
+        """Run detection on one frame, charging the cost to ``ledger`` if given."""
+
+    def detect_many(
+        self,
+        video: SyntheticVideo,
+        frame_indices: list[int] | np.ndarray,
+        ledger: RuntimeLedger | None = None,
+    ) -> list[DetectionResult]:
+        """Run detection on several frames."""
+        return [self.detect(video, int(i), ledger) for i in frame_indices]
+
+    def supported_classes(self) -> set[str] | None:
+        """Object classes the detector can return, or ``None`` for "any"."""
+        return None

@@ -1,0 +1,36 @@
+"""Non-maximum suppression over detections.
+
+Real detectors emit overlapping candidate boxes; the simulated detector mostly
+does not, but NMS is still part of the substrate because user-supplied
+detectors (Section 3's configurability) may need it, and the tracking and
+selection code paths exercise it in tests.
+"""
+
+from __future__ import annotations
+
+from repro.detection.base import Detection
+
+
+def non_max_suppression(
+    detections: list[Detection], iou_threshold: float = 0.5
+) -> list[Detection]:
+    """Suppress lower-confidence detections that overlap higher-confidence ones.
+
+    Detections of different classes never suppress each other.  The result is
+    ordered by descending confidence.
+    """
+    if not 0.0 <= iou_threshold <= 1.0:
+        raise ValueError(f"iou_threshold must be in [0, 1], got {iou_threshold}")
+    ordered = sorted(detections, key=lambda d: d.confidence, reverse=True)
+    kept: list[Detection] = []
+    for candidate in ordered:
+        suppressed = False
+        for keeper in kept:
+            if keeper.object_class != candidate.object_class:
+                continue
+            if keeper.box.iou(candidate.box) > iou_threshold:
+                suppressed = True
+                break
+        if not suppressed:
+            kept.append(candidate)
+    return kept

@@ -1,0 +1,53 @@
+"""Registry of named detector configurations.
+
+The object detection method is user-configurable (Section 3); the registry
+maps the names used in Table 3 (``mask_rcnn``, ``fgfa``, ``yolov2``) to
+factories, and users may register their own.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.detection.base import ObjectDetector
+from repro.detection.simulated import SimulatedDetector
+
+DetectorFactory = Callable[..., ObjectDetector]
+
+
+class DetectorRegistry:
+    """Maps detector names to factory callables."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, DetectorFactory] = {}
+
+    def register(self, name: str, factory: DetectorFactory) -> None:
+        """Register (or replace) a detector factory."""
+        self._factories[name] = factory
+
+    def create(self, name: str, **kwargs) -> ObjectDetector:
+        """Instantiate a detector by name."""
+        try:
+            factory = self._factories[name]
+        except KeyError as exc:
+            available = ", ".join(sorted(self._factories)) or "<none>"
+            raise KeyError(
+                f"unknown detector {name!r}; available: {available}"
+            ) from exc
+        return factory(**kwargs)
+
+    def names(self) -> list[str]:
+        """All registered detector names."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+
+def default_registry() -> DetectorRegistry:
+    """Registry pre-populated with the detectors used in the paper."""
+    registry = DetectorRegistry()
+    registry.register("mask_rcnn", SimulatedDetector.mask_rcnn)
+    registry.register("fgfa", SimulatedDetector.fgfa)
+    registry.register("yolov2", SimulatedDetector.yolov2)
+    return registry

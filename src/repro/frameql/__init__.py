@@ -1,0 +1,59 @@
+"""FrameQL: a SQL-like query language for spatiotemporal information in video.
+
+The package contains a real lexer and recursive-descent parser covering the
+grammar exercised in the paper (Section 4): selection / projection /
+aggregation over the virtual per-frame object relation, plus the video-specific
+syntactic sugar of Table 2 (``FCOUNT``, ``ERROR WITHIN``, ``FPR``/``FNR
+WITHIN``, ``CONFIDENCE``, ``GAP``).  The semantic analyzer turns a parsed
+query into a typed query specification that the optimizer consumes.
+"""
+
+from repro.frameql.schema import FRAMEQL_SCHEMA, FrameQLField, FrameRecord
+from repro.frameql.ast import (
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    Literal,
+    Query,
+    SelectItem,
+    Star,
+    UnaryOp,
+)
+from repro.frameql.lexer import Token, TokenType, tokenize
+from repro.frameql.parser import parse
+from repro.frameql.analyzer import (
+    AggregateQuerySpec,
+    ExactQuerySpec,
+    QueryKind,
+    QuerySpec,
+    ScrubbingQuerySpec,
+    SelectionQuerySpec,
+    UdfPredicate,
+    analyze,
+)
+
+__all__ = [
+    "FRAMEQL_SCHEMA",
+    "FrameQLField",
+    "FrameRecord",
+    "BinaryOp",
+    "ColumnRef",
+    "FunctionCall",
+    "Literal",
+    "Query",
+    "SelectItem",
+    "Star",
+    "UnaryOp",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse",
+    "analyze",
+    "QueryKind",
+    "QuerySpec",
+    "AggregateQuerySpec",
+    "ScrubbingQuerySpec",
+    "SelectionQuerySpec",
+    "ExactQuerySpec",
+    "UdfPredicate",
+]

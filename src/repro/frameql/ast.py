@@ -1,0 +1,157 @@
+"""Abstract syntax tree for FrameQL queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Expression:
+    """Base class for all FrameQL expressions."""
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A numeric or string literal."""
+
+    value: float | int | str
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A reference to a column of the FrameQL schema."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """The ``*`` wildcard, used in ``SELECT *`` and ``COUNT(*)``."""
+
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A function or aggregate call such as ``FCOUNT(*)`` or ``redness(content)``."""
+
+    name: str
+    args: tuple[Expression, ...] = ()
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary operation (comparison, boolean connective or arithmetic)."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """A unary operation (``NOT`` or arithmetic negation)."""
+
+    op: str
+    operand: Expression
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of the SELECT list, with an optional alias."""
+
+    expression: Expression
+    alias: str | None = None
+
+    def __str__(self) -> str:
+        if self.alias:
+            return f"{self.expression} AS {self.alias}"
+        return str(self.expression)
+
+
+@dataclass
+class Query:
+    """A parsed FrameQL query.
+
+    The extra clauses beyond standard SQL carry the syntactic sugar of
+    Table 2: ``error_within``, ``fpr_within``, ``fnr_within``, ``confidence``,
+    ``limit`` and ``gap``.
+    """
+
+    select: list[SelectItem] = field(default_factory=list)
+    video: str = ""
+    where: Expression | None = None
+    group_by: list[ColumnRef] = field(default_factory=list)
+    having: Expression | None = None
+    error_within: float | None = None
+    fpr_within: float | None = None
+    fnr_within: float | None = None
+    confidence: float | None = None
+    limit: int | None = None
+    gap: int | None = None
+
+    def __str__(self) -> str:
+        parts = ["SELECT " + ", ".join(str(item) for item in self.select)]
+        parts.append(f"FROM {self.video}")
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(str(c) for c in self.group_by))
+        if self.having is not None:
+            parts.append(f"HAVING {self.having}")
+        if self.error_within is not None:
+            parts.append(f"ERROR WITHIN {self.error_within}")
+        if self.fpr_within is not None:
+            parts.append(f"FPR WITHIN {self.fpr_within}")
+        if self.fnr_within is not None:
+            parts.append(f"FNR WITHIN {self.fnr_within}")
+        if self.confidence is not None:
+            parts.append(f"AT CONFIDENCE {self.confidence * 100:g}%")
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        if self.gap is not None:
+            parts.append(f"GAP {self.gap}")
+        return " ".join(parts)
+
+
+def conjuncts(expression: Expression | None) -> list[Expression]:
+    """Split a boolean expression into its top-level AND-ed conjuncts."""
+    if expression is None:
+        return []
+    if isinstance(expression, BinaryOp) and expression.op == "AND":
+        return conjuncts(expression.left) + conjuncts(expression.right)
+    return [expression]
+
+
+def walk(expression: Expression):
+    """Yield every node of an expression tree, depth first."""
+    yield expression
+    if isinstance(expression, BinaryOp):
+        yield from walk(expression.left)
+        yield from walk(expression.right)
+    elif isinstance(expression, UnaryOp):
+        yield from walk(expression.operand)
+    elif isinstance(expression, FunctionCall):
+        for arg in expression.args:
+            yield from walk(arg)

@@ -1,0 +1,120 @@
+"""Tokenizer for FrameQL."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import FrameQLSyntaxError
+
+
+class TokenType(enum.Enum):
+    """Kinds of FrameQL tokens."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    END = "end"
+
+
+#: Reserved words.  ``FCOUNT`` and ``COUNT`` are treated as identifiers so the
+#: parser can handle them as ordinary function calls.
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "LIMIT",
+    "GAP",
+    "ERROR",
+    "WITHIN",
+    "AT",
+    "CONFIDENCE",
+    "FPR",
+    "FNR",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+    "DISTINCT",
+}
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCTUATION = ("(", ")", ",", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its source position."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Whether this token is the given keyword (case-insensitive)."""
+        return self.type == TokenType.KEYWORD and self.value == word.upper()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a FrameQL query string.
+
+    Raises :class:`~repro.errors.FrameQLSyntaxError` on unterminated strings
+    or unexpected characters.
+    """
+    tokens: list[Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            end = text.find("'", i + 1)
+            if end == -1:
+                raise FrameQLSyntaxError("unterminated string literal", i)
+            tokens.append(Token(TokenType.STRING, text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and text[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < length and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+                if text[i] == ".":
+                    seen_dot = True
+                i += 1
+            tokens.append(Token(TokenType.NUMBER, text[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        matched_operator = None
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                matched_operator = op
+                break
+        if matched_operator is not None:
+            tokens.append(Token(TokenType.OPERATOR, matched_operator, i))
+            i += len(matched_operator)
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise FrameQLSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

@@ -1,0 +1,337 @@
+"""Recursive-descent parser for FrameQL.
+
+Grammar (covering every query in Section 4 and the evaluation):
+
+.. code-block:: text
+
+    query        := SELECT select_list FROM ident clause* [';']
+    clause       := WHERE expr
+                  | GROUP BY column (',' column)*
+                  | HAVING expr
+                  | ERROR WITHIN number
+                  | FPR WITHIN number
+                  | FNR WITHIN number
+                  | [AT] CONFIDENCE number ['%']
+                  | LIMIT int [GAP int]
+                  | GAP int
+    select_list  := '*' | select_item (',' select_item)*
+    select_item  := expr [AS ident]
+    expr         := or_expr
+    or_expr      := and_expr (OR and_expr)*
+    and_expr     := not_expr (AND not_expr)*
+    not_expr     := NOT not_expr | comparison
+    comparison   := additive (('='|'!='|'<>'|'<'|'<='|'>'|'>=') additive)?
+    additive     := multiplicative (('+'|'-') multiplicative)*
+    multiplicative := unary (('*'|'/') unary)*
+    unary        := '-' unary | primary
+    primary      := number | string | '*' | '(' expr ')'
+                  | ident '(' [DISTINCT] arg (',' arg)* ')' | ident '(' ')'
+                  | ident
+"""
+
+from __future__ import annotations
+
+from repro.errors import FrameQLSyntaxError
+from repro.frameql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    Literal,
+    Query,
+    SelectItem,
+    Star,
+    UnaryOp,
+)
+from repro.frameql.lexer import Token, TokenType, tokenize
+
+_COMPARISON_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type != TokenType.END:
+            self._pos += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise FrameQLSyntaxError(
+                f"expected {word}, found {token.value or '<end>'}", token.position
+            )
+        return self._advance()
+
+    def _match_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_type(self, token_type: TokenType, what: str) -> Token:
+        token = self._peek()
+        if token.type != token_type:
+            raise FrameQLSyntaxError(
+                f"expected {what}, found {token.value or '<end>'}", token.position
+            )
+        return self._advance()
+
+    def _match_operator(self, *operators: str) -> Token | None:
+        token = self._peek()
+        if token.type == TokenType.OPERATOR and token.value in operators:
+            return self._advance()
+        return None
+
+    def _match_punct(self, value: str) -> bool:
+        token = self._peek()
+        if token.type == TokenType.PUNCT and token.value == value:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, value: str) -> None:
+        token = self._peek()
+        if token.type != TokenType.PUNCT or token.value != value:
+            raise FrameQLSyntaxError(
+                f"expected {value!r}, found {token.value or '<end>'}", token.position
+            )
+        self._advance()
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self._expect_keyword("SELECT")
+        select = self._parse_select_list()
+        self._expect_keyword("FROM")
+        query = Query(select=select, video=self._parse_video_name())
+        self._parse_clauses(query)
+        self._match_punct(";")
+        token = self._peek()
+        if token.type != TokenType.END:
+            raise FrameQLSyntaxError(
+                f"unexpected trailing input {token.value!r}", token.position
+            )
+        return query
+
+    def _parse_video_name(self) -> str:
+        """Video names may contain hyphens (e.g. ``night-street`` from Table 3)."""
+        parts = [self._expect_type(TokenType.IDENT, "video name").value]
+        while True:
+            token = self._peek()
+            if token.type == TokenType.OPERATOR and token.value == "-":
+                nxt = self._tokens[self._pos + 1]
+                if nxt.type in (TokenType.IDENT, TokenType.NUMBER):
+                    self._advance()
+                    parts.append(self._advance().value)
+                    continue
+            break
+        return "-".join(parts)
+
+    def _parse_select_list(self) -> list[SelectItem]:
+        items = [self._parse_select_item()]
+        while self._match_punct(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        expression = self._parse_expression()
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._expect_type(TokenType.IDENT, "alias").value
+        return SelectItem(expression=expression, alias=alias)
+
+    def _parse_clauses(self, query: Query) -> None:
+        while True:
+            token = self._peek()
+            if token.is_keyword("WHERE"):
+                self._advance()
+                query.where = self._parse_expression()
+            elif token.is_keyword("GROUP"):
+                self._advance()
+                self._expect_keyword("BY")
+                query.group_by = self._parse_column_list()
+            elif token.is_keyword("HAVING"):
+                self._advance()
+                query.having = self._parse_expression()
+            elif token.is_keyword("ERROR"):
+                self._advance()
+                self._expect_keyword("WITHIN")
+                query.error_within = self._parse_number_value()
+            elif token.is_keyword("FPR"):
+                self._advance()
+                self._expect_keyword("WITHIN")
+                query.fpr_within = self._parse_number_value()
+            elif token.is_keyword("FNR"):
+                self._advance()
+                self._expect_keyword("WITHIN")
+                query.fnr_within = self._parse_number_value()
+            elif token.is_keyword("AT") or token.is_keyword("CONFIDENCE"):
+                if token.is_keyword("AT"):
+                    self._advance()
+                self._expect_keyword("CONFIDENCE")
+                query.confidence = self._parse_confidence()
+            elif token.is_keyword("LIMIT"):
+                self._advance()
+                query.limit = self._parse_int_value()
+                if self._peek().is_keyword("GAP"):
+                    self._advance()
+                    query.gap = self._parse_int_value()
+            elif token.is_keyword("GAP"):
+                self._advance()
+                query.gap = self._parse_int_value()
+            else:
+                return
+
+    def _parse_column_list(self) -> list[ColumnRef]:
+        columns = [ColumnRef(self._expect_type(TokenType.IDENT, "column name").value)]
+        while self._match_punct(","):
+            columns.append(
+                ColumnRef(self._expect_type(TokenType.IDENT, "column name").value)
+            )
+        return columns
+
+    def _parse_number_value(self) -> float:
+        token = self._expect_type(TokenType.NUMBER, "number")
+        return float(token.value)
+
+    def _parse_int_value(self) -> int:
+        token = self._expect_type(TokenType.NUMBER, "integer")
+        value = float(token.value)
+        if value != int(value):
+            raise FrameQLSyntaxError(
+                f"expected an integer, found {token.value}", token.position
+            )
+        return int(value)
+
+    def _parse_confidence(self) -> float:
+        value = self._parse_number_value()
+        if self._match_operator("%"):
+            value = value / 100.0
+        elif value > 1.0:
+            # "CONFIDENCE 95" without the percent sign still means 95%.
+            value = value / 100.0
+        return value
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self._peek().is_keyword("OR"):
+            self._advance()
+            left = BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_not()
+        while self._peek().is_keyword("AND"):
+            self._advance()
+            left = BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expression:
+        if self._peek().is_keyword("NOT"):
+            self._advance()
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_additive()
+        operator = self._match_operator(*_COMPARISON_OPS)
+        if operator is None:
+            return left
+        op = "!=" if operator.value == "<>" else operator.value
+        return BinaryOp(op, left, self._parse_additive())
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            operator = self._match_operator("+", "-")
+            if operator is None:
+                return left
+            left = BinaryOp(operator.value, left, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while True:
+            operator = self._match_operator("/")
+            if operator is None:
+                # ``*`` is ambiguous with the wildcard; treat it as
+                # multiplication only when something multipliable follows.
+                saved = self._pos
+                star = self._match_operator("*")
+                if star is None:
+                    return left
+                nxt = self._peek()
+                if nxt.type in (TokenType.NUMBER, TokenType.IDENT, TokenType.STRING) or (
+                    nxt.type == TokenType.PUNCT and nxt.value == "("
+                ):
+                    left = BinaryOp("*", left, self._parse_unary())
+                    continue
+                self._pos = saved
+                return left
+            left = BinaryOp(operator.value, left, self._parse_unary())
+
+    def _parse_unary(self) -> Expression:
+        operator = self._match_operator("-")
+        if operator is not None:
+            return UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+        if token.type == TokenType.NUMBER:
+            self._advance()
+            value = float(token.value)
+            if value == int(value) and "." not in token.value:
+                return Literal(int(value))
+            return Literal(value)
+        if token.type == TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.type == TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return Star()
+        if token.type == TokenType.PUNCT and token.value == "(":
+            self._advance()
+            inner = self._parse_expression()
+            self._expect_punct(")")
+            return inner
+        if token.type == TokenType.IDENT:
+            self._advance()
+            if self._peek().type == TokenType.PUNCT and self._peek().value == "(":
+                return self._parse_call(token.value)
+            return ColumnRef(token.value)
+        raise FrameQLSyntaxError(
+            f"unexpected token {token.value or '<end>'}", token.position
+        )
+
+    def _parse_call(self, name: str) -> FunctionCall:
+        self._expect_punct("(")
+        if self._match_punct(")"):
+            return FunctionCall(name=name)
+        distinct = self._match_keyword("DISTINCT")
+        args = [self._parse_expression()]
+        while self._match_punct(","):
+            args.append(self._parse_expression())
+        self._expect_punct(")")
+        return FunctionCall(name=name, args=tuple(args), distinct=distinct)
+
+
+def parse(text: str) -> Query:
+    """Parse a FrameQL query string into a :class:`~repro.frameql.ast.Query`."""
+    if not text or not text.strip():
+        raise FrameQLSyntaxError("empty query")
+    return _Parser(tokenize(text)).parse_query()

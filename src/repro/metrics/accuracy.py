@@ -1,0 +1,86 @@
+"""Accuracy metrics used in the evaluation (Section 10.1).
+
+The paper reports absolute error for aggregate queries, throughput only for
+scrubbing queries (they return only true positives), and false negative rate
+for selection queries.  These helpers compute those metrics plus the standard
+precision/recall pair used by the detection substrate's mAP computation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Sequence
+
+
+def absolute_error(estimate: float, truth: float) -> float:
+    """Absolute difference between an estimate and the ground truth."""
+    return abs(estimate - truth)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """Relative error, guarding against a zero ground truth."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - truth) / abs(truth)
+
+
+def false_negative_rate(
+    returned: Collection[int], relevant: Collection[int]
+) -> float:
+    """Fraction of relevant items missing from the returned set.
+
+    Parameters
+    ----------
+    returned:
+        Identifiers (typically frame indices) the system returned.
+    relevant:
+        Identifiers that truly satisfy the predicate.
+    """
+    relevant_set = set(relevant)
+    if not relevant_set:
+        return 0.0
+    returned_set = set(returned)
+    missed = len(relevant_set - returned_set)
+    return missed / len(relevant_set)
+
+
+def false_positive_rate(
+    returned: Collection[int],
+    relevant: Collection[int],
+    universe_size: int,
+) -> float:
+    """Fraction of irrelevant items that were returned.
+
+    ``universe_size`` is the total number of candidate items (e.g. frames in
+    the video); the number of irrelevant items is ``universe_size`` minus the
+    number of relevant ones.
+    """
+    relevant_set = set(relevant)
+    returned_set = set(returned)
+    negatives = universe_size - len(relevant_set)
+    if negatives <= 0:
+        return 0.0
+    false_positives = len(returned_set - relevant_set)
+    return false_positives / negatives
+
+
+def precision_recall(
+    returned: Collection[int], relevant: Collection[int]
+) -> tuple[float, float]:
+    """Precision and recall of ``returned`` against ``relevant``."""
+    returned_set = set(returned)
+    relevant_set = set(relevant)
+    true_positives = len(returned_set & relevant_set)
+    precision = true_positives / len(returned_set) if returned_set else 1.0
+    recall = true_positives / len(relevant_set) if relevant_set else 1.0
+    return precision, recall
+
+
+def mean_absolute_error(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Mean absolute error over paired sequences."""
+    if len(estimates) != len(truths):
+        raise ValueError(
+            f"length mismatch: {len(estimates)} estimates vs {len(truths)} truths"
+        )
+    if not estimates:
+        return 0.0
+    return sum(abs(e - t) for e, t in zip(estimates, truths)) / len(estimates)

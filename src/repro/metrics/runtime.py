@@ -1,0 +1,134 @@
+"""Simulated runtime accounting.
+
+The paper measures end-to-end runtime on a Tesla P100 and, for the most
+detection-heavy experiments, *extrapolates* runtime from the number of object
+detection calls (Sections 10.2 and 10.4).  This reproduction has no GPU, so we
+adopt the same accounting model everywhere: every operator invocation charges
+a deterministic cost (in simulated seconds) to a :class:`RuntimeLedger`.
+
+The default per-operator throughputs are the ones the paper reports:
+
+* Mask R-CNN object detection: ~3 fps
+* FGFA object detection: ~3 fps (the paper groups it with Mask R-CNN)
+* YOLOv2: ~80 fps
+* specialized NNs: ~10,000 fps
+* simple (non-NN) filters: ~100,000 fps
+
+Only *relative* runtimes (speedup factors, crossover points) are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class OperatorCost:
+    """Cost of a single operator invocation.
+
+    Parameters
+    ----------
+    name:
+        Operator identifier used for ledger break-downs (e.g. ``"mask_rcnn"``).
+    seconds_per_call:
+        Simulated seconds charged for each invocation.
+    """
+
+    name: str
+    seconds_per_call: float
+
+    @classmethod
+    def from_fps(cls, name: str, fps: float) -> "OperatorCost":
+        """Build a cost from a throughput expressed in frames per second."""
+        if fps <= 0:
+            raise ValueError(f"fps must be positive, got {fps}")
+        return cls(name=name, seconds_per_call=1.0 / fps)
+
+
+class StandardCosts:
+    """The operator throughputs reported by the paper (Section 5 and 9)."""
+
+    MASK_RCNN = OperatorCost.from_fps("mask_rcnn", 3.0)
+    FGFA = OperatorCost.from_fps("fgfa", 3.0)
+    YOLOV2 = OperatorCost.from_fps("yolov2", 80.0)
+    SPECIALIZED_NN = OperatorCost.from_fps("specialized_nn", 10_000.0)
+    SPECIALIZED_NN_TRAIN = OperatorCost.from_fps("specialized_nn_train", 2_500.0)
+    SIMPLE_FILTER = OperatorCost.from_fps("simple_filter", 100_000.0)
+    VIDEO_DECODE = OperatorCost.from_fps("video_decode", 300.0)
+
+    @classmethod
+    def all_costs(cls) -> dict[str, OperatorCost]:
+        """Return every standard cost keyed by operator name."""
+        costs = {}
+        for attr in dir(cls):
+            value = getattr(cls, attr)
+            if isinstance(value, OperatorCost):
+                costs[value.name] = value
+        return costs
+
+
+@dataclass
+class RuntimeLedger:
+    """Accumulates simulated runtime, broken down by operator.
+
+    The ledger is the single source of truth for "how long did this query
+    take" in the reproduction.  Operators call :meth:`charge` once per frame
+    they process; benchmark harnesses read :attr:`total_seconds` and
+    :meth:`breakdown`.
+    """
+
+    charges: dict[str, float] = field(default_factory=dict)
+    calls: dict[str, int] = field(default_factory=dict)
+
+    def charge(self, cost: OperatorCost, count: int = 1) -> float:
+        """Charge ``count`` invocations of ``cost`` and return the seconds added."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        seconds = cost.seconds_per_call * count
+        self.charges[cost.name] = self.charges.get(cost.name, 0.0) + seconds
+        self.calls[cost.name] = self.calls.get(cost.name, 0) + count
+        return seconds
+
+    def charge_seconds(self, name: str, seconds: float) -> float:
+        """Charge an arbitrary number of simulated seconds to an operator."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        self.charges[name] = self.charges.get(name, 0.0) + seconds
+        self.calls[name] = self.calls.get(name, 0) + 1
+        return seconds
+
+    @property
+    def total_seconds(self) -> float:
+        """Total simulated runtime accumulated so far."""
+        return sum(self.charges.values())
+
+    def call_count(self, name: str) -> int:
+        """Number of invocations charged for operator ``name``."""
+        return self.calls.get(name, 0)
+
+    def seconds_for(self, name: str) -> float:
+        """Simulated seconds charged for operator ``name``."""
+        return self.charges.get(name, 0.0)
+
+    def breakdown(self) -> dict[str, float]:
+        """Copy of the per-operator seconds breakdown."""
+        return dict(self.charges)
+
+    def merge(self, other: "RuntimeLedger") -> None:
+        """Fold another ledger's charges into this one."""
+        for name, seconds in other.charges.items():
+            self.charges[name] = self.charges.get(name, 0.0) + seconds
+        for name, count in other.calls.items():
+            self.calls[name] = self.calls.get(name, 0) + count
+
+    def reset(self) -> None:
+        """Discard all accumulated charges."""
+        self.charges.clear()
+        self.calls.clear()
+
+    def snapshot(self) -> "RuntimeLedger":
+        """Return an independent copy of the current state."""
+        copy = RuntimeLedger()
+        copy.charges = dict(self.charges)
+        copy.calls = dict(self.calls)
+        return copy

@@ -1,0 +1,25 @@
+"""Rule-based query optimizer and physical plans.
+
+The optimizer inspects the analyzed query spec and chooses a physical plan
+(Section 5).  Because the filters and specialized NNs are orders of magnitude
+cheaper than object detection, a rule-based optimizer is sufficient: the plan
+structure is determined by the query class, and the statistical decisions
+(rewrite vs control variates, filter thresholds) are made inside the plans
+from held-out data, following Algorithm 1.
+"""
+
+from repro.optimizer.base import PhysicalPlan
+from repro.optimizer.aggregates import AggregateQueryPlan
+from repro.optimizer.scrubbing import ScrubbingQueryPlan
+from repro.optimizer.selection import SelectionQueryPlan
+from repro.optimizer.exact import ExactQueryPlan
+from repro.optimizer.rules import RuleBasedOptimizer
+
+__all__ = [
+    "PhysicalPlan",
+    "AggregateQueryPlan",
+    "ScrubbingQueryPlan",
+    "SelectionQueryPlan",
+    "ExactQueryPlan",
+    "RuleBasedOptimizer",
+]

@@ -1,0 +1,281 @@
+"""Physical plan for aggregate queries (Algorithm 1 of the paper).
+
+The plan implements the full decision procedure of Section 6:
+
+1. If the query has no error tolerance (or asks for ``COUNT(DISTINCT
+   trackid)``), fall back to exact execution over every frame.
+2. If there is not enough training data for the queried class, run plain
+   adaptive sampling (traditional AQP).
+3. Otherwise train a count-specialized NN on the labeled set and estimate its
+   error on the held-out day with the bootstrap.  If the error satisfies the
+   user's bound at the requested confidence, rewrite the query: run the
+   specialized NN over every unseen frame and return its mean directly.
+4. Otherwise use the specialized NN as a control variate: its expected counts
+   over all unseen frames are the cheap auxiliary variable, and the detector
+   is sampled adaptively until the variance-reduced CLT bound is met.
+
+The :class:`~repro.core.config.AggregateMethod` configuration can force any
+one of these strategies, which is how the benchmark harness produces the
+per-variant series of Figure 4 and Figure 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aqp.control_variates import control_variate_estimate
+from repro.aqp.sampling import adaptive_sample
+from repro.core.config import AggregateMethod
+from repro.core.context import ExecutionContext
+from repro.core.results import AggregateResult
+from repro.errors import PlanningError
+from repro.frameql.analyzer import AggregateQuerySpec
+from repro.metrics.runtime import RuntimeLedger
+from repro.optimizer.base import PhysicalPlan
+from repro.specialization.calibration import (
+    bootstrap_error_estimate,
+    error_within_tolerance,
+)
+from repro.specialization.count_model import CountSpecializedModel
+from repro.tracking.iou_tracker import IoUTracker
+
+
+class AggregateQueryPlan(PhysicalPlan):
+    """Adaptive plan for ``FCOUNT`` / ``COUNT`` aggregate queries."""
+
+    def __init__(self, spec: AggregateQuerySpec) -> None:
+        if spec.object_class is None and spec.aggregate != "count_distinct":
+            raise PlanningError(
+                "aggregate queries must constrain a single object class "
+                "(WHERE class = '<name>')"
+            )
+        self.spec = spec
+
+    def describe(self) -> str:
+        return (
+            f"AggregateQueryPlan(aggregate={self.spec.aggregate}, "
+            f"class={self.spec.object_class}, error={self.spec.error_tolerance})"
+        )
+
+    # -- entry point ---------------------------------------------------------------
+
+    def execute(self, context: ExecutionContext) -> AggregateResult:
+        spec = self.spec
+        ledger = RuntimeLedger()
+        method = context.config.aggregate_method
+
+        if spec.aggregate == "count_distinct":
+            return self._execute_exact(context, ledger)
+        if spec.error_tolerance is None or method == AggregateMethod.EXACT:
+            return self._execute_exact(context, ledger)
+        if method == AggregateMethod.NAIVE_AQP:
+            return self._execute_aqp(context, ledger)
+
+        labeled = context.labeled_set
+        enough_data = (
+            labeled is not None
+            and labeled.training_positives(spec.object_class)
+            >= context.config.min_training_positives
+        )
+        if not enough_data:
+            if method in (
+                AggregateMethod.SPECIALIZED_REWRITE,
+                AggregateMethod.CONTROL_VARIATES,
+            ):
+                raise PlanningError(
+                    f"not enough training data for class {spec.object_class!r} to "
+                    f"force {method.value}; the training day has too few positives"
+                )
+            return self._execute_aqp(context, ledger)
+
+        model = self._train_model(context, ledger)
+        if method == AggregateMethod.SPECIALIZED_REWRITE:
+            return self._execute_rewrite(context, ledger, model)
+        if method == AggregateMethod.CONTROL_VARIATES:
+            return self._execute_control_variates(context, ledger, model)
+
+        # AUTO: Algorithm 1's accuracy gate.
+        if self._rewrite_is_accurate_enough(context, ledger, model):
+            return self._execute_rewrite(context, ledger, model)
+        return self._execute_control_variates(context, ledger, model)
+
+    # -- model training and the accuracy gate --------------------------------------------
+
+    def _train_model(
+        self, context: ExecutionContext, ledger: RuntimeLedger
+    ) -> CountSpecializedModel:
+        labeled = context.require_labeled_set()
+        model = CountSpecializedModel(
+            object_class=self.spec.object_class,
+            model_type=context.config.specialized_model_type,
+            hidden_size=context.config.specialized_hidden_size,
+            training_config=context.config.training,
+            seed=context.config.seed,
+        )
+        training_ledger = ledger if context.config.include_training_time else None
+        model.fit(
+            labeled.train_features,
+            labeled.train_counts(self.spec.object_class),
+            training_ledger,
+        )
+        return model
+
+    def _rewrite_is_accurate_enough(
+        self,
+        context: ExecutionContext,
+        ledger: RuntimeLedger,
+        model: CountSpecializedModel,
+    ) -> bool:
+        labeled = context.require_labeled_set()
+        threshold_ledger = ledger if context.config.include_training_time else None
+        predictions = model.predict_counts(labeled.heldout_features, threshold_ledger)
+        truths = labeled.heldout_counts(self.spec.object_class)
+        errors = bootstrap_error_estimate(
+            predictions, truths, seed=context.config.seed
+        )
+        return error_within_tolerance(
+            errors, self.spec.error_tolerance, self.spec.confidence
+        )
+
+    # -- execution strategies -----------------------------------------------------------
+
+    def _execute_exact(
+        self, context: ExecutionContext, ledger: RuntimeLedger
+    ) -> AggregateResult:
+        object_class = self.spec.object_class
+        num_frames = context.video.num_frames
+        if self.spec.aggregate == "count_distinct":
+            tracker = IoUTracker(iou_threshold=0.7, max_gap=1)
+            results = [
+                context.detect(frame, ledger) for frame in range(num_frames)
+            ]
+            tracks = tracker.resolve(results)
+            if object_class is not None:
+                tracks = [t for t in tracks if t.object_class == object_class]
+            value = float(len(tracks))
+        else:
+            counts = context.detect_counts(
+                np.arange(num_frames), object_class, ledger
+            )
+            value = self._finalize(float(counts.mean()), num_frames)
+        return AggregateResult(
+            kind="aggregate",
+            method="exact",
+            ledger=ledger,
+            detection_calls=ledger.call_count(context.detector.cost.name),
+            plan_description="exact: object detection on every frame",
+            value=value,
+            error_tolerance=self.spec.error_tolerance,
+            confidence=self.spec.confidence,
+            samples_used=num_frames,
+        )
+
+    def _execute_aqp(
+        self, context: ExecutionContext, ledger: RuntimeLedger
+    ) -> AggregateResult:
+        object_class = self.spec.object_class
+        num_frames = context.video.num_frames
+        value_range = self._value_range(context)
+        result = adaptive_sample(
+            sample_fn=lambda idx: context.detect_counts(idx, object_class, ledger),
+            population_size=num_frames,
+            error_tolerance=self.spec.error_tolerance,
+            confidence=self.spec.confidence,
+            value_range=value_range,
+            rng=context.rng,
+        )
+        return AggregateResult(
+            kind="aggregate",
+            method="naive_aqp",
+            ledger=ledger,
+            detection_calls=ledger.call_count(context.detector.cost.name),
+            plan_description=(
+                f"adaptive sampling (epsilon-net start, CLT stop), "
+                f"K={value_range:.0f}"
+            ),
+            value=self._finalize(result.estimate, num_frames),
+            error_tolerance=self.spec.error_tolerance,
+            confidence=self.spec.confidence,
+            samples_used=result.samples_used,
+            half_width=result.half_width,
+        )
+
+    def _execute_rewrite(
+        self,
+        context: ExecutionContext,
+        ledger: RuntimeLedger,
+        model: CountSpecializedModel,
+    ) -> AggregateResult:
+        num_frames = context.video.num_frames
+        features = context.test_features()
+        mean_count = model.mean_count(features, ledger)
+        return AggregateResult(
+            kind="aggregate",
+            method="specialized_rewrite",
+            ledger=ledger,
+            detection_calls=ledger.call_count(context.detector.cost.name),
+            plan_description=(
+                "query rewriting: specialized NN evaluated on every unseen frame"
+            ),
+            value=self._finalize(mean_count, num_frames),
+            error_tolerance=self.spec.error_tolerance,
+            confidence=self.spec.confidence,
+            samples_used=num_frames,
+        )
+
+    def _execute_control_variates(
+        self,
+        context: ExecutionContext,
+        ledger: RuntimeLedger,
+        model: CountSpecializedModel,
+    ) -> AggregateResult:
+        object_class = self.spec.object_class
+        num_frames = context.video.num_frames
+        features = context.test_features()
+        auxiliary = model.expected_counts(features, ledger)
+        value_range = self._value_range(context)
+        result = control_variate_estimate(
+            sample_fn=lambda idx: context.detect_counts(idx, object_class, ledger),
+            auxiliary_values=auxiliary,
+            error_tolerance=self.spec.error_tolerance,
+            confidence=self.spec.confidence,
+            value_range=value_range,
+            rng=context.rng,
+        )
+        return AggregateResult(
+            kind="aggregate",
+            method="control_variates",
+            ledger=ledger,
+            detection_calls=ledger.call_count(context.detector.cost.name),
+            plan_description=(
+                "control variates: specialized NN as the auxiliary variable, "
+                f"correlation={result.correlation:.2f}"
+            ),
+            value=self._finalize(result.estimate, num_frames),
+            error_tolerance=self.spec.error_tolerance,
+            confidence=self.spec.confidence,
+            samples_used=result.samples_used,
+            half_width=result.half_width,
+            correlation=result.correlation,
+        )
+
+    # -- helpers -------------------------------------------------------------------------------
+
+    def _value_range(self, context: ExecutionContext) -> float:
+        """``K``: the range of the per-frame count, from the labeled set."""
+        labeled = context.labeled_set
+        if labeled is not None and self.spec.object_class is not None:
+            train_max = int(labeled.train_counts(self.spec.object_class).max(initial=0))
+            heldout_max = int(
+                labeled.heldout_counts(self.spec.object_class).max(initial=0)
+            )
+            return float(max(train_max, heldout_max) + 1)
+        return 2.0
+
+    def _finalize(self, mean_per_frame: float, num_frames: int) -> float:
+        """Convert the frame-averaged mean to the query's requested statistic."""
+        if self.spec.aggregate in ("fcount", "avg"):
+            return mean_per_frame
+        if self.spec.aggregate == "count":
+            return mean_per_frame * num_frames
+        return mean_per_frame

@@ -1,0 +1,20 @@
+"""Physical plan interface."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.context import ExecutionContext
+from repro.core.results import QueryResult
+
+
+class PhysicalPlan(abc.ABC):
+    """A runnable execution strategy for one query."""
+
+    @abc.abstractmethod
+    def execute(self, context: ExecutionContext) -> QueryResult:
+        """Execute the plan against the unseen video and return the result."""
+
+    def describe(self) -> str:
+        """Human-readable description of the plan."""
+        return type(self).__name__

@@ -1,0 +1,61 @@
+"""Fallback physical plan: exhaustive detection with record materialisation.
+
+Used for queries the rule-based optimizer cannot accelerate (``SELECT *`` with
+no predicates, unrecognised query shapes).  It runs the detector over every
+frame, resolves track identities and materialises every FrameQL record, which
+is exactly the "populate the rows" strategy the paper's optimizations exist to
+avoid — but it is always available and always correct.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import ExecutionContext
+from repro.core.results import ExactResult
+from repro.frameql.analyzer import ExactQuerySpec
+from repro.frameql.schema import FrameRecord
+from repro.metrics.runtime import RuntimeLedger
+from repro.optimizer.base import PhysicalPlan
+from repro.tracking.iou_tracker import IoUTracker
+
+
+class ExactQueryPlan(PhysicalPlan):
+    """Run object detection over every frame and materialise all records."""
+
+    def __init__(self, spec: ExactQuerySpec) -> None:
+        self.spec = spec
+
+    def describe(self) -> str:
+        return f"ExactQueryPlan(reason={self.spec.reason!r})"
+
+    def execute(self, context: ExecutionContext) -> ExactResult:
+        ledger = RuntimeLedger()
+        results = [
+            context.detect(frame_index, ledger)
+            for frame_index in range(context.video.num_frames)
+        ]
+        tracker = IoUTracker(iou_threshold=0.7, max_gap=1)
+        tracks = tracker.resolve(results)
+        records: list[FrameRecord] = []
+        for track in tracks:
+            for det in track.detections:
+                records.append(
+                    FrameRecord(
+                        timestamp=det.timestamp,
+                        frame_index=det.frame_index,
+                        object_class=det.object_class,
+                        mask=det.box,
+                        trackid=track.track_id,
+                        features=det.features,
+                        confidence=det.confidence,
+                        color=det.color,
+                        color_name=det.color_name,
+                    )
+                )
+        return ExactResult(
+            kind="exact",
+            method="exhaustive",
+            ledger=ledger,
+            detection_calls=len(results),
+            plan_description="object detection on every frame, all records materialised",
+            records=records,
+        )

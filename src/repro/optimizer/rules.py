@@ -1,0 +1,73 @@
+"""Rule-based plan selection (Section 5).
+
+The optimizer maps each analyzed query class to its physical plan.  Because
+every specialized NN and filter runs orders of magnitude faster than object
+detection (a 100,000 fps filter "would need to filter 0.003% of the frames to
+be effective"), rules rather than a cost model are sufficient: the plan
+structure follows from the query class and the statistical decisions are made
+inside the plans from held-out data.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanningError, UnknownUDFError
+from repro.frameql.analyzer import (
+    AggregateQuerySpec,
+    ExactQuerySpec,
+    QuerySpec,
+    ScrubbingQuerySpec,
+    SelectionQuerySpec,
+)
+from repro.optimizer.aggregates import AggregateQueryPlan
+from repro.optimizer.base import PhysicalPlan
+from repro.optimizer.exact import ExactQueryPlan
+from repro.optimizer.scrubbing import ScrubbingQueryPlan
+from repro.optimizer.selection import SelectionQueryPlan
+from repro.udf.registry import UDFRegistry
+
+
+class RuleBasedOptimizer:
+    """Chooses a physical plan for an analyzed FrameQL query."""
+
+    def __init__(self, udf_registry: UDFRegistry) -> None:
+        self.udf_registry = udf_registry
+
+    def plan(
+        self,
+        spec: QuerySpec,
+        scrubbing_indexed: bool = False,
+        selection_filter_classes: set[str] | None = None,
+    ) -> PhysicalPlan:
+        """Build the physical plan for ``spec``.
+
+        Parameters
+        ----------
+        spec:
+            Analyzed query specification.
+        scrubbing_indexed:
+            Execute scrubbing queries in the pre-indexed mode (specialized NN
+            training and inference assumed already paid for).
+        selection_filter_classes:
+            Restrict selection plans to a subset of filter classes; used by
+            the factor-analysis / lesion-study benchmarks.
+        """
+        self._validate_udfs(spec)
+        if isinstance(spec, AggregateQuerySpec):
+            return AggregateQueryPlan(spec)
+        if isinstance(spec, ScrubbingQuerySpec):
+            return ScrubbingQueryPlan(spec, indexed=scrubbing_indexed)
+        if isinstance(spec, SelectionQuerySpec):
+            return SelectionQueryPlan(
+                spec, enabled_filter_classes=selection_filter_classes
+            )
+        if isinstance(spec, ExactQuerySpec):
+            return ExactQueryPlan(spec)
+        raise PlanningError(f"no plan rule for query spec of type {type(spec).__name__}")
+
+    def _validate_udfs(self, spec: QuerySpec) -> None:
+        predicates = getattr(spec, "udf_predicates", [])
+        for predicate in predicates:
+            if predicate.udf_name not in self.udf_registry:
+                raise UnknownUDFError(
+                    f"query uses unregistered UDF {predicate.udf_name!r}"
+                )

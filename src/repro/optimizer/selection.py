@@ -1,0 +1,240 @@
+"""Physical plan for content-based selection queries (Section 8).
+
+The plan infers filters from the query and the labeled set, applies them to
+discard irrelevant frames, runs the object detector on the survivors (at a
+cost reduced by any spatial crop), evaluates the object-level predicates
+(class, UDFs, area, spatial position), resolves track identities, applies the
+per-track duration constraint and returns the matching FrameQL records.
+
+Because every candidate frame is verified by the detector, the plan can only
+produce false negatives (a frame wrongly discarded by a filter), never false
+positives — matching the paper's error accounting for these queries.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.context import ExecutionContext
+from repro.core.results import SelectionResult
+from repro.detection.base import Detection, DetectionResult
+from repro.errors import PlanningError
+from repro.frameql.analyzer import SelectionQuerySpec
+from repro.frameql.schema import FrameRecord
+from repro.metrics.runtime import RuntimeLedger
+from repro.optimizer.base import PhysicalPlan
+from repro.selection.filters import TemporalFilter
+from repro.selection.inference import FilterInferenceInputs, infer_selection_plan
+from repro.selection.plan import SelectionPlan
+from repro.tracking.iou_tracker import IoUTracker
+from repro.udf.registry import UDFRegistry
+
+_OP_FUNCS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def detection_matches(
+    detection: Detection, spec: SelectionQuerySpec, udf_registry: UDFRegistry
+) -> bool:
+    """Whether one detection satisfies the query's object-level predicates."""
+    if spec.object_class is not None and detection.object_class != spec.object_class:
+        return False
+    box = detection.box
+    if spec.min_area is not None and box.area <= spec.min_area:
+        return False
+    if spec.max_area is not None and box.area >= spec.max_area:
+        return False
+    for constraint in spec.spatial_constraints:
+        extent = {
+            "xmin": box.x_min,
+            "xmax": box.x_max,
+            "ymin": box.y_min,
+            "ymax": box.y_max,
+        }[constraint.axis]
+        if not _OP_FUNCS[constraint.op](extent, constraint.value):
+            return False
+    for predicate in spec.udf_predicates:
+        udf = udf_registry.get(predicate.udf_name)
+        value = udf.object_fn(detection)
+        if not _OP_FUNCS[predicate.op](value, predicate.value):
+            return False
+    return True
+
+
+class SelectionQueryPlan(PhysicalPlan):
+    """Filter pipeline followed by detection and predicate evaluation."""
+
+    def __init__(
+        self,
+        spec: SelectionQuerySpec,
+        enabled_filter_classes: set[str] | None = None,
+    ) -> None:
+        if spec.object_class is None and not spec.udf_predicates:
+            raise PlanningError(
+                "selection queries need a class predicate or at least one UDF predicate"
+            )
+        self.spec = spec
+        self.enabled_filter_classes = enabled_filter_classes
+
+    def describe(self) -> str:
+        enabled = (
+            sorted(self.enabled_filter_classes)
+            if self.enabled_filter_classes is not None
+            else "all"
+        )
+        return (
+            f"SelectionQueryPlan(class={self.spec.object_class}, "
+            f"udfs={[p.udf_name for p in self.spec.udf_predicates]}, "
+            f"filters={enabled})"
+        )
+
+    # -- execution --------------------------------------------------------------------
+
+    def execute(self, context: ExecutionContext) -> SelectionResult:
+        ledger = RuntimeLedger()
+        plan = self._build_filter_plan(context, ledger)
+
+        all_frames = np.arange(context.video.num_frames, dtype=np.int64)
+        surviving = plan.apply(context.video, all_frames, ledger)
+
+        cost_scale = plan.detection_cost_scale
+        frame_results: list[DetectionResult] = []
+        for frame_index in surviving:
+            frame_results.append(
+                context.detect(int(frame_index), ledger, cost_scale=cost_scale)
+            )
+
+        records, matched_frames = self._evaluate_predicates(
+            context, frame_results, plan
+        )
+        return SelectionResult(
+            kind="selection",
+            method="filtered" if plan.filters else "exhaustive",
+            ledger=ledger,
+            detection_calls=len(frame_results),
+            plan_description=plan.describe(),
+            records=records,
+            matched_frames=sorted(matched_frames),
+            frames_scanned=int(all_frames.size),
+            frames_after_filters=int(surviving.size),
+        )
+
+    # -- filter inference ----------------------------------------------------------------
+
+    def _build_filter_plan(
+        self, context: ExecutionContext, ledger: RuntimeLedger
+    ) -> SelectionPlan:
+        if self.enabled_filter_classes is not None and not self.enabled_filter_classes:
+            return SelectionPlan()
+        labeled = context.labeled_set
+        if labeled is None:
+            # No labeled set: only query-derived (temporal/spatial) filters can
+            # be inferred, and only when explicitly enabled.
+            return SelectionPlan()
+        inputs = self._inference_inputs(context)
+        training_ledger = ledger if context.config.include_training_time else None
+        return infer_selection_plan(
+            spec=self.spec,
+            unseen_video=context.video,
+            inputs=inputs,
+            ledger=training_ledger,
+            training_config=context.config.training,
+            enabled_filter_classes=self.enabled_filter_classes,
+            model_type=context.config.specialized_model_type,
+        )
+
+    def _inference_inputs(self, context: ExecutionContext) -> FilterInferenceInputs:
+        labeled = context.require_labeled_set()
+        object_class = self.spec.object_class
+        if object_class is not None:
+            train_presence = labeled.train_presence(object_class)
+            heldout_presence = labeled.heldout_presence(object_class)
+        else:
+            train_presence = np.ones(labeled.train_video.num_frames, dtype=bool)
+            heldout_presence = np.ones(labeled.heldout_video.num_frames, dtype=bool)
+        heldout_positive_mask = self._heldout_positive_mask(context)
+        return FilterInferenceInputs(
+            train_video=labeled.train_video,
+            heldout_video=labeled.heldout_video,
+            train_features=labeled.train_features,
+            heldout_features=labeled.heldout_features,
+            train_presence=train_presence,
+            heldout_presence=heldout_presence,
+            heldout_positive_mask=heldout_positive_mask,
+        )
+
+    def _heldout_positive_mask(self, context: ExecutionContext) -> np.ndarray:
+        """Held-out frames whose recorded detections satisfy the full predicate."""
+        labeled = context.require_labeled_set()
+        recorded = labeled.heldout_recorded
+        mask = np.zeros(recorded.num_frames, dtype=bool)
+        for frame_index in range(recorded.num_frames):
+            result = recorded.result(frame_index)
+            mask[frame_index] = any(
+                detection_matches(det, self.spec, context.udf_registry)
+                for det in result.detections
+            )
+        return mask
+
+    # -- predicate evaluation -----------------------------------------------------------------
+
+    def _subsample_step(self, plan: SelectionPlan) -> int:
+        for filter_ in plan.filters:
+            if isinstance(filter_, TemporalFilter):
+                return filter_.subsample_step
+        return 1
+
+    def _evaluate_predicates(
+        self,
+        context: ExecutionContext,
+        frame_results: list[DetectionResult],
+        plan: SelectionPlan,
+    ) -> tuple[list[FrameRecord], set[int]]:
+        spec = self.spec
+        step = self._subsample_step(plan)
+
+        # Resolve track identities over the processed frames.  A looser IoU
+        # threshold is used when frames were subsampled, since objects move
+        # further between processed frames.
+        iou_threshold = 0.7 if step == 1 else 0.3
+        tracker = IoUTracker(iou_threshold=iou_threshold, max_gap=max(1, step))
+        tracks = tracker.resolve(frame_results)
+
+        min_detections = 1
+        if spec.min_track_frames is not None:
+            min_detections = max(1, math.ceil(spec.min_track_frames / step))
+
+        records: list[FrameRecord] = []
+        matched_frames: set[int] = set()
+        for track in tracks:
+            matching = [
+                det
+                for det in track.detections
+                if detection_matches(det, spec, context.udf_registry)
+            ]
+            if len(matching) < min_detections:
+                continue
+            for det in matching:
+                records.append(
+                    FrameRecord(
+                        timestamp=det.timestamp,
+                        frame_index=det.frame_index,
+                        object_class=det.object_class,
+                        mask=det.box,
+                        trackid=track.track_id,
+                        features=det.features,
+                        confidence=det.confidence,
+                        color=det.color,
+                        color_name=det.color_name,
+                    )
+                )
+                matched_frames.add(det.frame_index)
+        return records, matched_frames

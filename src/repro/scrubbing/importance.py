@@ -1,0 +1,98 @@
+"""Importance-sampling scrubbing using specialized-NN confidences.
+
+The planner of Section 7.1: label every frame with the specialized NN
+(cheap), rank frames by the conjunction score, and run the object detector
+down the ranking until the requested number of *verified* frames is found.
+Only true positives are ever returned because every candidate is verified by
+the full detector; the ``GAP`` constraint is enforced on the verified frames.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ScrubbingResult:
+    """Result of a scrubbing run.
+
+    Attributes
+    ----------
+    frames:
+        Frame indices returned to the user (all verified true positives).
+    detection_calls:
+        Number of full object-detection invocations spent.
+    frames_examined:
+        Number of candidate frames considered (same as ``detection_calls`` for
+        detector-verified strategies).
+    satisfied:
+        Whether the requested limit was reached before candidates ran out.
+    """
+
+    frames: list[int] = field(default_factory=list)
+    detection_calls: int = 0
+    frames_examined: int = 0
+    satisfied: bool = False
+
+
+def _respects_gap(frame: int, accepted: list[int], gap: int) -> bool:
+    if gap <= 0:
+        return True
+    return all(abs(frame - other) >= gap for other in accepted)
+
+
+def scrub_ordered(
+    candidate_order: np.ndarray | list[int],
+    verify_fn: Callable[[int], bool],
+    limit: int,
+    gap: int = 0,
+) -> ScrubbingResult:
+    """Walk candidate frames in the given order, verifying each with the detector.
+
+    This is the shared engine behind the importance-ranked strategy and all
+    baselines; they differ only in the order of ``candidate_order``.
+    """
+    if limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    result = ScrubbingResult()
+    for frame in candidate_order:
+        frame = int(frame)
+        if not _respects_gap(frame, result.frames, gap):
+            continue
+        result.detection_calls += 1
+        result.frames_examined += 1
+        if verify_fn(frame):
+            result.frames.append(frame)
+            if len(result.frames) >= limit:
+                result.satisfied = True
+                break
+    return result
+
+
+def importance_scrub(
+    scores: np.ndarray,
+    verify_fn: Callable[[int], bool],
+    limit: int,
+    gap: int = 0,
+) -> ScrubbingResult:
+    """Scrub by descending specialized-NN score.
+
+    Parameters
+    ----------
+    scores:
+        Per-frame conjunction scores from the specialized NN (higher means
+        more likely to satisfy the predicate).
+    verify_fn:
+        Runs the full detector on one frame and returns whether the frame
+        truly satisfies the predicate.
+    limit:
+        Number of verified frames requested (``LIMIT``).
+    gap:
+        Minimum distance between returned frames (``GAP``).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    order = np.argsort(-scores, kind="stable")
+    return scrub_ordered(order, verify_fn, limit, gap)

@@ -1,0 +1,31 @@
+"""Content-based selection (Section 8).
+
+Selection queries need the object detector to produce masks, so the
+optimization is to discard irrelevant frames *before* detection using four
+classes of inferred filters: label-based, content-based, temporal and spatial.
+Filter types and parameters are inferred automatically from the FrameQL query
+and the labeled/held-out data.
+"""
+
+from repro.selection.filters import (
+    ContentFilter,
+    FrameFilter,
+    LabelFilter,
+    SpatialFilter,
+    TemporalFilter,
+    feature_level_score,
+)
+from repro.selection.plan import SelectionPlan
+from repro.selection.inference import FilterInferenceInputs, infer_selection_plan
+
+__all__ = [
+    "FrameFilter",
+    "LabelFilter",
+    "ContentFilter",
+    "TemporalFilter",
+    "SpatialFilter",
+    "feature_level_score",
+    "SelectionPlan",
+    "FilterInferenceInputs",
+    "infer_selection_plan",
+]

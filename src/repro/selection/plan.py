@@ -1,0 +1,76 @@
+"""Selection plans: an ordered pipeline of filters followed by detection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.runtime import RuntimeLedger
+from repro.selection.filters import FrameFilter
+from repro.video.synthetic import SyntheticVideo
+
+
+@dataclass
+class SelectionPlan:
+    """An ordered filter pipeline and the detection cost scale it implies.
+
+    Filters are applied in order; the surviving frames are handed to the
+    object detector.  Spatial filters contribute a multiplicative reduction of
+    detection cost (cropping/resizing) rather than pruning frames.
+    """
+
+    filters: list[FrameFilter] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def detection_cost_scale(self) -> float:
+        """Combined detection cost multiplier from all (spatial) filters."""
+        scale = 1.0
+        for filter_ in self.filters:
+            scale *= filter_.detection_cost_scale
+        return scale
+
+    def filter_classes(self) -> list[str]:
+        """The classes of the filters in the plan, in order."""
+        return [filter_.filter_class for filter_ in self.filters]
+
+    def without(self, filter_class: str) -> "SelectionPlan":
+        """A copy of the plan with one filter class removed (lesion study)."""
+        return SelectionPlan(
+            filters=[f for f in self.filters if f.filter_class != filter_class],
+            notes=self.notes + [f"removed {filter_class} filters"],
+        )
+
+    def restricted_to(self, filter_classes: list[str]) -> "SelectionPlan":
+        """A copy keeping only the listed filter classes (factor analysis)."""
+        keep = set(filter_classes)
+        return SelectionPlan(
+            filters=[f for f in self.filters if f.filter_class in keep],
+            notes=self.notes + [f"restricted to {sorted(keep)}"],
+        )
+
+    def apply(
+        self,
+        video: SyntheticVideo,
+        frame_indices: np.ndarray | None = None,
+        ledger: RuntimeLedger | None = None,
+    ) -> np.ndarray:
+        """Run every filter in order and return the surviving frame indices."""
+        if frame_indices is None:
+            frame_indices = np.arange(video.num_frames, dtype=np.int64)
+        surviving = np.asarray(frame_indices, dtype=np.int64)
+        for filter_ in self.filters:
+            surviving = filter_.apply(video, surviving, ledger)
+            if surviving.size == 0:
+                break
+        return surviving
+
+    def describe(self) -> str:
+        """Human-readable one-line description of the plan."""
+        if not self.filters:
+            return "no filters (detect every frame)"
+        parts = [
+            f"{filter_.filter_class}:{filter_.name}" for filter_ in self.filters
+        ]
+        return " -> ".join(parts) + f" -> detect (cost x{self.detection_cost_scale:.2f})"

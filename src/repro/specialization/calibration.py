@@ -1,0 +1,134 @@
+"""Threshold calibration and error estimation on the held-out set.
+
+Two pieces of the paper's statistical machinery live here:
+
+* :func:`calibrate_no_false_negative_threshold` — filters in content-based
+  selection are "set to have no false negatives on the held-out set"
+  (Section 8); the calibrated threshold is the largest score cut-off that
+  still passes every positive held-out frame.
+* :func:`bootstrap_error_estimate` — the aggregation optimizer "estimates the
+  error of the specialized NN on a held-out set using the bootstrap"
+  (Section 6.2) before deciding whether query rewriting is safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ThresholdCalibration:
+    """Result of calibrating a score threshold on the held-out set."""
+
+    threshold: float
+    selectivity: float
+    positives: int
+    false_negatives: int
+
+
+def calibrate_no_false_negative_threshold(
+    scores: np.ndarray,
+    is_positive: np.ndarray,
+    margin: float = 1e-9,
+) -> ThresholdCalibration:
+    """Choose the largest threshold with zero false negatives on held-out data.
+
+    Parameters
+    ----------
+    scores:
+        Filter scores per held-out frame (higher means "more likely relevant").
+    is_positive:
+        Boolean mask of frames that truly satisfy the predicate.
+    margin:
+        Small slack subtracted from the minimum positive score so that
+        borderline positives still pass on unseen data.
+
+    Returns
+    -------
+    ThresholdCalibration
+        The threshold, the fraction of held-out frames that pass it
+        (selectivity), the number of positives and the number of false
+        negatives at the chosen threshold (zero by construction when any
+        positive exists).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    is_positive = np.asarray(is_positive, dtype=bool)
+    if scores.shape[0] != is_positive.shape[0]:
+        raise ValueError(
+            f"score/label length mismatch: {scores.shape[0]} vs {is_positive.shape[0]}"
+        )
+    if scores.size == 0:
+        return ThresholdCalibration(
+            threshold=float("-inf"), selectivity=1.0, positives=0, false_negatives=0
+        )
+    if not is_positive.any():
+        # No positive examples: any threshold is "no false negatives"; pass
+        # everything so the filter is a no-op rather than silently wrong.
+        return ThresholdCalibration(
+            threshold=float("-inf"),
+            selectivity=1.0,
+            positives=0,
+            false_negatives=0,
+        )
+    threshold = float(scores[is_positive].min()) - margin
+    passed = scores >= threshold
+    false_negatives = int(np.sum(is_positive & ~passed))
+    return ThresholdCalibration(
+        threshold=threshold,
+        selectivity=float(np.mean(passed)),
+        positives=int(is_positive.sum()),
+        false_negatives=false_negatives,
+    )
+
+
+def bootstrap_error_estimate(
+    predictions: np.ndarray,
+    truths: np.ndarray,
+    n_bootstrap: int = 200,
+    seed: int = 0,
+) -> np.ndarray:
+    """Bootstrap distribution of the absolute error of the mean.
+
+    Resamples held-out frames with replacement; each resample yields one
+    absolute difference between the mean prediction and the mean truth.  The
+    caller compares a quantile of this distribution against the user's error
+    tolerance.
+    """
+    predictions = np.asarray(predictions, dtype=np.float64)
+    truths = np.asarray(truths, dtype=np.float64)
+    if predictions.shape[0] != truths.shape[0]:
+        raise ValueError(
+            f"prediction/truth length mismatch: {predictions.shape[0]} vs {truths.shape[0]}"
+        )
+    if predictions.size == 0:
+        raise ValueError("cannot bootstrap from zero held-out frames")
+    if n_bootstrap < 1:
+        raise ValueError(f"n_bootstrap must be >= 1, got {n_bootstrap}")
+    rng = np.random.default_rng(seed)
+    n = predictions.shape[0]
+    errors = np.empty(n_bootstrap, dtype=np.float64)
+    for i in range(n_bootstrap):
+        idx = rng.integers(0, n, size=n)
+        errors[i] = abs(float(predictions[idx].mean()) - float(truths[idx].mean()))
+    return errors
+
+
+def error_within_tolerance(
+    bootstrap_errors: np.ndarray, tolerance: float, confidence: float
+) -> bool:
+    """Whether the bootstrap error distribution satisfies the user's bound.
+
+    ``True`` when the ``confidence`` quantile of the bootstrap errors is below
+    ``tolerance`` — i.e. ``P(error < tolerance) >= confidence`` in the
+    notation of Algorithm 1.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    errors = np.asarray(bootstrap_errors, dtype=np.float64)
+    if errors.size == 0:
+        return False
+    return float(np.quantile(errors, confidence)) < tolerance

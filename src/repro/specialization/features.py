@@ -1,0 +1,47 @@
+"""Feature preparation for specialized models.
+
+Specialized NNs consume the cheap per-frame features produced by the video
+substrate (grid colour / occupancy summaries).  The scaler standardises them
+to zero mean and unit variance using statistics from the *training* split
+only, mirroring the ImageNet normalisation step of Section 9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FeatureScaler:
+    """Standardise features to zero mean / unit variance."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self.mean_ is not None
+
+    def fit(self, features: np.ndarray) -> "FeatureScaler":
+        """Compute per-dimension mean and standard deviation."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError(f"expected a 2-D feature matrix, got shape {features.shape}")
+        self.mean_ = features.mean(axis=0)
+        std = features.std(axis=0)
+        # Guard constant dimensions against division by zero.
+        std[std < 1e-8] = 1.0
+        self.std_ = std
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the standardisation learned by :meth:`fit`."""
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("FeatureScaler.transform called before fit")
+        features = np.asarray(features, dtype=np.float64)
+        return (features - self.mean_) / self.std_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit the scaler and transform the same matrix."""
+        return self.fit(features).transform(features)

@@ -1,0 +1,172 @@
+"""Small classification models used as specialized NNs.
+
+Two architectures are provided:
+
+* :class:`SoftmaxRegression` — a linear softmax classifier; the default
+  specialized model.  It is the numpy stand-in for the paper's "tiny ResNet":
+  cheap, trainable in one pass, and correlated with (but not equal to) the
+  detector's output.
+* :class:`TinyMLP` — a one-hidden-layer MLP with ReLU activations, used by the
+  capacity ablation.
+
+Both are trained with minibatch SGD with momentum and cross-entropy loss
+(matching Section 9's training recipe) via :func:`repro.specialization.trainer.
+train_classifier`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def _one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    out = np.zeros((labels.shape[0], n_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+class SoftmaxRegression:
+    """Linear softmax classifier trained with SGD + momentum."""
+
+    def __init__(self, n_features: int, n_classes: int, seed: int = 0) -> None:
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+        rng = np.random.default_rng(seed)
+        self.n_features = n_features
+        self.n_classes = n_classes
+        self.weights = rng.normal(0.0, 0.01, size=(n_features, n_classes))
+        self.bias = np.zeros(n_classes)
+        self._velocity_w = np.zeros_like(self.weights)
+        self._velocity_b = np.zeros_like(self.bias)
+
+    def predict_logits(self, features: np.ndarray) -> np.ndarray:
+        """Raw class scores for a batch of feature vectors."""
+        return features @ self.weights + self.bias
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities for a batch of feature vectors."""
+        return _softmax(self.predict_logits(features))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Most probable class index for each feature vector."""
+        return np.argmax(self.predict_logits(features), axis=-1)
+
+    def loss(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy loss on a batch."""
+        proba = self.predict_proba(features)
+        picked = proba[np.arange(labels.shape[0]), labels]
+        return float(-np.mean(np.log(np.maximum(picked, 1e-12))))
+
+    def sgd_step(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        learning_rate: float,
+        momentum: float,
+        weight_decay: float = 0.0,
+    ) -> float:
+        """One SGD-with-momentum update on a minibatch; returns the batch loss."""
+        batch_size = features.shape[0]
+        proba = self.predict_proba(features)
+        targets = _one_hot(labels, self.n_classes)
+        error = (proba - targets) / batch_size
+        grad_w = features.T @ error + weight_decay * self.weights
+        grad_b = error.sum(axis=0)
+        self._velocity_w = momentum * self._velocity_w - learning_rate * grad_w
+        self._velocity_b = momentum * self._velocity_b - learning_rate * grad_b
+        self.weights += self._velocity_w
+        self.bias += self._velocity_b
+        picked = proba[np.arange(batch_size), labels]
+        return float(-np.mean(np.log(np.maximum(picked, 1e-12))))
+
+
+class TinyMLP:
+    """One-hidden-layer MLP classifier trained with SGD + momentum."""
+
+    def __init__(
+        self, n_features: int, n_classes: int, hidden_size: int = 32, seed: int = 0
+    ) -> None:
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+        if hidden_size < 1:
+            raise ValueError(f"hidden_size must be >= 1, got {hidden_size}")
+        rng = np.random.default_rng(seed)
+        self.n_features = n_features
+        self.n_classes = n_classes
+        self.hidden_size = hidden_size
+        scale1 = np.sqrt(2.0 / n_features)
+        scale2 = np.sqrt(2.0 / hidden_size)
+        self.w1 = rng.normal(0.0, scale1, size=(n_features, hidden_size))
+        self.b1 = np.zeros(hidden_size)
+        self.w2 = rng.normal(0.0, scale2, size=(hidden_size, n_classes))
+        self.b2 = np.zeros(n_classes)
+        self._vel = {
+            "w1": np.zeros_like(self.w1),
+            "b1": np.zeros_like(self.b1),
+            "w2": np.zeros_like(self.w2),
+            "b2": np.zeros_like(self.b2),
+        }
+
+    def _forward(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        hidden = np.maximum(features @ self.w1 + self.b1, 0.0)
+        logits = hidden @ self.w2 + self.b2
+        return hidden, logits
+
+    def predict_logits(self, features: np.ndarray) -> np.ndarray:
+        """Raw class scores for a batch of feature vectors."""
+        _, logits = self._forward(features)
+        return logits
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities for a batch of feature vectors."""
+        return _softmax(self.predict_logits(features))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Most probable class index for each feature vector."""
+        return np.argmax(self.predict_logits(features), axis=-1)
+
+    def loss(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy loss on a batch."""
+        proba = self.predict_proba(features)
+        picked = proba[np.arange(labels.shape[0]), labels]
+        return float(-np.mean(np.log(np.maximum(picked, 1e-12))))
+
+    def sgd_step(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        learning_rate: float,
+        momentum: float,
+        weight_decay: float = 0.0,
+    ) -> float:
+        """One SGD-with-momentum update on a minibatch; returns the batch loss."""
+        batch_size = features.shape[0]
+        hidden, logits = self._forward(features)
+        proba = _softmax(logits)
+        targets = _one_hot(labels, self.n_classes)
+        error = (proba - targets) / batch_size
+
+        grad_w2 = hidden.T @ error + weight_decay * self.w2
+        grad_b2 = error.sum(axis=0)
+        grad_hidden = error @ self.w2.T
+        grad_hidden[hidden <= 0.0] = 0.0
+        grad_w1 = features.T @ grad_hidden + weight_decay * self.w1
+        grad_b1 = grad_hidden.sum(axis=0)
+
+        updates = {"w1": grad_w1, "b1": grad_b1, "w2": grad_w2, "b2": grad_b2}
+        for name, grad in updates.items():
+            self._vel[name] = momentum * self._vel[name] - learning_rate * grad
+        self.w1 += self._vel["w1"]
+        self.b1 += self._vel["b1"]
+        self.w2 += self._vel["w2"]
+        self.b2 += self._vel["b2"]
+
+        picked = proba[np.arange(batch_size), labels]
+        return float(-np.mean(np.log(np.maximum(picked, 1e-12))))

@@ -1,0 +1,6 @@
+"""Entity resolution substrate: assigning ``trackid`` across frames."""
+
+from repro.tracking.track import ResolvedTrack
+from repro.tracking.iou_tracker import IoUTracker
+
+__all__ = ["ResolvedTrack", "IoUTracker"]

@@ -1,0 +1,108 @@
+"""Motion-IoU entity resolution.
+
+The paper's default implementation for computing ``trackid`` (Section 9):
+given the objects in two consecutive frames, compute the pairwise IoU of each
+object and call an object the same across consecutive frames when the IoU is
+at least 0.7.  The tracker is greedy (highest IoU pair first), matches within
+a class only, and closes a track when it goes unmatched for more than
+``max_gap`` consecutive processed frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detection.base import Detection, DetectionResult
+from repro.tracking.track import ResolvedTrack
+
+
+@dataclass
+class _ActiveTrack:
+    track: ResolvedTrack
+    last_detection: Detection
+    last_frame: int
+
+
+class IoUTracker:
+    """Greedy IoU matching across consecutive processed frames."""
+
+    def __init__(self, iou_threshold: float = 0.7, max_gap: int = 1) -> None:
+        if not 0.0 < iou_threshold <= 1.0:
+            raise ValueError(f"iou_threshold must be in (0, 1], got {iou_threshold}")
+        if max_gap < 1:
+            raise ValueError(f"max_gap must be >= 1, got {max_gap}")
+        self.iou_threshold = iou_threshold
+        self.max_gap = max_gap
+        self._active: list[_ActiveTrack] = []
+        self._finished: list[ResolvedTrack] = []
+        self._next_track_id = 0
+
+    def reset(self) -> None:
+        """Discard all state so the tracker can be reused on another video."""
+        self._active.clear()
+        self._finished.clear()
+        self._next_track_id = 0
+
+    def process(self, result: DetectionResult) -> None:
+        """Feed one frame's detections to the tracker.
+
+        Frames must be fed in increasing frame-index order.
+        """
+        frame_index = result.frame_index
+        self._retire_stale(frame_index)
+        unmatched = list(result.detections)
+        # Build all candidate (iou, active, detection) pairs and match greedily.
+        candidates: list[tuple[float, _ActiveTrack, Detection]] = []
+        for active in self._active:
+            for det in unmatched:
+                if det.object_class != active.track.object_class:
+                    continue
+                iou = det.box.iou(active.last_detection.box)
+                if iou >= self.iou_threshold:
+                    candidates.append((iou, active, det))
+        candidates.sort(key=lambda item: item[0], reverse=True)
+        matched_tracks: set[int] = set()
+        matched_detections: set[int] = set()
+        for iou, active, det in candidates:
+            if id(active) in matched_tracks or id(det) in matched_detections:
+                continue
+            active.track.add(det)
+            active.last_detection = det
+            active.last_frame = frame_index
+            matched_tracks.add(id(active))
+            matched_detections.add(id(det))
+        for det in unmatched:
+            if id(det) in matched_detections:
+                continue
+            track = ResolvedTrack(
+                track_id=self._next_track_id, object_class=det.object_class
+            )
+            self._next_track_id += 1
+            track.add(det)
+            self._active.append(
+                _ActiveTrack(track=track, last_detection=det, last_frame=frame_index)
+            )
+
+    def _retire_stale(self, current_frame: int) -> None:
+        still_active = []
+        for active in self._active:
+            if current_frame - active.last_frame > self.max_gap:
+                self._finished.append(active.track)
+            else:
+                still_active.append(active)
+        self._active = still_active
+
+    def finish(self) -> list[ResolvedTrack]:
+        """Close all open tracks and return every resolved track."""
+        self._finished.extend(active.track for active in self._active)
+        self._active.clear()
+        tracks = sorted(self._finished, key=lambda t: t.track_id)
+        self._finished = list(tracks)
+        return tracks
+
+    def resolve(self, results: list[DetectionResult]) -> list[ResolvedTrack]:
+        """Convenience: feed a list of frame results in order and finish."""
+        self.reset()
+        for result in sorted(results, key=lambda r: r.frame_index):
+            self.process(result)
+        return self.finish()

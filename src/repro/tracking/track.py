@@ -1,0 +1,41 @@
+"""Resolved tracks produced by entity resolution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detection.base import Detection
+
+
+@dataclass
+class ResolvedTrack:
+    """A group of detections the tracker considers the same object.
+
+    ``trackid`` in the FrameQL schema (Table 1): "a unique identifier for a
+    continuous time segment when the object is visible.  If the object exists
+    and re-enters the scene, it will be assigned a new trackid."
+    """
+
+    track_id: int
+    object_class: str
+    detections: list[Detection] = field(default_factory=list)
+
+    @property
+    def start_frame(self) -> int:
+        """First frame index of the track."""
+        return min(d.frame_index for d in self.detections)
+
+    @property
+    def end_frame(self) -> int:
+        """Last frame index of the track (inclusive)."""
+        return max(d.frame_index for d in self.detections)
+
+    @property
+    def length(self) -> int:
+        """Number of detections grouped into this track."""
+        return len(self.detections)
+
+    def add(self, detection: Detection) -> None:
+        """Append a detection, stamping it with this track's id."""
+        detection.track_id = self.track_id
+        self.detections.append(detection)

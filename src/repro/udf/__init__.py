@@ -1,0 +1,20 @@
+"""User-defined functions over box contents (Section 3).
+
+UDFs accept an object's content (in this reproduction, its observed colour and
+geometry) and return a value used in predicates, e.g. ``redness(content) >=
+17.5``.  The registry lets users add their own UDFs, as the paper's
+configurability section describes.
+"""
+
+from repro.udf.registry import UDF, UDFRegistry, default_udf_registry
+from repro.udf.builtin import area, blueness, brightness, redness
+
+__all__ = [
+    "UDF",
+    "UDFRegistry",
+    "default_udf_registry",
+    "redness",
+    "blueness",
+    "brightness",
+    "area",
+]

@@ -1,0 +1,84 @@
+"""UDF registry.
+
+The selection optimizer needs to know two things about a UDF beyond its
+callable: whether it returns a continuous value (only continuous UDFs can be
+turned into frame-level filters, Section 8.1) and how to evaluate it at the
+*frame* level rather than the object level (so it can be used to discard whole
+frames before detection).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.errors import UnknownUDFError
+
+
+@dataclass(frozen=True)
+class UDF:
+    """A registered user-defined function.
+
+    Parameters
+    ----------
+    name:
+        Name used in FrameQL queries.
+    object_fn:
+        Callable evaluated per object; receives a
+        :class:`~repro.frameql.schema.FrameRecord`-like object exposing
+        ``color`` and ``mask``.
+    frame_fn:
+        Optional callable evaluated per frame (receives a
+        :class:`~repro.video.frame.Frame`); used for frame-level filtering.
+        ``None`` when the UDF is meaningless at the frame level.
+    continuous:
+        Whether the UDF returns a continuous value.  Only continuous UDFs can
+        be inferred as content filters.
+    """
+
+    name: str
+    object_fn: Callable
+    frame_fn: Callable | None = None
+    continuous: bool = True
+
+    def __call__(self, record):
+        return self.object_fn(record)
+
+
+class UDFRegistry:
+    """Maps UDF names to their implementations."""
+
+    def __init__(self) -> None:
+        self._udfs: dict[str, UDF] = {}
+
+    def register(self, udf: UDF) -> None:
+        """Register (or replace) a UDF."""
+        self._udfs[udf.name.lower()] = udf
+
+    def get(self, name: str) -> UDF:
+        """Look up a UDF by name (case-insensitive)."""
+        try:
+            return self._udfs[name.lower()]
+        except KeyError as exc:
+            available = ", ".join(sorted(self._udfs)) or "<none>"
+            raise UnknownUDFError(
+                f"UDF {name!r} is not registered (available: {available})"
+            ) from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._udfs
+
+    def names(self) -> list[str]:
+        """All registered UDF names."""
+        return sorted(self._udfs)
+
+
+def default_udf_registry() -> UDFRegistry:
+    """Registry pre-populated with the built-in UDFs used in the paper."""
+    # Imported here to avoid a circular import at module load time.
+    from repro.udf import builtin
+
+    registry = UDFRegistry()
+    for udf in builtin.BUILTIN_UDFS:
+        registry.register(udf)
+    return registry

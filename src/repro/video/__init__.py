@@ -1,0 +1,31 @@
+"""Synthetic video substrate.
+
+The paper evaluates on six YouTube webcam streams (Table 3).  This package
+replaces the raw video with a generative scene model that produces the same
+*statistics* the optimizations depend on: object tracks with class, bounding
+box, colour and dwell time, parameterised per scenario to match the paper's
+occupancy / duration / distinct-count figures.
+"""
+
+from repro.video.geometry import BoundingBox, Point
+from repro.video.frame import Frame, GroundTruthObject
+from repro.video.synthetic import SyntheticVideo, Track, VideoSpec
+from repro.video.scenarios import SCENARIOS, ScenarioSpec, generate_scenario, list_scenarios
+from repro.video.store import VideoStore
+from repro.video.codec import DecodeCostModel
+
+__all__ = [
+    "BoundingBox",
+    "Point",
+    "Frame",
+    "GroundTruthObject",
+    "SyntheticVideo",
+    "Track",
+    "VideoSpec",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "generate_scenario",
+    "list_scenarios",
+    "VideoStore",
+    "DecodeCostModel",
+]

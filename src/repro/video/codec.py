@@ -1,0 +1,43 @@
+"""Simulated video decode cost model.
+
+The paper excludes decode time from its throughput measurements (Section
+10.1), but decoding is still part of the ingestion pipeline (Section 9), so
+the reproduction models it explicitly and excludes it from the same reported
+numbers.  Decode cost scales with resolution relative to 720p.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.runtime import OperatorCost, RuntimeLedger, StandardCosts
+
+
+@dataclass(frozen=True)
+class DecodeCostModel:
+    """Per-frame decode cost as a function of resolution.
+
+    Parameters
+    ----------
+    base_cost:
+        Decode cost for a 720p frame.
+    reference_pixels:
+        Pixel count the base cost refers to (1280x720 by default).
+    """
+
+    base_cost: OperatorCost = StandardCosts.VIDEO_DECODE
+    reference_pixels: int = 1280 * 720
+
+    def cost_for_resolution(self, width: int, height: int) -> OperatorCost:
+        """Decode cost for a frame of the given resolution."""
+        scale = (width * height) / self.reference_pixels
+        return OperatorCost(
+            name=self.base_cost.name,
+            seconds_per_call=self.base_cost.seconds_per_call * scale,
+        )
+
+    def charge_decode(
+        self, ledger: RuntimeLedger, width: int, height: int, num_frames: int
+    ) -> float:
+        """Charge the decode cost of ``num_frames`` frames to a ledger."""
+        return ledger.charge(self.cost_for_resolution(width, height), num_frames)

@@ -1,0 +1,84 @@
+"""Video store: named access to registered videos.
+
+The store plays the role of the paper's OpenCV ingestion layer (Section 9):
+it hands out frames and per-frame features, charging decode cost to a runtime
+ledger when one is supplied.  FrameQL queries reference videos by name
+(``FROM taipei``); the store is where those names are resolved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import UnknownVideoError
+from repro.metrics.runtime import RuntimeLedger
+from repro.video.codec import DecodeCostModel
+from repro.video.frame import Frame
+from repro.video.synthetic import SyntheticVideo
+
+
+class VideoStore:
+    """Registry of videos addressable by name."""
+
+    def __init__(self, decode_model: DecodeCostModel | None = None) -> None:
+        self._videos: dict[str, SyntheticVideo] = {}
+        self._decode_model = decode_model or DecodeCostModel()
+
+    def register(self, name: str, video: SyntheticVideo) -> None:
+        """Register a video under ``name``, replacing any previous entry."""
+        self._videos[name] = video
+
+    def unregister(self, name: str) -> None:
+        """Remove a video from the store."""
+        self._videos.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._videos
+
+    def names(self) -> list[str]:
+        """Names of all registered videos."""
+        return sorted(self._videos)
+
+    def get(self, name: str) -> SyntheticVideo:
+        """Look up a video by name."""
+        try:
+            return self._videos[name]
+        except KeyError as exc:
+            available = ", ".join(self.names()) or "<none>"
+            raise UnknownVideoError(
+                f"video {name!r} is not registered (available: {available})"
+            ) from exc
+
+    def get_frame(
+        self,
+        name: str,
+        frame_index: int,
+        ledger: RuntimeLedger | None = None,
+        with_features: bool = False,
+    ) -> Frame:
+        """Fetch one decoded frame, charging decode cost if a ledger is given."""
+        video = self.get(name)
+        if ledger is not None:
+            self._decode_model.charge_decode(
+                ledger, video.spec.width, video.spec.height, 1
+            )
+        return video.get_frame(frame_index, with_features=with_features)
+
+    def frame_features(
+        self,
+        name: str,
+        frame_indices: np.ndarray | list[int],
+        ledger: RuntimeLedger | None = None,
+    ) -> np.ndarray:
+        """Fetch cheap features for many frames, charging decode cost once per frame."""
+        video = self.get(name)
+        indices = np.asarray(frame_indices, dtype=np.int64)
+        if ledger is not None:
+            self._decode_model.charge_decode(
+                ledger, video.spec.width, video.spec.height, int(indices.size)
+            )
+        return video.frame_features(indices)
+
+    def num_frames(self, name: str) -> int:
+        """Number of frames in a registered video."""
+        return self.get(name).num_frames

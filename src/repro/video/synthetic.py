@@ -1,0 +1,488 @@
+"""Generative scene model that stands in for real video.
+
+The paper's optimizations exploit statistical structure in video: objects
+arrive and dwell for a while (temporal coherence), most frames are "boring"
+(low counts), and high-count or unusual frames are rare and bursty.  This
+module generates synthetic *tracks* — an object of some class entering the
+scene, moving along a linear trajectory, and leaving — from a per-class
+arrival process with diurnal and bursty rate modulation.  The resulting
+per-frame ground truth is what the simulated object detector perturbs and what
+specialized NNs learn to approximate from cheap frame features.
+
+Nothing downstream of this module may read the ground truth directly without
+paying the simulated detection cost; query execution goes through
+:mod:`repro.detection`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.video.frame import COLOR_PALETTE, Frame, GroundTruthObject
+from repro.video.geometry import BoundingBox
+
+#: Number of grid cells along each axis used for the cheap frame features.
+FEATURE_GRID = 4
+
+#: Channels stored per grid cell: three colour channels (area-weighted), an
+#: occupancy count, and a total-area channel.  The area channel is what lets
+#: specialized models distinguish large object classes (buses, boats) from
+#: small ones (cars, people) the way a tiny CNN would from appearance.
+FEATURE_CHANNELS = 5
+
+#: Length of the per-frame feature vector: the per-cell grid plus three global
+#: terms (total object count proxy, total covered area, background brightness).
+FEATURE_DIM = FEATURE_GRID * FEATURE_GRID * FEATURE_CHANNELS + 3
+
+
+@dataclass(frozen=True)
+class ObjectClassSpec:
+    """Statistical description of one object class in a scenario.
+
+    Parameters
+    ----------
+    name:
+        Object class label (``"car"``, ``"bus"``, ``"boat"``, ``"person"``).
+    arrival_rate:
+        Mean number of new tracks per frame before rate modulation.
+    mean_duration:
+        Mean dwell time of a track, in frames.
+    size_range:
+        ``(min, max)`` box side length in pixels; width and height are drawn
+        independently from this range.
+    color_weights:
+        Mapping from colour name (see :data:`~repro.video.frame.COLOR_PALETTE`)
+        to sampling weight.
+    burstiness:
+        Strength of the bursty rate modulation in ``[0, 1)``; higher values
+        produce occasional frames with many simultaneous objects.
+    region:
+        ``(x_min, y_min, x_max, y_max)`` fraction of the frame in which the
+        class appears; used by spatial-filter experiments.
+    speed:
+        Mean speed in pixels per frame.
+    """
+
+    name: str
+    arrival_rate: float
+    mean_duration: float
+    size_range: tuple[float, float]
+    color_weights: dict[str, float]
+    burstiness: float = 0.3
+    region: tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0)
+    speed: float = 4.0
+
+
+@dataclass(frozen=True)
+class VideoSpec:
+    """Full description of a synthetic video."""
+
+    name: str
+    width: int
+    height: int
+    fps: float
+    num_frames: int
+    object_classes: tuple[ObjectClassSpec, ...]
+    seed: int = 0
+
+    @property
+    def duration_seconds(self) -> float:
+        """Length of the video in seconds."""
+        return self.num_frames / self.fps
+
+    def class_spec(self, name: str) -> ObjectClassSpec:
+        """Look up the spec for one object class."""
+        for spec in self.object_classes:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no object class named {name!r} in video {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Track:
+    """A single object track: one object visible over a contiguous frame range."""
+
+    track_id: int
+    object_class: str
+    start_frame: int
+    end_frame: int  # exclusive
+    start_x: float
+    start_y: float
+    velocity_x: float
+    velocity_y: float
+    width: float
+    height: float
+    color_name: str
+    color: tuple[float, float, float]
+
+    @property
+    def duration(self) -> int:
+        """Number of frames the track is visible."""
+        return self.end_frame - self.start_frame
+
+    def box_at(self, frame_index: int) -> BoundingBox:
+        """Bounding box of the object at a given frame."""
+        if not self.start_frame <= frame_index < self.end_frame:
+            raise ValueError(
+                f"frame {frame_index} outside track range "
+                f"[{self.start_frame}, {self.end_frame})"
+            )
+        elapsed = frame_index - self.start_frame
+        center_x = self.start_x + self.velocity_x * elapsed
+        center_y = self.start_y + self.velocity_y * elapsed
+        return BoundingBox.from_center(center_x, center_y, self.width, self.height)
+
+    def visible_at(self, frame_index: int) -> bool:
+        """Whether the track is visible at the given frame."""
+        return self.start_frame <= frame_index < self.end_frame
+
+
+def _rate_profile(
+    num_frames: int, base_rate: float, burstiness: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-frame arrival rate: diurnal sinusoid plus random bursts.
+
+    The sinusoid models slow traffic-volume variation over the day; the bursts
+    model rush periods, which is what makes high simultaneous counts possible
+    but rare (the structure the scrubbing experiments need).
+    """
+    frames = np.arange(num_frames)
+    # One and a half slow cycles over the video, amplitude 40% of the base.
+    diurnal = 1.0 + 0.4 * np.sin(2.0 * np.pi * 1.5 * frames / max(num_frames, 1))
+    rate = base_rate * diurnal
+    if burstiness > 0:
+        n_bursts = max(1, int(num_frames / 4000))
+        burst_starts = rng.integers(0, max(num_frames - 1, 1), size=n_bursts)
+        burst_lengths = rng.integers(100, 600, size=n_bursts)
+        burst_gains = 1.0 + burstiness * rng.uniform(2.0, 6.0, size=n_bursts)
+        for start, length, gain in zip(burst_starts, burst_lengths, burst_gains):
+            end = min(num_frames, int(start + length))
+            rate[start:end] *= gain
+    return rate
+
+
+class SyntheticVideo:
+    """A fully generated synthetic video.
+
+    The video is represented compactly as a list of :class:`Track` objects
+    plus index arrays that map frame indices to the tracks visible in them.
+    Frames (with ground-truth objects and cheap features) are materialised on
+    demand.
+    """
+
+    def __init__(self, spec: VideoSpec, tracks: list[Track]) -> None:
+        self.spec = spec
+        self.tracks = tracks
+        self._build_index()
+        self._feature_cache: dict[int, np.ndarray] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def generate(cls, spec: VideoSpec) -> "SyntheticVideo":
+        """Generate a video from a :class:`VideoSpec`."""
+        rng = np.random.default_rng(spec.seed)
+        tracks: list[Track] = []
+        track_id = 0
+        for class_spec in spec.object_classes:
+            rate = _rate_profile(
+                spec.num_frames, class_spec.arrival_rate, class_spec.burstiness, rng
+            )
+            arrivals = rng.poisson(rate)
+            arrival_frames = np.repeat(np.arange(spec.num_frames), arrivals)
+            region = class_spec.region
+            x_lo, x_hi = region[0] * spec.width, region[2] * spec.width
+            y_lo, y_hi = region[1] * spec.height, region[3] * spec.height
+            color_names = list(class_spec.color_weights.keys())
+            weights = np.array(list(class_spec.color_weights.values()), dtype=float)
+            weights = weights / weights.sum()
+            for start in arrival_frames:
+                duration = max(2, int(rng.exponential(class_spec.mean_duration)))
+                end = min(spec.num_frames, int(start) + duration)
+                if end <= start:
+                    continue
+                width = rng.uniform(*class_spec.size_range)
+                height = rng.uniform(*class_spec.size_range)
+                start_x = rng.uniform(x_lo, x_hi)
+                start_y = rng.uniform(y_lo, y_hi)
+                angle = rng.uniform(0.0, 2.0 * math.pi)
+                speed = max(0.0, rng.normal(class_spec.speed, class_spec.speed * 0.25))
+                color_name = str(rng.choice(color_names, p=weights))
+                tracks.append(
+                    Track(
+                        track_id=track_id,
+                        object_class=class_spec.name,
+                        start_frame=int(start),
+                        end_frame=int(end),
+                        start_x=start_x,
+                        start_y=start_y,
+                        velocity_x=speed * math.cos(angle),
+                        velocity_y=speed * math.sin(angle),
+                        width=width,
+                        height=height,
+                        color_name=color_name,
+                        color=COLOR_PALETTE[color_name],
+                    )
+                )
+                track_id += 1
+        tracks.sort(key=lambda t: (t.start_frame, t.track_id))
+        return cls(spec, tracks)
+
+    def _build_index(self) -> None:
+        """Build (frame, track) pair arrays for fast per-frame lookups."""
+        if not self.tracks:
+            self._pair_frames = np.zeros(0, dtype=np.int64)
+            self._pair_tracks = np.zeros(0, dtype=np.int64)
+            self._frame_offsets = np.zeros(self.spec.num_frames + 1, dtype=np.int64)
+            return
+        frame_chunks = []
+        track_chunks = []
+        for idx, track in enumerate(self.tracks):
+            frames = np.arange(track.start_frame, track.end_frame, dtype=np.int64)
+            frame_chunks.append(frames)
+            track_chunks.append(np.full(frames.shape, idx, dtype=np.int64))
+        pair_frames = np.concatenate(frame_chunks)
+        pair_tracks = np.concatenate(track_chunks)
+        order = np.argsort(pair_frames, kind="stable")
+        self._pair_frames = pair_frames[order]
+        self._pair_tracks = pair_tracks[order]
+        # Offsets so that tracks visible at frame f live in
+        # _pair_tracks[_frame_offsets[f]:_frame_offsets[f + 1]].
+        counts = np.bincount(self._pair_frames, minlength=self.spec.num_frames)
+        self._frame_offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)]
+        )
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Name of the video (scenario name plus split)."""
+        return self.spec.name
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames in the video."""
+        return self.spec.num_frames
+
+    @property
+    def fps(self) -> float:
+        """Frame rate of the video."""
+        return self.spec.fps
+
+    @property
+    def object_class_names(self) -> list[str]:
+        """Names of the object classes present in the scenario spec."""
+        return [spec.name for spec in self.spec.object_classes]
+
+    def timestamp_of(self, frame_index: int) -> float:
+        """Timestamp in seconds of a frame index."""
+        return frame_index / self.spec.fps
+
+    def frame_of_timestamp(self, timestamp: float) -> int:
+        """Frame index corresponding to a timestamp in seconds."""
+        return int(round(timestamp * self.spec.fps))
+
+    # -- ground truth access (internal to the substrate) --------------------
+
+    def tracks_at(self, frame_index: int) -> list[Track]:
+        """Tracks visible at a frame index."""
+        self._check_frame(frame_index)
+        lo = self._frame_offsets[frame_index]
+        hi = self._frame_offsets[frame_index + 1]
+        return [self.tracks[i] for i in self._pair_tracks[lo:hi]]
+
+    def objects_at(self, frame_index: int) -> list[GroundTruthObject]:
+        """Ground-truth objects visible at a frame index."""
+        objects = []
+        for track in self.tracks_at(frame_index):
+            objects.append(
+                GroundTruthObject(
+                    track_id=track.track_id,
+                    object_class=track.object_class,
+                    box=track.box_at(frame_index).clip_to(
+                        self.spec.width, self.spec.height
+                    ),
+                    color=track.color,
+                    color_name=track.color_name,
+                )
+            )
+        return objects
+
+    def get_frame(self, frame_index: int, with_features: bool = False) -> Frame:
+        """Materialise a frame, optionally with its feature vector."""
+        self._check_frame(frame_index)
+        frame = Frame(
+            index=frame_index,
+            timestamp=self.timestamp_of(frame_index),
+            width=self.spec.width,
+            height=self.spec.height,
+            objects=self.objects_at(frame_index),
+        )
+        if with_features:
+            frame.features = self.frame_features(np.array([frame_index]))[0]
+        return frame
+
+    def _check_frame(self, frame_index: int) -> None:
+        if not 0 <= frame_index < self.spec.num_frames:
+            raise IndexError(
+                f"frame {frame_index} out of range for video of "
+                f"{self.spec.num_frames} frames"
+            )
+
+    # -- aggregate ground truth (used by tests and benchmark harnesses) -----
+
+    def class_counts(self, object_class: str) -> np.ndarray:
+        """Per-frame ground-truth count of one object class.
+
+        This is the quantity the simulated "full object detector" reports
+        (up to its noise model); benchmark harnesses use it to compute the
+        true value of aggregate queries.
+        """
+        counts = np.zeros(self.spec.num_frames, dtype=np.int64)
+        for track in self.tracks:
+            if track.object_class == object_class:
+                counts[track.start_frame : track.end_frame] += 1
+        return counts
+
+    def occupancy(self, object_class: str) -> float:
+        """Fraction of frames in which at least one object of the class appears."""
+        counts = self.class_counts(object_class)
+        if counts.size == 0:
+            return 0.0
+        return float(np.mean(counts > 0))
+
+    def distinct_count(self, object_class: str) -> int:
+        """Number of distinct tracks of the class (the paper's "distinct count")."""
+        return sum(1 for track in self.tracks if track.object_class == object_class)
+
+    def mean_duration_seconds(self, object_class: str) -> float:
+        """Mean dwell time of tracks of the class, in seconds."""
+        durations = [
+            track.duration for track in self.tracks if track.object_class == object_class
+        ]
+        if not durations:
+            return 0.0
+        return float(np.mean(durations)) / self.spec.fps
+
+    def max_count(self, object_class: str) -> int:
+        """Maximum simultaneous count of the class over the whole video."""
+        counts = self.class_counts(object_class)
+        if counts.size == 0:
+            return 0
+        return int(counts.max())
+
+    # -- cheap frame features ------------------------------------------------
+
+    def frame_features(self, frame_indices: np.ndarray | list[int]) -> np.ndarray:
+        """Cheap per-frame features used by specialized NNs and content filters.
+
+        For each frame we compute a ``FEATURE_GRID x FEATURE_GRID`` grid; each
+        cell accumulates the colours of objects whose centre falls in it
+        (weighted by relative object area) and an occupancy count.  A global
+        brightness term and per-frame observation noise are added.  The noise
+        is deterministic per frame so repeated reads agree.
+        """
+        indices = np.asarray(frame_indices, dtype=np.int64)
+        out = np.zeros((indices.size, FEATURE_DIM), dtype=np.float64)
+        for row, frame_index in enumerate(indices):
+            out[row] = self._features_for(int(frame_index))
+        return out
+
+    def _features_for(self, frame_index: int) -> np.ndarray:
+        cached = self._feature_cache.get(frame_index)
+        if cached is not None:
+            return cached
+        self._check_frame(frame_index)
+        grid = FEATURE_GRID
+        cell_w = self.spec.width / grid
+        cell_h = self.spec.height / grid
+        features = np.zeros(FEATURE_DIM, dtype=np.float64)
+        frame_area = float(self.spec.width * self.spec.height)
+        total_occupancy = 0.0
+        total_area = 0.0
+        for track in self.tracks_at(frame_index):
+            box = track.box_at(frame_index).clip_to(self.spec.width, self.spec.height)
+            center = box.center
+            col = min(grid - 1, max(0, int(center.x // cell_w)))
+            row = min(grid - 1, max(0, int(center.y // cell_h)))
+            cell = row * grid + col
+            area_fraction = box.area / frame_area
+            # Weight colour contributions by the object's *linear* size
+            # fraction (square root of area).  A real specialized CNN sees the
+            # frame resized to ~65x65 pixels, where visibility scales with
+            # linear extent, so small-but-real objects (e.g. cars in the 4K
+            # archie stream) stay above the observation-noise floor.
+            weight = min(1.0, 3.0 * math.sqrt(area_fraction))
+            base = cell * FEATURE_CHANNELS
+            features[base + 0] += weight * track.color[0] / 255.0
+            features[base + 1] += weight * track.color[1] / 255.0
+            features[base + 2] += weight * track.color[2] / 255.0
+            features[base + 3] += 1.0
+            features[base + 4] += 10.0 * area_fraction
+            total_occupancy += 1.0
+            total_area += 10.0 * area_fraction
+        features[-3] = total_occupancy
+        features[-2] = total_area
+        # Global brightness: background level plus slow variation over the day.
+        features[-1] = 0.5 + 0.1 * math.sin(
+            2.0 * math.pi * frame_index / max(self.spec.num_frames, 1)
+        )
+        noise_rng = np.random.Generator(
+            np.random.Philox(key=[self.spec.seed & 0xFFFFFFFF, frame_index])
+        )
+        features += noise_rng.normal(0.0, 0.03, size=FEATURE_DIM)
+        if len(self._feature_cache) < 500_000:
+            self._feature_cache[frame_index] = features
+        return features
+
+    # -- splitting -----------------------------------------------------------
+
+    def slice(self, start_frame: int, end_frame: int, name: str | None = None) -> "SyntheticVideo":
+        """Return a new video containing only ``[start_frame, end_frame)``.
+
+        Track frame indices are re-based so the slice starts at frame zero,
+        mirroring how the paper splits a stream into training / held-out /
+        test days.
+        """
+        if not 0 <= start_frame < end_frame <= self.spec.num_frames:
+            raise ValueError(
+                f"invalid slice [{start_frame}, {end_frame}) of "
+                f"{self.spec.num_frames} frames"
+            )
+        new_tracks = []
+        for track in self.tracks:
+            lo = max(track.start_frame, start_frame)
+            hi = min(track.end_frame, end_frame)
+            if lo >= hi:
+                continue
+            elapsed = lo - track.start_frame
+            new_tracks.append(
+                Track(
+                    track_id=track.track_id,
+                    object_class=track.object_class,
+                    start_frame=lo - start_frame,
+                    end_frame=hi - start_frame,
+                    start_x=track.start_x + track.velocity_x * elapsed,
+                    start_y=track.start_y + track.velocity_y * elapsed,
+                    velocity_x=track.velocity_x,
+                    velocity_y=track.velocity_y,
+                    width=track.width,
+                    height=track.height,
+                    color_name=track.color_name,
+                    color=track.color,
+                )
+            )
+        new_spec = VideoSpec(
+            name=name or f"{self.spec.name}[{start_frame}:{end_frame}]",
+            width=self.spec.width,
+            height=self.spec.height,
+            fps=self.spec.fps,
+            num_frames=end_frame - start_frame,
+            object_classes=self.spec.object_classes,
+            seed=self.spec.seed,
+        )
+        return SyntheticVideo(new_spec, new_tracks)

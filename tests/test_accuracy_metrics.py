@@ -1,0 +1,71 @@
+"""Tests for the accuracy metrics used by the evaluation harness."""
+
+import pytest
+
+from repro.metrics.accuracy import (
+    absolute_error,
+    false_negative_rate,
+    false_positive_rate,
+    mean_absolute_error,
+    precision_recall,
+    relative_error,
+)
+
+
+class TestScalarErrors:
+    def test_absolute_error(self):
+        assert absolute_error(1.5, 1.0) == pytest.approx(0.5)
+        assert absolute_error(1.0, 1.5) == pytest.approx(0.5)
+
+    def test_relative_error(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+
+    def test_relative_error_zero_truth(self):
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == float("inf")
+
+    def test_mean_absolute_error(self):
+        assert mean_absolute_error([1.0, 2.0], [0.0, 4.0]) == pytest.approx(1.5)
+
+    def test_mean_absolute_error_empty(self):
+        assert mean_absolute_error([], []) == 0.0
+
+    def test_mean_absolute_error_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1.0], [1.0, 2.0])
+
+
+class TestSetMetrics:
+    def test_false_negative_rate_none_missed(self):
+        assert false_negative_rate([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_false_negative_rate_half_missed(self):
+        assert false_negative_rate([1], [1, 2]) == pytest.approx(0.5)
+
+    def test_false_negative_rate_empty_relevant(self):
+        assert false_negative_rate([1, 2], []) == 0.0
+
+    def test_false_negative_rate_extra_returned_is_fine(self):
+        assert false_negative_rate([1, 2, 3, 99], [1, 2]) == 0.0
+
+    def test_false_positive_rate(self):
+        # Universe of 10, 2 relevant, returned 3 of which 1 irrelevant.
+        assert false_positive_rate([1, 2, 5], [1, 2], 10) == pytest.approx(1 / 8)
+
+    def test_false_positive_rate_all_relevant_universe(self):
+        assert false_positive_rate([1, 2], [1, 2], 2) == 0.0
+
+    def test_precision_recall_perfect(self):
+        precision, recall = precision_recall([1, 2], [1, 2])
+        assert precision == 1.0
+        assert recall == 1.0
+
+    def test_precision_recall_partial(self):
+        precision, recall = precision_recall([1, 2, 3, 4], [1, 2])
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(1.0)
+
+    def test_precision_recall_empty_returned(self):
+        precision, recall = precision_recall([], [1, 2])
+        assert precision == 1.0
+        assert recall == 0.0

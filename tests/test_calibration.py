@@ -1,0 +1,115 @@
+"""Tests for threshold calibration and bootstrap error estimation."""
+
+import numpy as np
+import pytest
+
+from repro.specialization.calibration import (
+    bootstrap_error_estimate,
+    calibrate_no_false_negative_threshold,
+    error_within_tolerance,
+)
+
+
+class TestNoFalseNegativeCalibration:
+    def test_zero_false_negatives_by_construction(self):
+        rng = np.random.default_rng(0)
+        scores = rng.uniform(0, 1, size=500)
+        positives = scores > 0.7  # positives have high scores
+        calibration = calibrate_no_false_negative_threshold(scores, positives)
+        assert calibration.false_negatives == 0
+        passed = scores >= calibration.threshold
+        assert np.all(passed[positives])
+
+    def test_threshold_discards_some_negatives(self):
+        scores = np.concatenate([np.full(90, 0.1), np.full(10, 0.9)])
+        positives = np.concatenate([np.zeros(90, dtype=bool), np.ones(10, dtype=bool)])
+        calibration = calibrate_no_false_negative_threshold(scores, positives)
+        assert calibration.selectivity < 0.2
+        assert calibration.positives == 10
+
+    def test_no_positives_passes_everything(self):
+        scores = np.array([0.1, 0.5, 0.9])
+        positives = np.zeros(3, dtype=bool)
+        calibration = calibrate_no_false_negative_threshold(scores, positives)
+        assert calibration.selectivity == 1.0
+        assert calibration.threshold == float("-inf")
+
+    def test_empty_input(self):
+        calibration = calibrate_no_false_negative_threshold(
+            np.array([]), np.array([], dtype=bool)
+        )
+        assert calibration.selectivity == 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            calibrate_no_false_negative_threshold(
+                np.array([1.0, 2.0]), np.array([True])
+            )
+
+    def test_overlapping_distributions_keep_all_positives(self):
+        rng = np.random.default_rng(1)
+        scores = np.concatenate(
+            [rng.normal(0.0, 1.0, 300), rng.normal(1.0, 1.0, 50)]
+        )
+        positives = np.concatenate([np.zeros(300, dtype=bool), np.ones(50, dtype=bool)])
+        calibration = calibrate_no_false_negative_threshold(scores, positives)
+        assert calibration.false_negatives == 0
+        # With heavy overlap the filter should be conservative, not aggressive.
+        assert calibration.selectivity > 0.3
+
+
+class TestBootstrap:
+    def test_unbiased_predictions_give_small_errors(self):
+        rng = np.random.default_rng(0)
+        truths = rng.poisson(2.0, size=2000).astype(float)
+        predictions = truths + rng.normal(0, 0.2, size=2000)
+        errors = bootstrap_error_estimate(predictions, truths, n_bootstrap=100, seed=1)
+        assert np.quantile(errors, 0.95) < 0.05
+
+    def test_biased_predictions_give_large_errors(self):
+        rng = np.random.default_rng(0)
+        truths = rng.poisson(2.0, size=2000).astype(float)
+        predictions = truths + 0.5
+        errors = bootstrap_error_estimate(predictions, truths, n_bootstrap=100, seed=1)
+        assert np.quantile(errors, 0.5) > 0.4
+
+    def test_reproducible_with_seed(self):
+        rng = np.random.default_rng(0)
+        truths = rng.poisson(1.0, size=100).astype(float)
+        predictions = truths.copy()
+        a = bootstrap_error_estimate(predictions, truths, seed=7)
+        b = bootstrap_error_estimate(predictions, truths, seed=7)
+        np.testing.assert_allclose(a, b)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bootstrap_error_estimate(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            bootstrap_error_estimate(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            bootstrap_error_estimate(np.array([1.0]), np.array([1.0]), n_bootstrap=0)
+
+
+class TestErrorWithinTolerance:
+    def test_accepts_small_errors(self):
+        errors = np.full(100, 0.01)
+        assert error_within_tolerance(errors, tolerance=0.1, confidence=0.95)
+
+    def test_rejects_large_errors(self):
+        errors = np.full(100, 0.5)
+        assert not error_within_tolerance(errors, tolerance=0.1, confidence=0.95)
+
+    def test_confidence_quantile_matters(self):
+        # 90% of errors are tiny, 10% are huge.
+        errors = np.concatenate([np.full(90, 0.01), np.full(10, 1.0)])
+        assert error_within_tolerance(errors, tolerance=0.1, confidence=0.85)
+        assert not error_within_tolerance(errors, tolerance=0.1, confidence=0.99)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            error_within_tolerance(np.array([0.1]), tolerance=0.1, confidence=1.5)
+        with pytest.raises(ValueError):
+            error_within_tolerance(np.array([0.1]), tolerance=-0.1, confidence=0.95)
+
+    def test_empty_errors_rejects(self):
+        assert not error_within_tolerance(np.array([]), tolerance=0.1, confidence=0.95)

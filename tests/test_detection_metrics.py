@@ -1,0 +1,106 @@
+"""Tests for detection quality metrics (average precision / mAP)."""
+
+import pytest
+
+from repro.detection.base import Detection
+from repro.detection.metrics import average_precision, mean_average_precision
+from repro.video.frame import GroundTruthObject
+from repro.video.geometry import BoundingBox
+
+
+def _truth(x, object_class="car", track_id=0):
+    return GroundTruthObject(
+        track_id=track_id,
+        object_class=object_class,
+        box=BoundingBox(x, 0.0, x + 10.0, 10.0),
+        color=(255.0, 255.0, 255.0),
+        color_name="white",
+    )
+
+
+def _det(x, confidence, object_class="car"):
+    return Detection(
+        frame_index=0,
+        timestamp=0.0,
+        object_class=object_class,
+        box=BoundingBox(x, 0.0, x + 10.0, 10.0),
+        confidence=confidence,
+    )
+
+
+class TestAveragePrecision:
+    def test_perfect_detections(self):
+        truths = {0: [_truth(0.0), _truth(100.0)]}
+        dets = {0: [_det(0.0, 0.9), _det(100.0, 0.8)]}
+        assert average_precision(dets, truths, "car") == pytest.approx(1.0)
+
+    def test_missed_everything(self):
+        truths = {0: [_truth(0.0)]}
+        dets = {0: []}
+        assert average_precision(dets, truths, "car") == 0.0
+
+    def test_no_ground_truth_no_detections(self):
+        assert average_precision({0: []}, {0: []}, "car") == 1.0
+
+    def test_no_ground_truth_with_detections(self):
+        dets = {0: [_det(0.0, 0.9)]}
+        assert average_precision(dets, {0: []}, "car") == 0.0
+
+    def test_false_positive_lowers_score(self):
+        truths = {0: [_truth(0.0)]}
+        perfect = {0: [_det(0.0, 0.9)]}
+        with_fp = {0: [_det(0.0, 0.9), _det(500.0, 0.95)]}
+        assert average_precision(with_fp, truths, "car") < average_precision(
+            perfect, truths, "car"
+        )
+
+    def test_wrong_class_not_matched(self):
+        truths = {0: [_truth(0.0, "bus")]}
+        dets = {0: [_det(0.0, 0.9, "car")]}
+        assert average_precision(dets, truths, "bus") == 0.0
+
+    def test_iou_threshold_respected(self):
+        truths = {0: [_truth(0.0)]}
+        shifted = {0: [_det(6.0, 0.9)]}  # IoU ~ 0.25
+        assert average_precision(shifted, truths, "car", iou_threshold=0.5) == 0.0
+        assert average_precision(shifted, truths, "car", iou_threshold=0.2) == pytest.approx(1.0)
+
+    def test_score_bounded(self):
+        truths = {0: [_truth(0.0), _truth(30.0)], 1: [_truth(0.0)]}
+        dets = {0: [_det(0.0, 0.7), _det(200.0, 0.9)], 1: [_det(1.0, 0.6)]}
+        score = average_precision(dets, truths, "car")
+        assert 0.0 <= score <= 1.0
+
+
+class TestMeanAveragePrecision:
+    def test_mean_over_classes(self):
+        truths = {0: [_truth(0.0, "car"), _truth(100.0, "bus")]}
+        dets = {0: [_det(0.0, 0.9, "car")]}  # bus missed entirely
+        score = mean_average_precision(dets, truths, ["car", "bus"])
+        assert score == pytest.approx(0.5)
+
+    def test_empty_class_list_raises(self):
+        with pytest.raises(ValueError):
+            mean_average_precision({}, {}, [])
+
+    def test_accurate_detector_beats_sloppy_one(self, tiny_video):
+        from repro.detection.simulated import SimulatedDetector
+
+        frames = list(range(0, tiny_video.num_frames, 11))
+        truths = {f: tiny_video.objects_at(f) for f in frames}
+        mask = SimulatedDetector.mask_rcnn(confidence_threshold=0.0)
+        yolo = SimulatedDetector.yolov2(confidence_threshold=0.0)
+        mask_dets = {f: mask.detect(tiny_video, f).detections for f in frames}
+        yolo_dets = {f: yolo.detect(tiny_video, f).detections for f in frames}
+        mask_map = mean_average_precision(mask_dets, truths, ["car", "bus"], 0.5)
+        yolo_map = mean_average_precision(yolo_dets, truths, ["car", "bus"], 0.5)
+        assert 0.0 < mask_map <= 1.0
+        assert 0.0 < yolo_map <= 1.0
+        # On a small sample the mAP gap can be within noise, so allow a small
+        # tolerance, but the sloppier detector must miss more objects overall.
+        assert mask_map >= yolo_map - 0.05
+        total_truth = sum(len(v) for v in truths.values())
+        mask_found = sum(len(v) for v in mask_dets.values())
+        yolo_found = sum(len(v) for v in yolo_dets.values())
+        assert total_truth > 0
+        assert yolo_found <= mask_found

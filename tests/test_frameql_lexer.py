@@ -1,0 +1,87 @@
+"""Tests for the FrameQL tokenizer."""
+
+import pytest
+
+from repro.errors import FrameQLSyntaxError
+from repro.frameql.lexer import TokenType, tokenize
+
+
+class TestTokenize:
+    def test_simple_select(self):
+        tokens = tokenize("SELECT * FROM taipei")
+        values = [(t.type, t.value) for t in tokens]
+        assert values == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.OPERATOR, "*"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.IDENT, "taipei"),
+            (TokenType.END, ""),
+        ]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select from where")
+        assert all(t.type == TokenType.KEYWORD for t in tokens[:-1])
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("SELECT redness FROM MyVideo")
+        assert tokens[1].value == "redness"
+        assert tokens[3].value == "MyVideo"
+
+    def test_string_literal(self):
+        tokens = tokenize("class = 'car'")
+        assert tokens[2].type == TokenType.STRING
+        assert tokens[2].value == "car"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(FrameQLSyntaxError):
+            tokenize("class = 'car")
+
+    def test_numbers(self):
+        tokens = tokenize("0.1 95 17.5")
+        assert [t.value for t in tokens[:-1]] == ["0.1", "95", "17.5"]
+        assert all(t.type == TokenType.NUMBER for t in tokens[:-1])
+
+    def test_number_starting_with_dot(self):
+        tokens = tokenize(".5")
+        assert tokens[0].type == TokenType.NUMBER
+        assert tokens[0].value == ".5"
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a >= 1 AND b <= 2 AND c <> 3 AND d != 4")
+        ops = [t.value for t in tokens if t.type == TokenType.OPERATOR]
+        assert ops == [">=", "<=", "<>", "!="]
+
+    def test_percent_token(self):
+        tokens = tokenize("CONFIDENCE 95%")
+        assert tokens[2].type == TokenType.OPERATOR
+        assert tokens[2].value == "%"
+
+    def test_punctuation(self):
+        tokens = tokenize("FCOUNT(*), COUNT(x);")
+        puncts = [t.value for t in tokens if t.type == TokenType.PUNCT]
+        assert puncts == ["(", ")", ",", "(", ")", ";"]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(FrameQLSyntaxError) as excinfo:
+            tokenize("SELECT @ FROM x")
+        assert excinfo.value.position == 7
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT timestamp")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_whitespace_and_newlines_ignored(self):
+        tokens = tokenize("SELECT\n\t *  \n FROM   taipei")
+        assert len(tokens) == 5
+
+    def test_is_keyword_helper(self):
+        tokens = tokenize("GROUP BY")
+        assert tokens[0].is_keyword("group")
+        assert not tokens[0].is_keyword("by")
+
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type == TokenType.END

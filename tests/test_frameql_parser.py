@@ -1,0 +1,206 @@
+"""Tests for the FrameQL parser, covering every query shape in the paper."""
+
+import pytest
+
+from repro.errors import FrameQLSyntaxError
+from repro.frameql.ast import (
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    Literal,
+    Star,
+    conjuncts,
+)
+from repro.frameql.parser import parse
+
+
+class TestBasicParsing:
+    def test_select_star(self):
+        query = parse("SELECT * FROM taipei")
+        assert query.video == "taipei"
+        assert len(query.select) == 1
+        assert isinstance(query.select[0].expression, Star)
+
+    def test_select_columns(self):
+        query = parse("SELECT timestamp, class FROM amsterdam")
+        names = [item.expression.name for item in query.select]
+        assert names == ["timestamp", "class"]
+
+    def test_select_alias(self):
+        query = parse("SELECT timestamp AS t FROM taipei")
+        assert query.select[0].alias == "t"
+
+    def test_trailing_semicolon(self):
+        assert parse("SELECT * FROM taipei;").video == "taipei"
+
+    def test_empty_query_raises(self):
+        with pytest.raises(FrameQLSyntaxError):
+            parse("   ")
+
+    def test_missing_from_raises(self):
+        with pytest.raises(FrameQLSyntaxError):
+            parse("SELECT *")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(FrameQLSyntaxError):
+            parse("SELECT * FROM taipei banana")
+
+    def test_str_round_trip_reparses(self):
+        text = (
+            "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
+            "ERROR WITHIN 0.1 AT CONFIDENCE 95%"
+        )
+        query = parse(text)
+        reparsed = parse(str(query))
+        assert reparsed.video == query.video
+        assert reparsed.error_within == query.error_within
+        assert reparsed.confidence == query.confidence
+
+
+class TestPaperFigure3Queries:
+    def test_figure_3a_aggregate(self):
+        query = parse(
+            "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
+            "ERROR WITHIN 0.1 AT CONFIDENCE 95%"
+        )
+        call = query.select[0].expression
+        assert isinstance(call, FunctionCall)
+        assert call.name.upper() == "FCOUNT"
+        assert isinstance(call.args[0], Star)
+        assert query.error_within == pytest.approx(0.1)
+        assert query.confidence == pytest.approx(0.95)
+
+    def test_figure_3b_scrubbing(self):
+        query = parse(
+            "SELECT timestamp FROM taipei GROUP BY timestamp "
+            "HAVING SUM(class='bus')>=1 AND SUM(class='car')>=5 "
+            "LIMIT 10 GAP 300"
+        )
+        assert [c.name for c in query.group_by] == ["timestamp"]
+        assert query.limit == 10
+        assert query.gap == 300
+        having_conjuncts = conjuncts(query.having)
+        assert len(having_conjuncts) == 2
+
+    def test_figure_3c_selection(self):
+        query = parse(
+            "SELECT * FROM taipei WHERE class = 'bus' "
+            "AND redness(content) >= 17.5 AND area(mask) > 100000 "
+            "GROUP BY trackid HAVING COUNT(*) > 15"
+        )
+        assert [c.name for c in query.group_by] == ["trackid"]
+        where_conjuncts = conjuncts(query.where)
+        assert len(where_conjuncts) == 3
+
+    def test_count_distinct(self):
+        query = parse("SELECT COUNT(DISTINCT trackid) FROM taipei WHERE class = 'car'")
+        call = query.select[0].expression
+        assert call.distinct
+        assert isinstance(call.args[0], ColumnRef)
+
+    def test_error_without_at(self):
+        query = parse(
+            "SELECT COUNT(*) FROM taipei WHERE class = 'car' "
+            "ERROR WITHIN 0.1 CONFIDENCE 95%"
+        )
+        assert query.error_within == pytest.approx(0.1)
+        assert query.confidence == pytest.approx(0.95)
+
+    def test_fnr_fpr_query(self):
+        query = parse(
+            "SELECT timestamp FROM taipei WHERE class = 'car' "
+            "FNR WITHIN 0.01 FPR WITHIN 0.02"
+        )
+        assert query.fnr_within == pytest.approx(0.01)
+        assert query.fpr_within == pytest.approx(0.02)
+
+    def test_udf_equality_query(self):
+        query = parse(
+            "SELECT * FROM taipei WHERE class = 'car' AND classify(content) = 'sedan'"
+        )
+        predicates = conjuncts(query.where)
+        assert len(predicates) == 2
+        udf_predicate = predicates[1]
+        assert isinstance(udf_predicate.left, FunctionCall)
+        assert udf_predicate.right == Literal("sedan")
+
+
+class TestExpressions:
+    def test_comparison_operators(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            query = parse(f"SELECT * FROM v WHERE timestamp {op} 5")
+            assert query.where.op == op
+
+    def test_diamond_normalised_to_bang_equals(self):
+        query = parse("SELECT * FROM v WHERE timestamp <> 5")
+        assert query.where.op == "!="
+
+    def test_and_or_precedence(self):
+        query = parse("SELECT * FROM v WHERE timestamp > 1 AND timestamp < 5 OR class = 'car'")
+        assert query.where.op == "OR"
+        assert query.where.left.op == "AND"
+
+    def test_not_operator(self):
+        query = parse("SELECT * FROM v WHERE NOT class = 'car'")
+        assert query.where.op == "NOT"
+
+    def test_parentheses_override_precedence(self):
+        query = parse(
+            "SELECT * FROM v WHERE timestamp > 1 AND (timestamp < 5 OR class = 'car')"
+        )
+        assert query.where.op == "AND"
+        assert query.where.right.op == "OR"
+
+    def test_arithmetic(self):
+        query = parse("SELECT * FROM v WHERE timestamp > 10 + 5 * 2")
+        comparison = query.where
+        assert isinstance(comparison, BinaryOp)
+        addition = comparison.right
+        assert addition.op == "+"
+        assert addition.right.op == "*"
+
+    def test_unary_minus(self):
+        query = parse("SELECT * FROM v WHERE timestamp > -5")
+        assert query.where.right.op == "-"
+
+    def test_integer_vs_float_literals(self):
+        query = parse("SELECT * FROM v WHERE timestamp > 5 AND redness(content) > 5.5")
+        predicates = conjuncts(query.where)
+        assert predicates[0].right == Literal(5)
+        assert predicates[1].right == Literal(5.5)
+
+    def test_function_without_args(self):
+        query = parse("SELECT * FROM v WHERE now() > 5")
+        assert isinstance(query.where.left, FunctionCall)
+        assert query.where.left.args == ()
+
+
+class TestClauses:
+    def test_limit_without_gap(self):
+        query = parse("SELECT timestamp FROM v GROUP BY timestamp HAVING SUM(class='car')>=1 LIMIT 5")
+        assert query.limit == 5
+        assert query.gap is None
+
+    def test_gap_alone(self):
+        query = parse("SELECT timestamp FROM v GAP 100")
+        assert query.gap == 100
+
+    def test_non_integer_limit_raises(self):
+        with pytest.raises(FrameQLSyntaxError):
+            parse("SELECT timestamp FROM v LIMIT 2.5")
+
+    def test_confidence_without_percent_sign(self):
+        query = parse("SELECT FCOUNT(*) FROM v ERROR WITHIN 0.1 AT CONFIDENCE 95")
+        assert query.confidence == pytest.approx(0.95)
+
+    def test_confidence_as_fraction(self):
+        query = parse("SELECT FCOUNT(*) FROM v ERROR WITHIN 0.1 AT CONFIDENCE 0.9")
+        assert query.confidence == pytest.approx(0.9)
+
+    def test_clauses_any_order(self):
+        query = parse(
+            "SELECT FCOUNT(*) FROM v ERROR WITHIN 0.05 WHERE class = 'car' "
+            "AT CONFIDENCE 99%"
+        )
+        assert query.error_within == pytest.approx(0.05)
+        assert query.where is not None

@@ -1,0 +1,137 @@
+"""Tests for bounding-box geometry."""
+
+import math
+
+import pytest
+
+from repro.video.geometry import BoundingBox, Point
+
+
+class TestPoint:
+    def test_distance_to_self_is_zero(self):
+        point = Point(3.0, 4.0)
+        assert point.distance_to(point) == 0.0
+
+    def test_distance_is_euclidean(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.0, 2.0), Point(-4.0, 7.5)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+
+class TestBoundingBoxBasics:
+    def test_width_height_area(self):
+        box = BoundingBox(10.0, 20.0, 30.0, 60.0)
+        assert box.width == 20.0
+        assert box.height == 40.0
+        assert box.area == 800.0
+
+    def test_center(self):
+        box = BoundingBox(0.0, 0.0, 10.0, 20.0)
+        assert box.center == Point(5.0, 10.0)
+
+    def test_invalid_box_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox(10.0, 0.0, 5.0, 5.0)
+        with pytest.raises(ValueError):
+            BoundingBox(0.0, 10.0, 5.0, 5.0)
+
+    def test_degenerate_box_has_zero_area(self):
+        assert BoundingBox(5.0, 5.0, 5.0, 9.0).area == 0.0
+
+    def test_from_center_round_trips(self):
+        box = BoundingBox.from_center(50.0, 60.0, 20.0, 10.0)
+        assert box.center == Point(50.0, 60.0)
+        assert box.width == pytest.approx(20.0)
+        assert box.height == pytest.approx(10.0)
+
+    def test_as_tuple(self):
+        box = BoundingBox(1.0, 2.0, 3.0, 4.0)
+        assert box.as_tuple() == (1.0, 2.0, 3.0, 4.0)
+
+    def test_contains_point(self):
+        box = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        assert box.contains_point(Point(5.0, 5.0))
+        assert box.contains_point(Point(0.0, 10.0))
+        assert not box.contains_point(Point(10.1, 5.0))
+
+
+class TestBoundingBoxOverlap:
+    def test_iou_identical_boxes(self):
+        box = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        assert box.iou(box) == pytest.approx(1.0)
+
+    def test_iou_disjoint_boxes(self):
+        a = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        b = BoundingBox(20.0, 20.0, 30.0, 30.0)
+        assert a.iou(b) == 0.0
+        assert not a.intersects(b)
+
+    def test_iou_half_overlap(self):
+        a = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        b = BoundingBox(5.0, 0.0, 15.0, 10.0)
+        # Intersection 50, union 150.
+        assert a.iou(b) == pytest.approx(1.0 / 3.0)
+
+    def test_iou_symmetric(self):
+        a = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        b = BoundingBox(3.0, 4.0, 12.0, 9.0)
+        assert a.iou(b) == pytest.approx(b.iou(a))
+
+    def test_touching_boxes_do_not_intersect(self):
+        a = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        b = BoundingBox(10.0, 0.0, 20.0, 10.0)
+        assert a.intersection(b) == 0.0
+
+    def test_union_of_identical_equals_area(self):
+        box = BoundingBox(0.0, 0.0, 4.0, 5.0)
+        assert box.union(box) == pytest.approx(box.area)
+
+    def test_iou_of_degenerate_boxes_is_zero(self):
+        a = BoundingBox(0.0, 0.0, 0.0, 0.0)
+        assert a.iou(a) == 0.0
+
+
+class TestBoundingBoxTransforms:
+    def test_translate(self):
+        box = BoundingBox(0.0, 0.0, 10.0, 10.0).translate(5.0, -2.0)
+        assert box.as_tuple() == (5.0, -2.0, 15.0, 8.0)
+
+    def test_expand(self):
+        box = BoundingBox(10.0, 10.0, 20.0, 20.0).expand(2.0)
+        assert box.as_tuple() == (8.0, 8.0, 22.0, 22.0)
+
+    def test_clip_to_frame(self):
+        box = BoundingBox(-10.0, -5.0, 2000.0, 900.0).clip_to(1280, 720)
+        assert box.as_tuple() == (0.0, 0.0, 1280.0, 720.0)
+
+    def test_clip_preserves_inner_box(self):
+        box = BoundingBox(10.0, 10.0, 20.0, 20.0)
+        assert box.clip_to(1280, 720) == box
+
+    def test_expand_then_area_grows(self):
+        box = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        assert box.expand(1.0).area > box.area
+
+    def test_translate_preserves_area(self):
+        box = BoundingBox(0.0, 0.0, 7.0, 3.0)
+        assert box.translate(100.0, 50.0).area == pytest.approx(box.area)
+
+
+class TestBoundingBoxNumericEdgeCases:
+    def test_tiny_boxes(self):
+        a = BoundingBox(0.0, 0.0, 1e-9, 1e-9)
+        b = BoundingBox(0.0, 0.0, 1e-9, 1e-9)
+        assert a.iou(b) == pytest.approx(1.0)
+
+    def test_large_coordinates(self):
+        a = BoundingBox(1e8, 1e8, 1e8 + 10, 1e8 + 10)
+        b = BoundingBox(1e8 + 5, 1e8, 1e8 + 15, 1e8 + 10)
+        assert 0.0 < a.iou(b) < 1.0
+
+    def test_iou_bounded(self):
+        a = BoundingBox(0.0, 0.0, 3.0, 7.0)
+        b = BoundingBox(1.0, 1.0, 9.0, 4.0)
+        assert 0.0 <= a.iou(b) <= 1.0
+        assert not math.isnan(a.iou(b))

@@ -1,0 +1,144 @@
+"""Tests for the small classification models and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientTrainingDataError
+from repro.metrics.runtime import RuntimeLedger
+from repro.specialization.features import FeatureScaler
+from repro.specialization.models import SoftmaxRegression, TinyMLP
+from repro.specialization.trainer import TrainingConfig, train_classifier
+
+
+def _separable_dataset(n=400, seed=0):
+    """Two well-separated Gaussian blobs in 5 dimensions."""
+    rng = np.random.default_rng(seed)
+    features0 = rng.normal(-1.0, 0.3, size=(n // 2, 5))
+    features1 = rng.normal(1.0, 0.3, size=(n // 2, 5))
+    features = np.vstack([features0, features1])
+    labels = np.concatenate([np.zeros(n // 2, dtype=int), np.ones(n // 2, dtype=int)])
+    return features, labels
+
+
+class TestFeatureScaler:
+    def test_fit_transform_standardises(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(5.0, 3.0, size=(200, 4))
+        scaled = FeatureScaler().fit_transform(features)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_dimension_does_not_divide_by_zero(self):
+        features = np.ones((50, 3))
+        scaled = FeatureScaler().fit_transform(features)
+        assert np.all(np.isfinite(scaled))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            FeatureScaler().transform(np.zeros((2, 2)))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            FeatureScaler().fit(np.zeros(5))
+
+    def test_is_fitted(self):
+        scaler = FeatureScaler()
+        assert not scaler.is_fitted
+        scaler.fit(np.zeros((4, 2)))
+        assert scaler.is_fitted
+
+
+class TestSoftmaxRegression:
+    def test_learns_separable_data(self):
+        features, labels = _separable_dataset()
+        model = SoftmaxRegression(n_features=5, n_classes=2, seed=0)
+        train_classifier(model, features, labels, TrainingConfig(epochs=5))
+        accuracy = float(np.mean(model.predict(features) == labels))
+        assert accuracy > 0.95
+
+    def test_predict_proba_sums_to_one(self):
+        features, labels = _separable_dataset(n=100)
+        model = SoftmaxRegression(n_features=5, n_classes=2)
+        train_classifier(model, features, labels, TrainingConfig(epochs=1))
+        proba = model.predict_proba(features)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(proba >= 0.0)
+
+    def test_loss_decreases_over_epochs(self):
+        features, labels = _separable_dataset()
+        model = SoftmaxRegression(n_features=5, n_classes=2, seed=1)
+        losses = train_classifier(model, features, labels, TrainingConfig(epochs=4))
+        assert losses[-1] < losses[0]
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            SoftmaxRegression(n_features=3, n_classes=1)
+
+
+class TestTinyMLP:
+    def test_learns_separable_data(self):
+        features, labels = _separable_dataset()
+        model = TinyMLP(n_features=5, n_classes=2, hidden_size=16, seed=0)
+        train_classifier(model, features, labels, TrainingConfig(epochs=5))
+        accuracy = float(np.mean(model.predict(features) == labels))
+        assert accuracy > 0.95
+
+    def test_learns_nonlinear_boundary_better_than_linear(self):
+        """XOR-style data: the MLP should beat the linear model."""
+        rng = np.random.default_rng(3)
+        features = rng.uniform(-1.0, 1.0, size=(600, 2))
+        labels = ((features[:, 0] * features[:, 1]) > 0).astype(int)
+        linear = SoftmaxRegression(n_features=2, n_classes=2, seed=0)
+        mlp = TinyMLP(n_features=2, n_classes=2, hidden_size=32, seed=0)
+        config = TrainingConfig(epochs=20, learning_rate=0.2)
+        train_classifier(linear, features, labels, config)
+        train_classifier(mlp, features, labels, config)
+        linear_acc = float(np.mean(linear.predict(features) == labels))
+        mlp_acc = float(np.mean(mlp.predict(features) == labels))
+        assert mlp_acc > linear_acc + 0.1
+
+    def test_invalid_hidden_size(self):
+        with pytest.raises(ValueError):
+            TinyMLP(n_features=3, n_classes=2, hidden_size=0)
+
+    def test_predict_proba_valid(self):
+        features, labels = _separable_dataset(n=100)
+        model = TinyMLP(n_features=5, n_classes=2)
+        train_classifier(model, features, labels, TrainingConfig(epochs=1))
+        proba = model.predict_proba(features)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestTrainer:
+    def test_training_charges_ledger(self):
+        features, labels = _separable_dataset(n=100)
+        model = SoftmaxRegression(n_features=5, n_classes=2)
+        ledger = RuntimeLedger()
+        train_classifier(model, features, labels, TrainingConfig(epochs=2), ledger)
+        assert ledger.call_count("specialized_nn_train") == 200
+
+    def test_insufficient_data_raises(self):
+        features, labels = _separable_dataset(n=10)
+        model = SoftmaxRegression(n_features=5, n_classes=2)
+        with pytest.raises(InsufficientTrainingDataError):
+            train_classifier(model, features, labels, TrainingConfig(min_examples=32))
+
+    def test_length_mismatch_raises(self):
+        model = SoftmaxRegression(n_features=5, n_classes=2)
+        with pytest.raises(ValueError):
+            train_classifier(model, np.zeros((10, 5)), np.zeros(9, dtype=int))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            TrainingConfig(momentum=1.0)
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+
+    def test_default_config_matches_paper_recipe(self):
+        config = TrainingConfig()
+        assert config.momentum == pytest.approx(0.9)
+        assert config.batch_size == 16

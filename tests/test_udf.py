@@ -1,0 +1,115 @@
+"""Tests for the UDF registry and built-in UDFs."""
+
+import pytest
+
+from repro.errors import UnknownUDFError
+from repro.frameql.schema import FrameRecord
+from repro.udf.builtin import (
+    area,
+    blueness,
+    brightness,
+    frame_redness,
+    redness,
+)
+from repro.udf.registry import UDF, default_udf_registry
+from repro.video.frame import COLOR_PALETTE, Frame, GroundTruthObject
+from repro.video.geometry import BoundingBox
+
+
+def _record(color_name="red", box=None):
+    return FrameRecord(
+        timestamp=0.0,
+        frame_index=0,
+        object_class="bus",
+        mask=box or BoundingBox(0, 0, 400, 300),
+        color=COLOR_PALETTE[color_name],
+        color_name=color_name,
+    )
+
+
+class TestBuiltinUDFs:
+    def test_redness_high_for_red_objects(self):
+        assert redness(_record("red")) > redness(_record("white"))
+        assert redness(_record("red")) > redness(_record("blue"))
+
+    def test_redness_paper_threshold_separates_red_buses(self):
+        """The Figure 3c threshold (17.5) should pass red and reject white."""
+        assert redness(_record("red")) >= 17.5
+        assert redness(_record("white")) < 17.5
+
+    def test_blueness_high_for_blue_objects(self):
+        assert blueness(_record("blue")) > blueness(_record("red"))
+
+    def test_brightness_orders_white_above_black(self):
+        assert brightness(_record("white")) > brightness(_record("black"))
+
+    def test_area_uses_mask(self):
+        record = _record(box=BoundingBox(0, 0, 100, 50))
+        assert area(record) == pytest.approx(5000.0)
+
+    def test_area_zero_without_mask(self):
+        class Empty:
+            pass
+
+        assert area(Empty()) == 0.0
+
+    def test_redness_handles_missing_color(self):
+        class NoColor:
+            color = None
+
+        assert redness(NoColor()) == 0.0
+
+
+class TestFrameLevelUDFs:
+    def _frame(self, color_names):
+        objects = [
+            GroundTruthObject(
+                track_id=i,
+                object_class="bus",
+                box=BoundingBox(0, 0, 200, 200),
+                color=COLOR_PALETTE[name],
+                color_name=name,
+            )
+            for i, name in enumerate(color_names)
+        ]
+        return Frame(index=0, timestamp=0.0, width=1280, height=720, objects=objects)
+
+    def test_frame_redness_with_red_object(self):
+        assert frame_redness(self._frame(["red"])) > frame_redness(self._frame(["white"]))
+
+    def test_frame_redness_empty_frame(self):
+        assert frame_redness(self._frame([])) == 0.0
+
+    def test_frame_redness_mixture_between_extremes(self):
+        red = frame_redness(self._frame(["red"]))
+        white = frame_redness(self._frame(["white"]))
+        mixed = frame_redness(self._frame(["red", "white"]))
+        assert white < mixed < red
+
+
+class TestRegistry:
+    def test_default_registry_contents(self):
+        registry = default_udf_registry()
+        for name in ("redness", "blueness", "brightness", "area"):
+            assert name in registry
+
+    def test_lookup_case_insensitive(self):
+        registry = default_udf_registry()
+        assert registry.get("REDNESS").name == "redness"
+
+    def test_unknown_udf_raises(self):
+        with pytest.raises(UnknownUDFError):
+            default_udf_registry().get("classify")
+
+    def test_register_custom_udf(self):
+        registry = default_udf_registry()
+        registry.register(UDF(name="always_one", object_fn=lambda record: 1.0))
+        assert registry.get("always_one")(_record()) == 1.0
+
+    def test_udf_is_callable(self):
+        registry = default_udf_registry()
+        assert registry.get("redness")(_record("red")) > 0
+
+    def test_names_sorted(self):
+        names = default_udf_registry().names()
+        assert names == sorted(names)

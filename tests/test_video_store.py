@@ -1,0 +1,81 @@
+"""Tests for the video store and the decode cost model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownVideoError
+from repro.metrics.runtime import RuntimeLedger
+from repro.video.codec import DecodeCostModel
+from repro.video.store import VideoStore
+from repro.video.synthetic import FEATURE_DIM
+
+
+class TestVideoStore:
+    def test_register_and_get(self, tiny_video):
+        store = VideoStore()
+        store.register("tiny", tiny_video)
+        assert "tiny" in store
+        assert store.get("tiny") is tiny_video
+
+    def test_unknown_video_raises(self):
+        store = VideoStore()
+        with pytest.raises(UnknownVideoError):
+            store.get("missing")
+
+    def test_unregister(self, tiny_video):
+        store = VideoStore()
+        store.register("tiny", tiny_video)
+        store.unregister("tiny")
+        assert "tiny" not in store
+
+    def test_unregister_missing_is_noop(self):
+        VideoStore().unregister("nothing")
+
+    def test_names_sorted(self, tiny_video):
+        store = VideoStore()
+        store.register("b", tiny_video)
+        store.register("a", tiny_video)
+        assert store.names() == ["a", "b"]
+
+    def test_num_frames(self, tiny_video):
+        store = VideoStore()
+        store.register("tiny", tiny_video)
+        assert store.num_frames("tiny") == tiny_video.num_frames
+
+    def test_get_frame_charges_decode(self, tiny_video):
+        store = VideoStore()
+        store.register("tiny", tiny_video)
+        ledger = RuntimeLedger()
+        frame = store.get_frame("tiny", 3, ledger=ledger)
+        assert frame.index == 3
+        assert ledger.call_count("video_decode") == 1
+
+    def test_frame_features_shape_and_decode_charge(self, tiny_video):
+        store = VideoStore()
+        store.register("tiny", tiny_video)
+        ledger = RuntimeLedger()
+        features = store.frame_features("tiny", [0, 1, 2, 3], ledger=ledger)
+        assert features.shape == (4, FEATURE_DIM)
+        # Four frames were decoded, one charge per frame.
+        assert ledger.call_count("video_decode") == 4
+        assert ledger.seconds_for("video_decode") > 0
+
+
+class TestDecodeCostModel:
+    def test_cost_scales_with_resolution(self):
+        model = DecodeCostModel()
+        small = model.cost_for_resolution(1280, 720)
+        large = model.cost_for_resolution(3840, 2160)
+        assert large.seconds_per_call == pytest.approx(small.seconds_per_call * 9)
+
+    def test_charge_decode(self):
+        model = DecodeCostModel()
+        ledger = RuntimeLedger()
+        seconds = model.charge_decode(ledger, 1280, 720, 300)
+        assert seconds == pytest.approx(1.0)
+        assert ledger.total_seconds == pytest.approx(1.0)
+
+    def test_reference_resolution_cost(self):
+        model = DecodeCostModel()
+        cost = model.cost_for_resolution(1280, 720)
+        assert cost.seconds_per_call == pytest.approx(model.base_cost.seconds_per_call)
