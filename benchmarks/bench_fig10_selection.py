@@ -62,11 +62,14 @@ def test_fig10_selection_runtime(bench_env, benchmark):
             VIDEO, min_area=AREA_THRESHOLD, min_frames=MIN_FRAMES
         )
         engine = bundle.fresh_engine(bench_env.default_config())
-        spec = engine.analyze(query)
+        session = engine.session()
+        prepared = session.prepare(query)
 
-        naive = naive_selection(bundle.recorded, spec, engine.udf_registry)
-        oracle = noscope_oracle_selection(bundle.recorded, spec, engine.udf_registry)
-        blazeit = engine.query(query)
+        naive = naive_selection(bundle.recorded, prepared.spec, engine.udf_registry)
+        oracle = noscope_oracle_selection(
+            bundle.recorded, prepared.spec, engine.udf_registry
+        )
+        blazeit = prepared.execute()
 
         num_frames = bundle.test.num_frames
         rows = []

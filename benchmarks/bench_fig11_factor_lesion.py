@@ -13,6 +13,7 @@ any class from the combined plan degrades it.
 from __future__ import annotations
 
 from benchmarks.reporting import print_table, record
+from repro.api import QueryHints
 from repro.baselines.selection import naive_selection
 
 VIDEO = "taipei"
@@ -53,6 +54,7 @@ def test_fig11_factor_analysis_and_lesion_study(bench_env, benchmark):
         engine = bundle.fresh_engine(
             bench_env.default_config(include_training_time=False)
         )
+        session = engine.session()
         query = _query()
         spec = engine.analyze(query)
         naive = naive_selection(bundle.recorded, spec, engine.udf_registry)
@@ -63,7 +65,9 @@ def test_fig11_factor_analysis_and_lesion_study(bench_env, benchmark):
 
         factor_rows = []
         for label, classes in FACTOR_STEPS:
-            result = engine.query(query, selection_filter_classes=classes)
+            result = session.execute(
+                query, hints=QueryHints(selection_filter_classes=frozenset(classes))
+            )
             factor_rows.append(
                 [
                     "factor",
@@ -85,7 +89,9 @@ def test_fig11_factor_analysis_and_lesion_study(bench_env, benchmark):
             )
 
         lesion_rows = []
-        combined = engine.query(query, selection_filter_classes=ALL_CLASSES)
+        combined = session.execute(
+            query, hints=QueryHints(selection_filter_classes=frozenset(ALL_CLASSES))
+        )
         lesion_rows.append(
             [
                 "lesion",
@@ -98,7 +104,9 @@ def test_fig11_factor_analysis_and_lesion_study(bench_env, benchmark):
         )
         for removed in ("spatial", "temporal", "content", "label"):
             classes = ALL_CLASSES - {removed}
-            result = engine.query(query, selection_filter_classes=classes)
+            result = session.execute(
+                query, hints=QueryHints(selection_filter_classes=frozenset(classes))
+            )
             lesion_rows.append(
                 [
                     "lesion",

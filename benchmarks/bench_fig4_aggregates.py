@@ -51,14 +51,14 @@ def _run_video(bench_env, name: str) -> list[list]:
         rng=np.random.default_rng(0),
     )
 
-    blazeit_engine = bundle.fresh_engine(
+    blazeit_session = bundle.fresh_session(
         bench_env.default_config(include_training_time=True)
     )
-    blazeit = blazeit_engine.query(query)
-    no_train_engine = bundle.fresh_engine(
+    blazeit = blazeit_session.execute(query)
+    no_train_session = bundle.fresh_session(
         bench_env.default_config(include_training_time=False)
     )
-    no_train = no_train_engine.query(query)
+    no_train = no_train_session.execute(query)
 
     rows = []
     variants = [

@@ -15,6 +15,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.reporting import print_table, record, speedup_over
+from repro.api import QueryHints
 from repro.baselines.scrubbing import naive_scrub, noscope_oracle_scrub_baseline
 from repro.workloads.queries import SCRUBBING_QUERIES, scrubbing_query
 
@@ -38,9 +39,9 @@ def _run_video(bench_env, name: str) -> list[list]:
 
     naive = naive_scrub(bundle.recorded, min_counts, limit=LIMIT)
     oracle = noscope_oracle_scrub_baseline(bundle.recorded, min_counts, limit=LIMIT)
-    blazeit = bundle.fresh_engine(bench_env.default_config()).query(query)
-    indexed = bundle.fresh_engine(bench_env.default_config()).query(
-        query, scrubbing_indexed=True
+    blazeit = bundle.fresh_session(bench_env.default_config()).execute(query)
+    indexed = bundle.fresh_session(bench_env.default_config()).execute(
+        query, hints=QueryHints(scrubbing_indexed=True)
     )
 
     rows = []

@@ -11,6 +11,7 @@ on the scaled-down day while keeping at least ``LIMIT`` instances.
 from __future__ import annotations
 
 from benchmarks.reporting import print_table, record, speedup_over
+from repro.api import QueryHints
 from repro.baselines.scrubbing import naive_scrub, noscope_oracle_scrub_baseline
 from repro.workloads.queries import multiclass_scrubbing_query
 
@@ -42,9 +43,9 @@ def test_fig8_multiclass_scrubbing(bench_env, benchmark):
 
         naive = naive_scrub(bundle.recorded, min_counts, limit=LIMIT)
         oracle = noscope_oracle_scrub_baseline(bundle.recorded, min_counts, limit=LIMIT)
-        blazeit = bundle.fresh_engine(bench_env.default_config()).query(query)
-        indexed = bundle.fresh_engine(bench_env.default_config()).query(
-            query, scrubbing_indexed=True
+        blazeit = bundle.fresh_session(bench_env.default_config()).execute(query)
+        indexed = bundle.fresh_session(bench_env.default_config()).execute(
+            query, hints=QueryHints(scrubbing_indexed=True)
         )
 
         rows = []

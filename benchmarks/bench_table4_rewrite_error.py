@@ -37,14 +37,14 @@ def test_table4_rewrite_error(bench_env, benchmark):
             query = aggregate_query(name, object_class, ERROR_TOLERANCE)
             errors = []
             for seed in range(RUNS):
-                engine = bundle.fresh_engine(
+                session = bundle.fresh_session(
                     bench_env.default_config(
                         aggregate_method=AggregateMethod.SPECIALIZED_REWRITE,
                         include_training_time=False,
                         seed=seed,
                     )
                 )
-                result = engine.query(query)
+                result = session.execute(query)
                 errors.append(abs(result.value - truth))
             mean_error = float(np.mean(errors))
             rows.append([name, object_class, truth, mean_error, PAPER_ERRORS[name]])

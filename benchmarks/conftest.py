@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 import pytest
 
+from repro.api.session import QuerySession
 from repro.core.config import BlazeItConfig
 from repro.core.engine import BlazeIt
 from repro.core.labeled_set import LabeledSet
@@ -88,6 +89,15 @@ class ScenarioBundle:
         engine._labeled_sets[self.name] = self.labeled_set
         engine.attach_recorded(self.name, self.recorded)
         return engine
+
+    def fresh_session(self, config: BlazeItConfig) -> QuerySession:
+        """A query session over a fresh engine with the given configuration.
+
+        Benchmarks that execute the same query repeatedly (or under varying
+        hints) hold one session so each distinct query is parsed and planned
+        once, matching how the engine is meant to serve repeated workloads.
+        """
+        return self.fresh_engine(config).session(video=self.name)
 
 
 class BenchEnvironment:

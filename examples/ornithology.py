@@ -13,7 +13,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import BlazeIt, BlazeItConfig, SimulatedDetector
+from repro import FCOUNT, BlazeIt, BlazeItConfig, Q, SimulatedDetector, class_is, udf, xmax, xmin
 from repro.udf.registry import UDF
 from repro.video.synthetic import ObjectClassSpec, SyntheticVideo, VideoSpec
 
@@ -80,29 +80,30 @@ def main() -> None:
         heldout_video=SyntheticVideo.generate(make_feeder_spec(seed=202, name="feeder-heldout")),
     )
     engine.record_test_day("feeder")
+    session = engine.session(video="feeder")
 
     print("\n-- Visits per feeder side --------------------------------------------")
     for side, predicate in (
-        ("left", f"xmax(mask) < {int(WIDTH * 0.5)}"),
-        ("right", f"xmin(mask) >= {int(WIDTH * 0.5)}"),
+        ("left", xmax() < int(WIDTH * 0.5)),
+        ("right", xmin() >= int(WIDTH * 0.5)),
     ):
-        result = engine.query(
-            f"SELECT timestamp FROM feeder WHERE class = 'bird' AND {predicate}"
+        result = session.execute(
+            Q.select("timestamp").where(class_is("bird"), predicate)
         )
         visits = {record.trackid for record in result.records}
         print(f"{side:5s} side: {len(visits):3d} distinct visits")
 
     print("\n-- Red birds (species proxy) -------------------------------------------")
-    red = engine.query(
-        "SELECT * FROM feeder WHERE class = 'bird' AND red_plumage(content) >= 40"
+    red = session.execute(
+        Q.select("*").where(class_is("bird"), udf("red_plumage") >= 40)
     )
     red_tracks = {record.trackid for record in red.records}
     print(f"distinct red-bird visits: {len(red_tracks)} "
           f"({len(red.records)} records, plan: {red.plan_description})")
 
     print("\n-- Average birds visible per frame -----------------------------------")
-    fcount = engine.query(
-        "SELECT FCOUNT(*) FROM feeder WHERE class = 'bird' ERROR WITHIN 0.1"
+    fcount = session.execute(
+        Q.select(FCOUNT()).where(cls="bird").error_within(0.1)
     )
     print(f"{fcount.value:.2f} birds/frame (strategy: {fcount.method})")
 

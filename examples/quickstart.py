@@ -7,8 +7,9 @@ Run with::
 The example generates a scaled-down version of the paper's ``taipei`` webcam
 stream (a training day, a held-out day and a test day), builds the labeled
 set by running the simulated object detector offline, and then executes three
-FrameQL queries: an aggregate with an error bound, a cardinality-limited
-scrubbing query and a content-based selection.  All runtimes are simulated
+FrameQL queries through one :class:`QuerySession`: an aggregate with an error
+bound (prepared via the fluent builder), a cardinality-limited scrubbing query
+and a content-based selection.  All runtimes are simulated
 seconds from the runtime ledger (the detector is modelled at 3 fps, the
 specialized NNs at 10,000 fps), so the speedups — not the absolute values —
 are the interesting part.
@@ -16,7 +17,7 @@ are the interesting part.
 
 from __future__ import annotations
 
-from repro import BlazeIt, BlazeItConfig
+from repro import FCOUNT, BlazeIt, BlazeItConfig, Q
 from repro.baselines.aggregates import naive_aggregate
 
 NUM_FRAMES = 3000  # per split: train, held-out, test
@@ -28,12 +29,15 @@ def main() -> None:
     engine = BlazeIt(config=BlazeItConfig(min_training_positives=20))
     engine.register_scenario("taipei", num_frames=NUM_FRAMES)
     recorded = engine.record_test_day("taipei")
+    session = engine.session(video="taipei")
 
     # 1. Aggregation: the frame-averaged number of cars, within 0.1 at 95%.
-    aggregate = engine.query(
-        "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
-        "ERROR WITHIN 0.1 AT CONFIDENCE 95%"
+    #    Built fluently — the builder compiles straight to the FrameQL AST.
+    prepared = session.prepare(
+        Q.select(FCOUNT()).where(cls="car").error_within(0.1).confidence(0.95)
     )
+    print(f"\nplan: {prepared.explain()}")
+    aggregate = prepared.execute()
     naive = naive_aggregate(recorded, "car")
     print("\n-- Aggregation ------------------------------------------------")
     print(f"estimate            : {aggregate.value:.3f} cars/frame")
@@ -44,7 +48,7 @@ def main() -> None:
           f"speedup {naive.runtime_seconds / aggregate.runtime_seconds:,.0f}x)")
 
     # 2. Scrubbing: find 5 frames with at least 3 cars, at least 1 s apart.
-    scrub = engine.query(
+    scrub = session.execute(
         "SELECT timestamp FROM taipei GROUP BY timestamp "
         "HAVING SUM(class='car') >= 3 LIMIT 5 GAP 30"
     )
@@ -56,7 +60,7 @@ def main() -> None:
     print(f"simulated runtime   : {scrub.runtime_seconds:,.1f} s")
 
     # 3. Selection: every red bus covering at least 60,000 pixels.
-    selection = engine.query(
+    selection = session.execute(
         "SELECT * FROM taipei WHERE class = 'bus' "
         "AND redness(content) >= 17.5 AND area(mask) > 60000"
     )

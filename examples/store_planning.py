@@ -13,7 +13,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import BlazeIt, BlazeItConfig
+from repro import FCOUNT, BlazeIt, BlazeItConfig, Q, class_is, xmax, xmin
 from repro.video.synthetic import ObjectClassSpec, SyntheticVideo, VideoSpec
 
 NUM_FRAMES = 2500
@@ -64,16 +64,19 @@ def main() -> None:
         heldout_video=SyntheticVideo.generate(make_store_spec(seed=102, name="store-heldout")),
     )
     engine.record_test_day("store")
+    session = engine.session(video="store")
 
     print("\n-- Shoppers per aisle ---------------------------------------------")
+    # The spatial predicates are built fluently: no string formatting, and the
+    # builder compiles straight to the FrameQL AST the parser would produce.
     aisles = {
-        "left aisle": f"xmax(mask) < {int(WIDTH * 0.5)}",
-        "right aisle": f"xmin(mask) >= {int(WIDTH * 0.5)}",
+        "left aisle": xmax() < int(WIDTH * 0.5),
+        "right aisle": xmin() >= int(WIDTH * 0.5),
     }
     counts = {}
     for aisle, predicate in aisles.items():
-        result = engine.query(
-            f"SELECT timestamp FROM store WHERE class = 'person' AND {predicate}"
+        result = session.execute(
+            Q.select("timestamp").where(class_is("person"), predicate)
         )
         visits = sorted({record.trackid for record in result.records})
         counts[aisle] = len(visits)
@@ -85,8 +88,8 @@ def main() -> None:
     print(f"\nThe {busier} sees more traffic — consider promoting products there.")
 
     print("\n-- Overall store occupancy ------------------------------------------")
-    occupancy = engine.query(
-        "SELECT FCOUNT(*) FROM store WHERE class = 'person' ERROR WITHIN 0.1"
+    occupancy = session.execute(
+        Q.select(FCOUNT()).where(cls="person").error_within(0.1)
     )
     print(f"average shoppers visible per frame: {occupancy.value:.2f} "
           f"(strategy: {occupancy.method})")

@@ -28,12 +28,15 @@ def main() -> None:
         print(f"Registering {scenario} ({NUM_FRAMES} frames per split)...")
         engine.register_scenario(scenario, num_frames=NUM_FRAMES)
         engine.record_test_day(scenario)
+    # One session serves every question: queries are planned once and cached,
+    # and each execution draws its own RNG stream.
+    session = engine.session()
 
     # 1. Which intersection is busier?  Frame-averaged car counts.
     print("\n-- Traffic metering ---------------------------------------------")
     volumes = {}
     for scenario in ("taipei", "amsterdam"):
-        result = engine.query(aggregate_query(scenario, "car", error=0.1))
+        result = session.execute(aggregate_query(scenario, "car", error=0.1))
         volumes[scenario] = result.value
         print(f"{scenario:12s}: {result.value:.2f} cars/frame "
               f"({result.method}, {result.runtime_seconds:,.1f} simulated s)")
@@ -42,7 +45,7 @@ def main() -> None:
 
     # 2. Transit meets congestion: at least one bus and at least three cars.
     print("\n-- Transit / congestion interaction ------------------------------")
-    scrub = engine.query(
+    scrub = session.execute(
         multiclass_scrubbing_query("taipei", {"bus": 1, "car": 3}, limit=5, gap=60)
     )
     print(f"found {len(scrub.frames)} moments "
@@ -52,7 +55,7 @@ def main() -> None:
 
     # 3. Tourism proxy: red buses on screen for at least half a second.
     print("\n-- Tour buses (red buses) ----------------------------------------")
-    selection = engine.query(
+    selection = session.execute(
         red_bus_selection_query("taipei", min_area=60000, min_frames=15)
     )
     tracks = sorted({record.trackid for record in selection.records})

@@ -1,0 +1,8 @@
+"""Setup shim for environments whose setuptools predates PEP 660 editable
+wheels (e.g. minimal images without the ``wheel`` package): enables
+``python setup.py develop`` / legacy ``pip install -e .``.  All project
+metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

@@ -7,19 +7,57 @@ language, a rule-based optimizer, and the aggregation (control variates),
 scrubbing (importance sampling) and content-based selection (filter inference)
 optimizations.
 
-Quick start::
+Quick start (session API — prepare once, execute many)::
 
-    from repro import BlazeIt
+    from repro import BlazeIt, Q, FCOUNT, QueryHints
 
     engine = BlazeIt()
     engine.register_scenario("taipei", num_frames=4000)
-    result = engine.query(
-        "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
-        "ERROR WITHIN 0.1 AT CONFIDENCE 95%"
-    )
-    print(result.value, result.method, result.runtime_seconds)
+
+    with engine.session() as session:
+        prepared = session.prepare(
+            Q.select(FCOUNT()).from_("taipei").where(cls="car")
+            .error_within(0.1).confidence(0.95)
+        )
+        result = prepared.execute()
+        print(result.value, result.method, result.runtime_seconds)
+        print(prepared.explain().render())
+
+        # Re-bind runtime parameters without re-planning:
+        sweep = prepared.execute_many(
+            [{"error_within": e} for e in (0.1, 0.05, 0.02)]
+        )
+
+One-shot queries still work (``engine.query(text)``), paying the full
+parse/plan cost per call.
 """
 
+from repro.api import (
+    AVG,
+    COUNT,
+    FCOUNT,
+    NO_HINTS,
+    Q,
+    SUM,
+    OperatorNode,
+    PlanExplanation,
+    PreparedQuery,
+    QueryBuilder,
+    QueryHints,
+    QuerySession,
+    SessionStats,
+    area,
+    class_is,
+    col,
+    fn,
+    lit,
+    star,
+    udf,
+    xmax,
+    xmin,
+    ymax,
+    ymin,
+)
 from repro.core.config import AggregateMethod, BlazeItConfig
 from repro.core.engine import BlazeIt
 from repro.core.labeled_set import LabeledSet
@@ -32,19 +70,48 @@ from repro.core.results import (
     SelectionResult,
 )
 from repro.detection.simulated import SimulatedDetector
-from repro.errors import BlazeItError, FrameQLAnalysisError, FrameQLSyntaxError
+from repro.errors import (
+    BlazeItError,
+    FrameQLAnalysisError,
+    FrameQLSyntaxError,
+    QueryParameterError,
+)
 from repro.frameql.analyzer import analyze
 from repro.frameql.parser import parse
 from repro.metrics.runtime import RuntimeLedger, StandardCosts
 from repro.video.scenarios import generate_scenario, list_scenarios
 from repro.video.synthetic import SyntheticVideo
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BlazeIt",
     "BlazeItConfig",
     "AggregateMethod",
+    "QuerySession",
+    "PreparedQuery",
+    "SessionStats",
+    "QueryBuilder",
+    "Q",
+    "QueryHints",
+    "NO_HINTS",
+    "PlanExplanation",
+    "OperatorNode",
+    "FCOUNT",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "col",
+    "lit",
+    "fn",
+    "star",
+    "udf",
+    "area",
+    "class_is",
+    "xmin",
+    "xmax",
+    "ymin",
+    "ymax",
     "LabeledSet",
     "RecordedDetections",
     "QueryResult",
@@ -63,5 +130,6 @@ __all__ = [
     "BlazeItError",
     "FrameQLSyntaxError",
     "FrameQLAnalysisError",
+    "QueryParameterError",
     "__version__",
 ]

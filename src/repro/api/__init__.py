@@ -1,0 +1,67 @@
+"""The session-based public query API.
+
+This package is the DB-style client surface of the engine:
+
+* :class:`~repro.api.session.QuerySession` — prepare once / execute many,
+  with a per-session execution-context cache and independent per-execution
+  RNG streams (``engine.session()``);
+* :class:`~repro.api.session.PreparedQuery` — a parsed/analyzed/planned query
+  with ``execute(**params)``, ``execute_many(param_sets)`` and a structured
+  ``explain()``;
+* :class:`~repro.api.builder.QueryBuilder` / :class:`~repro.api.builder.Q` —
+  a fluent builder that compiles to the FrameQL AST directly, bypassing the
+  lexer and parser;
+* :class:`~repro.api.hints.QueryHints` — typed optimizer hints replacing the
+  historical loose keyword arguments.
+"""
+
+from repro.api.builder import (
+    AVG,
+    COUNT,
+    FCOUNT,
+    Q,
+    SUM,
+    QueryBuilder,
+    area,
+    class_is,
+    col,
+    fn,
+    lit,
+    star,
+    udf,
+    xmax,
+    xmin,
+    ymax,
+    ymin,
+)
+from repro.api.hints import NO_HINTS, VALID_FILTER_CLASSES, QueryHints
+from repro.api.session import PreparedQuery, QuerySession, SessionStats
+from repro.core.results import OperatorNode, PlanExplanation
+
+__all__ = [
+    "QuerySession",
+    "PreparedQuery",
+    "SessionStats",
+    "QueryBuilder",
+    "Q",
+    "QueryHints",
+    "NO_HINTS",
+    "VALID_FILTER_CLASSES",
+    "PlanExplanation",
+    "OperatorNode",
+    "FCOUNT",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "col",
+    "lit",
+    "fn",
+    "star",
+    "udf",
+    "area",
+    "class_is",
+    "xmin",
+    "xmax",
+    "ymin",
+    "ymax",
+]

@@ -1,0 +1,124 @@
+"""Typed execution hints for FrameQL queries.
+
+``QueryHints`` replaces the loose ``scrubbing_indexed`` /
+``selection_filter_classes`` keyword arguments that used to leak through
+``BlazeIt.query``: a single frozen dataclass travels from the public API
+through the optimizer into the chosen physical plan, so every layer sees the
+same, validated hint set and new hints need only be added in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Filter classes a selection plan knows how to infer (Section 8).
+VALID_FILTER_CLASSES = frozenset({"spatial", "temporal", "content", "label"})
+
+
+@dataclass(frozen=True)
+class QueryHints:
+    """Optimizer hints attached to a prepared query.
+
+    Parameters
+    ----------
+    scrubbing_indexed:
+        Execute scrubbing queries in the pre-indexed mode: the specialized
+        NN's training and inference are assumed already paid for (for example
+        by a previous aggregate query over the same video), so neither is
+        charged to this query.  Reproduces the "BlazeIt (indexed)" variant of
+        Figure 6.
+    selection_filter_classes:
+        Restrict selection plans to a subset of filter classes (any of
+        ``"spatial"``, ``"temporal"``, ``"content"``, ``"label"``).  ``None``
+        (the default) lets the optimizer infer every applicable filter; an
+        empty set disables filtering entirely.  Used by the factor-analysis
+        and lesion-study benchmarks of Figure 11.
+    """
+
+    scrubbing_indexed: bool = False
+    selection_filter_classes: frozenset[str] | None = None
+
+    def __post_init__(self) -> None:
+        classes = self.selection_filter_classes
+        if classes is not None:
+            if isinstance(classes, str) or not isinstance(classes, Iterable):
+                raise ConfigurationError(
+                    "selection_filter_classes must be an iterable of filter-class "
+                    f"names or None, got {classes!r}"
+                )
+            normalized = frozenset(classes)
+            unknown = normalized - VALID_FILTER_CLASSES
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown selection filter classes {sorted(unknown)}; valid "
+                    f"classes are {sorted(VALID_FILTER_CLASSES)}"
+                )
+            object.__setattr__(self, "selection_filter_classes", normalized)
+
+    @property
+    def enabled_filter_classes(self) -> set[str] | None:
+        """The filter-class restriction in the form the selection plan expects."""
+        if self.selection_filter_classes is None:
+            return None
+        return set(self.selection_filter_classes)
+
+    def describe(self) -> str:
+        """Compact human-readable form, used by plan explanations."""
+        parts = []
+        if self.scrubbing_indexed:
+            parts.append("scrubbing_indexed")
+        if self.selection_filter_classes is not None:
+            parts.append(
+                "selection_filter_classes="
+                f"{{{', '.join(sorted(self.selection_filter_classes))}}}"
+            )
+        return ", ".join(parts) if parts else "none"
+
+
+#: The hint set meaning "no hints": shared default for every layer.
+NO_HINTS = QueryHints()
+
+
+def require_hints(hints: object) -> QueryHints | None:
+    """Check that ``hints`` is a :class:`QueryHints` (or ``None``).
+
+    Catches legacy positional calls such as ``plan(spec, True)`` (whose
+    second parameter used to be ``scrubbing_indexed``) with a pointed error
+    instead of a confusing failure deep inside plan construction.
+    """
+    if hints is None or isinstance(hints, QueryHints):
+        return hints
+    raise TypeError(
+        f"hints must be a QueryHints instance or None, got {hints!r}; the old "
+        "positional scrubbing_indexed/selection_filter_classes arguments must "
+        "now be passed as hints=QueryHints(...) or by keyword"
+    )
+
+
+def coerce_hints(
+    hints: QueryHints | None,
+    scrubbing_indexed: bool | None = None,
+    selection_filter_classes: Iterable[str] | None = None,
+) -> QueryHints:
+    """Merge legacy keyword arguments into a :class:`QueryHints`.
+
+    Used by the deprecation shims: explicit legacy kwargs override the
+    corresponding field of ``hints`` (which itself defaults to no hints).
+    """
+    base = hints if hints is not None else NO_HINTS
+    updates: dict[str, object] = {}
+    if scrubbing_indexed is not None:
+        updates["scrubbing_indexed"] = scrubbing_indexed
+    if selection_filter_classes is not None:
+        updates["selection_filter_classes"] = frozenset(selection_filter_classes)
+    if not updates:
+        return base
+    return QueryHints(
+        scrubbing_indexed=updates.get("scrubbing_indexed", base.scrubbing_indexed),
+        selection_filter_classes=updates.get(
+            "selection_filter_classes", base.selection_filter_classes
+        ),
+    )

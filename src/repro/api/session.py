@@ -1,0 +1,352 @@
+"""Session-based query API: prepare once, execute many.
+
+A :class:`QuerySession` is the DB-style client surface of the engine.  It
+owns three things a one-shot ``BlazeIt.query()`` call cannot amortize:
+
+* a cache of :class:`~repro.core.context.ExecutionContext` objects (one per
+  video), so per-video state such as the cheap-feature matrix is computed
+  once per session rather than once per query;
+* a cache of :class:`PreparedQuery` objects keyed by query text and hints,
+  so repeated ``session.execute`` calls parse, analyze and plan exactly once;
+* a per-session :class:`numpy.random.SeedSequence` from which every execution
+  draws a fresh, independent RNG stream — repeated approximate queries see
+  different samples, while a fixed engine seed keeps whole runs reproducible.
+
+Typical use::
+
+    with engine.session() as session:
+        prepared = session.prepare(
+            Q.select(FCOUNT()).from_("taipei").where(cls="car").error_within(0.1)
+        )
+        results = prepared.execute_many([{}, {"error_within": 0.05}])
+        print(prepared.explain().render())
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.api.builder import QueryBuilder
+from repro.api.hints import QueryHints, require_hints
+from repro.core.results import PlanExplanation, QueryResult
+from repro.errors import QueryParameterError
+from repro.frameql.analyzer import (
+    AggregateQuerySpec,
+    QuerySpec,
+    ScrubbingQuerySpec,
+    SelectionQuerySpec,
+    analyze,
+)
+from repro.frameql.ast import Query
+from repro.frameql.parser import parse
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.context import ExecutionContext
+    from repro.core.engine import BlazeIt
+    from repro.optimizer.base import PhysicalPlan
+
+def _positive_float(name: str, value: Any) -> float:
+    try:
+        result = float(value)
+    except (TypeError, ValueError):
+        raise QueryParameterError(f"{name} must be a number, got {value!r}") from None
+    if result <= 0:
+        raise QueryParameterError(f"{name} must be positive, got {value!r}")
+    return result
+
+
+def _confidence(name: str, value: Any) -> float:
+    result = _positive_float(name, value)
+    if result > 1.0:  # accept 95 as 95%, matching the builder
+        result /= 100.0
+    if not 0.0 < result < 1.0:
+        raise QueryParameterError(
+            f"{name} must be in (0, 1) (or (0, 100) as a percentage), got {value!r}"
+        )
+    return result
+
+
+def _rate(name: str, value: Any) -> float:
+    try:
+        result = float(value)
+    except (TypeError, ValueError):
+        raise QueryParameterError(f"{name} must be a number, got {value!r}") from None
+    if not 0.0 <= result < 1.0:
+        raise QueryParameterError(f"{name} must be in [0, 1), got {value!r}")
+    return result
+
+
+def _int_at_least(minimum: int):
+    def validate(name: str, value: Any) -> int:
+        try:
+            result = int(value)
+        except (TypeError, ValueError):
+            raise QueryParameterError(
+                f"{name} must be an integer, got {value!r}"
+            ) from None
+        if result < minimum:
+            raise QueryParameterError(f"{name} must be >= {minimum}, got {value!r}")
+        return result
+
+    return validate
+
+
+#: Runtime parameters each query class can re-bind without re-planning,
+#: mapped to (spec attribute, value validator).  Validation mirrors what the
+#: parser/builder and plan constructors enforce at plan time, so rebinding
+#: cannot smuggle in values planning would have rejected.
+_BINDABLE_PARAMS: dict[type, dict[str, tuple[str, Any]]] = {
+    AggregateQuerySpec: {
+        "error_within": ("error_tolerance", _positive_float),
+        "confidence": ("confidence", _confidence),
+    },
+    ScrubbingQuerySpec: {
+        "limit": ("limit", _int_at_least(1)),
+        "gap": ("gap", _int_at_least(0)),
+    },
+    SelectionQuerySpec: {
+        "fnr_within": ("fnr_within", _rate),
+        "fpr_within": ("fpr_within", _rate),
+    },
+}
+
+
+@dataclass
+class SessionStats:
+    """Counters exposing how much work the session has amortized."""
+
+    parses: int = 0
+    plans: int = 0
+    executions: int = 0
+    prepared_cache_hits: int = 0
+
+
+class PreparedQuery:
+    """A query that has been parsed, analyzed and planned exactly once.
+
+    Holds the analyzed :class:`~repro.frameql.analyzer.QuerySpec` and the
+    chosen physical plan; every :meth:`execute` call reuses both, paying only
+    execution cost.  Runtime parameters that do not change the plan structure
+    (``error_within``/``confidence`` for aggregates, ``limit``/``gap`` for
+    scrubbing, ``fnr_within``/``fpr_within`` for selection) can be re-bound
+    per execution.
+    """
+
+    def __init__(
+        self,
+        session: QuerySession,
+        text: str,
+        spec: QuerySpec,
+        plan: PhysicalPlan,
+        hints: QueryHints,
+    ) -> None:
+        self._session = session
+        self.text = text
+        self.spec = spec
+        self.plan = plan
+        self.hints = hints
+
+    def __repr__(self) -> str:
+        return f"PreparedQuery({self.text!r}, plan={self.plan.describe()})"
+
+    # -- parameter binding ---------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _bound(self, params: Mapping[str, Any]):
+        """Temporarily re-bind runtime parameters onto the analyzed spec."""
+        allowed = _BINDABLE_PARAMS.get(type(self.spec), {})
+        unknown = set(params) - set(allowed)
+        if unknown:
+            raise QueryParameterError(
+                f"{self.spec.kind.value} queries cannot bind "
+                f"{sorted(unknown)}; bindable parameters: {sorted(allowed) or 'none'}"
+            )
+        validated = {
+            allowed[name][0]: allowed[name][1](name, value)
+            for name, value in params.items()
+        }
+        saved = {attribute: getattr(self.spec, attribute) for attribute in validated}
+        for attribute, value in validated.items():
+            setattr(self.spec, attribute, value)
+        try:
+            yield
+        finally:
+            for attribute, value in saved.items():
+                setattr(self.spec, attribute, value)
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute(
+        self, rng: np.random.Generator | None = None, **params: Any
+    ) -> QueryResult:
+        """Run the prepared plan, optionally re-binding runtime parameters.
+
+        Each call draws a fresh RNG stream from the session (unless ``rng``
+        is given), so repeated approximate executions sample independently.
+        """
+        context = self._session._context_for(self.spec.video)
+        context.bind_rng(rng if rng is not None else self._session._next_rng())
+        with self._bound(params):
+            result = self.plan.execute(context)
+        self._session.stats.executions += 1
+        return result
+
+    def execute_many(
+        self, param_sets: Iterable[Mapping[str, Any]]
+    ) -> list[QueryResult]:
+        """Run the plan once per parameter set, reusing the plan and context.
+
+        The single recording/labeled-set/feature state in the session's
+        execution context is shared across all runs; only the RNG stream and
+        the bound parameters vary.
+        """
+        return [self.execute(**dict(params)) for params in param_sets]
+
+    # -- introspection -------------------------------------------------------------
+
+    def explain(self) -> PlanExplanation:
+        """Structured description of the plan this query will run."""
+        return self._session._explain(self.spec, self.plan, self.hints)
+
+
+class QuerySession:
+    """A conversation with the engine: shared context, plans and RNG streams.
+
+    Obtained from :meth:`repro.core.engine.BlazeIt.session`; usable as a
+    context manager (``with engine.session() as s:``), though no cleanup is
+    required — closing merely drops the caches.
+    """
+
+    def __init__(
+        self,
+        engine: BlazeIt,
+        video: str | None = None,
+        hints: QueryHints | None = None,
+    ) -> None:
+        self.engine = engine
+        self.video = video
+        self.hints = hints or QueryHints()
+        self.stats = SessionStats()
+        self._seed_sequence = engine._spawn_seed_sequence()
+        self._contexts: dict[str, ExecutionContext] = {}
+        self._prepared: dict[tuple[str, QueryHints], PreparedQuery] = {}
+
+    def __enter__(self) -> QuerySession:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drop the session's context and prepared-query caches."""
+        self._contexts.clear()
+        self._prepared.clear()
+
+    # -- internal plumbing ---------------------------------------------------------
+
+    def _next_rng(self) -> np.random.Generator:
+        """A fresh, independent RNG stream for one query execution."""
+        return np.random.default_rng(self._seed_sequence.spawn(1)[0])
+
+    def _context_for(self, video: str) -> ExecutionContext:
+        """The cached execution context for a video (built on first use)."""
+        context = self._contexts.get(video)
+        if context is None:
+            context = self.engine.execution_context(video)
+            self._contexts[video] = context
+        return context
+
+    def _to_ast(self, query: str | QueryBuilder | Query) -> tuple[str, Query]:
+        """Normalize text / builder / AST input to ``(cache_key, ast)``."""
+        if isinstance(query, QueryBuilder):
+            if self.video and not query._video:
+                query = query.from_(self.video)
+            ast = query.build()
+            return str(ast), ast
+        if isinstance(query, Query):
+            return str(query), query
+        self.stats.parses += 1
+        return query, parse(query)
+
+    def _explain(
+        self, spec: QuerySpec, plan: PhysicalPlan, hints: QueryHints
+    ) -> PlanExplanation:
+        store = self.engine.store
+        num_frames = store.get(spec.video).num_frames if spec.video in store else 0
+        return PlanExplanation(
+            kind=spec.kind.value,
+            plan_summary=plan.describe(),
+            operators=plan.operator_tree(),
+            estimated_detector_calls=plan.estimate_detector_calls(num_frames),
+            hints_applied=hints.describe(),
+        )
+
+    # -- public API ----------------------------------------------------------------
+
+    def prepare(
+        self, query: str | QueryBuilder | Query, hints: QueryHints | None = None
+    ) -> PreparedQuery:
+        """Parse, analyze and plan a query once; returns the reusable handle.
+
+        ``query`` may be FrameQL text, a fluent :class:`QueryBuilder`, or an
+        already-built AST.  Per-query ``hints`` override the session's
+        default hints.
+        """
+        text, ast = self._to_ast(query)
+        effective_hints = require_hints(hints) if hints is not None else self.hints
+        spec = analyze(ast)
+        plan = self.engine.optimizer.plan(spec, hints=effective_hints)
+        self.stats.plans += 1
+        return PreparedQuery(self, text, spec, plan, effective_hints)
+
+    def execute(
+        self,
+        query: str | QueryBuilder | Query,
+        hints: QueryHints | None = None,
+        rng: np.random.Generator | None = None,
+        **params: Any,
+    ) -> QueryResult:
+        """Prepare (with caching) and execute a query in one call.
+
+        Repeated calls with the same query text and hints reuse the cached
+        :class:`PreparedQuery` — one parse and one plan for the whole
+        session — while still drawing a fresh RNG stream per execution.
+        """
+        source: str | Query
+        if isinstance(query, str):
+            key_text = source = query
+        else:
+            # Compile builders exactly once: the AST serves both as the cache
+            # key and, on a miss, as the prepare() input.
+            if isinstance(query, QueryBuilder) and self.video and not query._video:
+                query = query.from_(self.video)
+            source = query.build() if isinstance(query, QueryBuilder) else query
+            key_text = str(source)
+        key = (key_text, hints if hints is not None else self.hints)
+        prepared = self._prepared.get(key)
+        if prepared is None:
+            prepared = self.prepare(source, hints=hints)
+            self._prepared[key] = prepared
+        else:
+            self.stats.prepared_cache_hits += 1
+        return prepared.execute(rng=rng, **params)
+
+    def execute_many(
+        self,
+        query: str | QueryBuilder | Query,
+        param_sets: Iterable[Mapping[str, Any]],
+        hints: QueryHints | None = None,
+    ) -> list[QueryResult]:
+        """Prepare a query once and execute it for every parameter set."""
+        return self.prepare(query, hints=hints).execute_many(param_sets)
+
+    def explain(
+        self, query: str | QueryBuilder | Query, hints: QueryHints | None = None
+    ) -> PlanExplanation:
+        """The structured plan explanation for a query, without executing it."""
+        return self.prepare(query, hints=hints).explain()

@@ -6,6 +6,12 @@ detector, an optional recording of the detector's output over the test day
 (see :class:`~repro.core.recorded.RecordedDetections`), the UDF registry, the
 engine configuration and a seeded random generator.
 
+A context is built per video but may serve many queries: a
+:class:`~repro.api.session.QuerySession` caches one context per video so
+expensive per-video state (the cheap-feature matrix) is shared, and rebinds
+the RNG stream per execution via :meth:`ExecutionContext.bind_rng` so
+repeated approximate queries draw independent samples.
+
 It also centralises detector access so every plan charges detection cost the
 same way, whether the output comes from a live detector call or from the
 recording.
@@ -40,6 +46,15 @@ class ExecutionContext:
         default_factory=lambda: np.random.default_rng(0)
     )
     _features_cache: np.ndarray | None = field(default=None, repr=False)
+
+    def bind_rng(self, rng: np.random.Generator) -> ExecutionContext:
+        """Attach the RNG stream for the next execution and return ``self``.
+
+        Sessions call this before every plan execution so each run of a
+        (possibly shared) context samples from its own stream.
+        """
+        self.rng = rng
+        return self
 
     # -- detector access -----------------------------------------------------------
 

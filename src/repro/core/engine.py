@@ -1,33 +1,46 @@
 """The BlazeIt engine: register videos, build labeled sets, run FrameQL queries.
 
-Typical use::
+The session API is the primary query surface — prepare once, execute many::
 
-    from repro import BlazeIt
+    from repro import BlazeIt, Q, FCOUNT
 
     engine = BlazeIt()
     engine.register_scenario("taipei", num_frames=4000)
-    result = engine.query(
-        "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
-        "ERROR WITHIN 0.1 AT CONFIDENCE 95%"
-    )
-    print(result.value, result.runtime_seconds)
+
+    with engine.session() as session:
+        prepared = session.prepare(
+            Q.select(FCOUNT()).from_("taipei").where(cls="car")
+            .error_within(0.1).confidence(0.95)
+        )
+        result = prepared.execute()
+        print(result.value, result.runtime_seconds)
+        print(prepared.explain().render())
+
+``engine.query(text)`` remains as a one-shot convenience (a throwaway
+session under the hood); its historical ``scrubbing_indexed`` /
+``selection_filter_classes`` keyword arguments are deprecated in favour of
+typed :class:`~repro.api.hints.QueryHints`.
 
 The engine owns the video store, the per-video detectors, the labeled sets
-(training + held-out days annotated by the detector), the UDF registry and the
-rule-based optimizer.  ``query`` parses, analyzes, plans and executes a
-FrameQL query and returns a typed result carrying the simulated-runtime
-ledger.
+(training + held-out days annotated by the detector), the UDF registry, the
+rule-based optimizer and the root random seed sequence from which every
+session and query execution derives its own independent RNG stream.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
+from typing import TYPE_CHECKING
+
+from repro.api.hints import QueryHints, coerce_hints, require_hints
 from repro.core.config import BlazeItConfig
 from repro.core.context import ExecutionContext
 from repro.core.labeled_set import LabeledSet
 from repro.core.recorded import RecordedDetections
-from repro.core.results import QueryResult
+from repro.core.results import PlanExplanation, QueryResult
 from repro.detection.base import ObjectDetector
 from repro.detection.simulated import SimulatedDetector
 from repro.errors import UnknownVideoError
@@ -39,6 +52,14 @@ from repro.udf.registry import UDFRegistry, default_udf_registry
 from repro.video.scenarios import DEFAULT_SPLIT_FRAMES, generate_scenario
 from repro.video.store import VideoStore
 from repro.video.synthetic import SyntheticVideo
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime (api.session uses engine)
+    from repro.api.session import QuerySession
+
+_DEPRECATED_KWARGS_MESSAGE = (
+    "the scrubbing_indexed / selection_filter_classes keyword arguments are "
+    "deprecated; pass hints=QueryHints(...) or use engine.session()"
+)
 
 
 class BlazeIt:
@@ -58,6 +79,10 @@ class BlazeIt:
         self._detectors: dict[str, ObjectDetector] = {}
         self._labeled_sets: dict[str, LabeledSet] = {}
         self._recorded: dict[str, RecordedDetections] = {}
+        # Root of the engine's randomness: sessions and query executions spawn
+        # independent child streams, so repeated approximate queries draw
+        # different samples while a fixed seed keeps whole runs reproducible.
+        self._seed_sequence = np.random.SeedSequence(self.config.seed)
 
     # -- registration -------------------------------------------------------------------
 
@@ -138,6 +163,24 @@ class BlazeIt:
         """Names of all registered videos."""
         return self.store.names()
 
+    # -- sessions ------------------------------------------------------------------------
+
+    def session(
+        self, video: str | None = None, hints: QueryHints | None = None
+    ) -> QuerySession:
+        """Open a query session: prepared statements, shared context, RNG streams.
+
+        ``video`` sets the default video for builder queries without a
+        ``from_`` clause; ``hints`` sets the session-wide default hints.
+        """
+        from repro.api.session import QuerySession
+
+        return QuerySession(self, video=video, hints=hints)
+
+    def _spawn_seed_sequence(self) -> np.random.SeedSequence:
+        """A child seed sequence (one per session, or per one-shot context)."""
+        return self._seed_sequence.spawn(1)[0]
+
     # -- planning and execution ----------------------------------------------------------------
 
     def analyze(self, query_text: str) -> QuerySpec:
@@ -147,25 +190,39 @@ class BlazeIt:
     def plan(
         self,
         query_text: str,
-        scrubbing_indexed: bool = False,
+        hints: QueryHints | None = None,
+        scrubbing_indexed: bool | None = None,
         selection_filter_classes: set[str] | None = None,
     ) -> tuple[QuerySpec, PhysicalPlan]:
         """Analyze a query and build (but do not run) its physical plan."""
-        spec = self.analyze(query_text)
-        plan = self.optimizer.plan(
-            spec,
-            scrubbing_indexed=scrubbing_indexed,
-            selection_filter_classes=selection_filter_classes,
+        hints = self._coerce_legacy_hints(
+            hints, scrubbing_indexed, selection_filter_classes
         )
+        spec = self.analyze(query_text)
+        plan = self.optimizer.plan(spec, hints=hints)
         return spec, plan
 
-    def explain(self, query_text: str) -> str:
-        """Describe the plan the optimizer would choose for a query."""
-        spec, plan = self.plan(query_text)
-        return f"{spec.kind.value}: {plan.describe()}"
+    def explain(self, query_text: str, hints: QueryHints | None = None) -> str:
+        """One-line description of the plan the optimizer would choose.
+
+        For the structured form (operator tree, detector-call estimate,
+        hints), use ``engine.session().explain(...)``, which returns a
+        :class:`~repro.core.results.PlanExplanation`.
+        """
+        return str(self.explain_query(query_text, hints=hints))
+
+    def explain_query(
+        self, query_text: str, hints: QueryHints | None = None
+    ) -> PlanExplanation:
+        """Structured explanation of the chosen plan."""
+        return self.session().explain(query_text, hints=hints)
 
     def execution_context(self, video_name: str) -> ExecutionContext:
-        """Build the execution context for a registered video."""
+        """Build the execution context for a registered video.
+
+        Each context receives its own RNG stream derived from the engine's
+        root seed sequence, so two contexts never share sample draws.
+        """
         if video_name not in self.store:
             raise UnknownVideoError(
                 f"video {video_name!r} is not registered "
@@ -178,23 +235,36 @@ class BlazeIt:
             config=self.config,
             labeled_set=self._labeled_sets.get(video_name),
             recorded=self._recorded.get(video_name),
-            rng=np.random.default_rng(self.config.seed),
+            rng=np.random.default_rng(self._spawn_seed_sequence()),
         )
 
     def query(
         self,
         query_text: str,
-        scrubbing_indexed: bool = False,
+        scrubbing_indexed: bool | None = None,
         selection_filter_classes: set[str] | None = None,
         rng: np.random.Generator | None = None,
+        hints: QueryHints | None = None,
     ) -> QueryResult:
-        """Optimize and execute a FrameQL query and return its result."""
-        spec, plan = self.plan(
-            query_text,
-            scrubbing_indexed=scrubbing_indexed,
-            selection_filter_classes=selection_filter_classes,
+        """Optimize and execute a FrameQL query in a throwaway session.
+
+        Compatibility wrapper over :meth:`session`: each call pays the full
+        parse/analyze/plan cost.  Workloads that repeat queries should hold a
+        session and use ``prepare``/``execute`` instead.
+        """
+        hints = self._coerce_legacy_hints(
+            hints, scrubbing_indexed, selection_filter_classes
         )
-        context = self.execution_context(spec.video)
-        if rng is not None:
-            context.rng = rng
-        return plan.execute(context)
+        return self.session().prepare(query_text, hints=hints).execute(rng=rng)
+
+    def _coerce_legacy_hints(
+        self,
+        hints: QueryHints | None,
+        scrubbing_indexed: bool | None,
+        selection_filter_classes: set[str] | None,
+    ) -> QueryHints | None:
+        require_hints(hints)
+        if scrubbing_indexed is None and selection_filter_classes is None:
+            return hints
+        warnings.warn(_DEPRECATED_KWARGS_MESSAGE, DeprecationWarning, stacklevel=3)
+        return coerce_hints(hints, scrubbing_indexed, selection_filter_classes)

@@ -1,4 +1,4 @@
-"""Query result types returned by the engine."""
+"""Query result and plan-explanation types returned by the engine."""
 
 from __future__ import annotations
 
@@ -6,6 +6,65 @@ from dataclasses import dataclass, field
 
 from repro.frameql.schema import FrameRecord
 from repro.metrics.runtime import RuntimeLedger
+
+
+@dataclass(frozen=True)
+class OperatorNode:
+    """One node of a physical plan's operator tree.
+
+    ``detail`` carries operator-specific parameters (thresholds, filter
+    classes, sampling configuration) as a short human-readable string.
+    """
+
+    name: str
+    detail: str = ""
+    children: tuple[OperatorNode, ...] = ()
+
+    def render(self, indent: int = 0) -> str:
+        """Multi-line indented rendering of the subtree."""
+        label = f"{self.name}({self.detail})" if self.detail else self.name
+        lines = ["  " * indent + label]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def flatten(self) -> list[str]:
+        """Every operator name in the subtree, depth first."""
+        names = [self.name]
+        for child in self.children:
+            names.extend(child.flatten())
+        return names
+
+
+@dataclass(frozen=True)
+class PlanExplanation:
+    """Structured description of the plan chosen for a query.
+
+    ``str()`` preserves the historical one-line ``"<kind>: <plan>"`` format;
+    the structured fields carry everything the one-liner used to hide: the
+    operator tree, the estimated number of object-detector invocations and
+    the hints that shaped the plan.
+    """
+
+    kind: str
+    plan_summary: str
+    operators: OperatorNode
+    estimated_detector_calls: int
+    hints_applied: str = "none"
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.plan_summary}"
+
+    def render(self) -> str:
+        """Multi-line rendering: summary, operator tree, estimates, hints."""
+        return "\n".join(
+            [
+                str(self),
+                self.operators.render(indent=1),
+                f"  estimated detector calls: {self.estimated_detector_calls}",
+                f"  hints: {self.hints_applied}",
+            ]
+        )
 
 
 @dataclass

@@ -71,3 +71,12 @@ class BudgetExceededError(BlazeItError):
 
 class ConfigurationError(BlazeItError):
     """Raised when a configuration object contains invalid values."""
+
+
+class QueryParameterError(BlazeItError):
+    """Raised when a prepared query is executed with invalid parameters.
+
+    Prepared queries accept only the runtime parameters their query class can
+    re-bind without re-planning (e.g. ``error_within`` for aggregates,
+    ``limit``/``gap`` for scrubbing); anything else raises this error.
+    """

@@ -6,7 +6,56 @@ from dataclasses import dataclass, field
 
 
 class Expression:
-    """Base class for all FrameQL expressions."""
+    """Base class for all FrameQL expressions.
+
+    Expressions support the Python comparison and bitwise-logic operators as
+    AST constructors, which is what the fluent query builder rides on:
+    ``fn("redness", col("content")) >= 17.5`` builds the same ``BinaryOp``
+    tree the parser produces for ``redness(content) >= 17.5``.  Equality is
+    spelled ``.eq()`` / ``.ne()`` because ``==`` keeps its dataclass meaning
+    (structural comparison of ASTs).
+    """
+
+    def _compare(self, op: str, other: object) -> "BinaryOp":
+        return BinaryOp(op, self, _as_expression(other))
+
+    def __lt__(self, other: object) -> "BinaryOp":
+        return self._compare("<", other)
+
+    def __le__(self, other: object) -> "BinaryOp":
+        return self._compare("<=", other)
+
+    def __gt__(self, other: object) -> "BinaryOp":
+        return self._compare(">", other)
+
+    def __ge__(self, other: object) -> "BinaryOp":
+        return self._compare(">=", other)
+
+    def eq(self, other: object) -> "BinaryOp":
+        """The FrameQL ``=`` comparison (``==`` stays structural equality)."""
+        return self._compare("=", other)
+
+    def ne(self, other: object) -> "BinaryOp":
+        """The FrameQL ``!=`` comparison."""
+        return self._compare("!=", other)
+
+    def __and__(self, other: object) -> "BinaryOp":
+        return BinaryOp("AND", self, _as_expression(other))
+
+    def __or__(self, other: object) -> "BinaryOp":
+        return BinaryOp("OR", self, _as_expression(other))
+
+    def __invert__(self) -> "UnaryOp":
+        return UnaryOp("NOT", self)
+
+
+def _as_expression(value: object) -> Expression:
+    """Wrap plain Python literals so operator overloads accept them directly."""
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise TypeError(f"cannot use {value!r} as a FrameQL expression")
+    return Literal(value)
 
 
 @dataclass(frozen=True)

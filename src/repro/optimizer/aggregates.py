@@ -23,11 +23,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.hints import QueryHints, require_hints
 from repro.aqp.control_variates import control_variate_estimate
+from repro.aqp.estimators import epsilon_net_minimum_samples
 from repro.aqp.sampling import adaptive_sample
 from repro.core.config import AggregateMethod
 from repro.core.context import ExecutionContext
-from repro.core.results import AggregateResult
+from repro.core.results import AggregateResult, OperatorNode
 from repro.errors import PlanningError
 from repro.frameql.analyzer import AggregateQuerySpec
 from repro.metrics.runtime import RuntimeLedger
@@ -43,18 +45,55 @@ from repro.tracking.iou_tracker import IoUTracker
 class AggregateQueryPlan(PhysicalPlan):
     """Adaptive plan for ``FCOUNT`` / ``COUNT`` aggregate queries."""
 
-    def __init__(self, spec: AggregateQuerySpec) -> None:
+    def __init__(
+        self, spec: AggregateQuerySpec, hints: QueryHints | None = None
+    ) -> None:
         if spec.object_class is None and spec.aggregate != "count_distinct":
             raise PlanningError(
                 "aggregate queries must constrain a single object class "
                 "(WHERE class = '<name>')"
             )
         self.spec = spec
+        self.hints = require_hints(hints) or QueryHints()
 
     def describe(self) -> str:
         return (
             f"AggregateQueryPlan(aggregate={self.spec.aggregate}, "
             f"class={self.spec.object_class}, error={self.spec.error_tolerance})"
+        )
+
+    def operator_tree(self) -> OperatorNode:
+        spec = self.spec
+        if spec.aggregate == "count_distinct" or spec.error_tolerance is None:
+            return OperatorNode(
+                "AggregateQueryPlan",
+                detail=f"aggregate={spec.aggregate}",
+                children=(OperatorNode("ExhaustiveDetectionScan"),),
+            )
+        return OperatorNode(
+            "AggregateQueryPlan",
+            detail=(
+                f"aggregate={spec.aggregate}, class={spec.object_class}, "
+                f"error={spec.error_tolerance} @ {spec.confidence:g}"
+            ),
+            children=(
+                OperatorNode("TrainSpecializedNN", detail=f"class={spec.object_class}"),
+                OperatorNode("BootstrapAccuracyGate", detail="Algorithm 1"),
+                OperatorNode("QueryRewrite", detail="specialized NN on every frame"),
+                OperatorNode(
+                    "ControlVariateSampling", detail="adaptive CLT-bounded sampling"
+                ),
+            ),
+        )
+
+    def estimate_detector_calls(self, num_frames: int) -> int:
+        if self.spec.error_tolerance is None or self.spec.aggregate == "count_distinct":
+            return num_frames
+        # The adaptive sampler starts from the epsilon-net minimum; the true
+        # per-frame count range K is only known at execution time, so the
+        # nominal fallback K=2 used by the plan itself stands in for it.
+        return min(
+            num_frames, epsilon_net_minimum_samples(2.0, self.spec.error_tolerance)
         )
 
     # -- entry point ---------------------------------------------------------------

@@ -5,7 +5,7 @@ from __future__ import annotations
 import abc
 
 from repro.core.context import ExecutionContext
-from repro.core.results import QueryResult
+from repro.core.results import OperatorNode, QueryResult
 
 
 class PhysicalPlan(abc.ABC):
@@ -18,3 +18,20 @@ class PhysicalPlan(abc.ABC):
     def describe(self) -> str:
         """Human-readable description of the plan."""
         return type(self).__name__
+
+    def operator_tree(self) -> OperatorNode:
+        """The plan's operator tree, for structured explanations.
+
+        Plans that pick their strategy at execution time (e.g. Algorithm 1's
+        accuracy gate) report the full decision pipeline rather than the
+        branch that will eventually run.
+        """
+        return OperatorNode(name=type(self).__name__)
+
+    def estimate_detector_calls(self, num_frames: int) -> int:
+        """Rough upper estimate of detector invocations over ``num_frames``.
+
+        Used only for explanations, never for planning; the conservative
+        default is an exhaustive scan.
+        """
+        return num_frames

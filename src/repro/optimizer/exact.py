@@ -9,8 +9,9 @@ avoid — but it is always available and always correct.
 
 from __future__ import annotations
 
+from repro.api.hints import QueryHints, require_hints
 from repro.core.context import ExecutionContext
-from repro.core.results import ExactResult
+from repro.core.results import ExactResult, OperatorNode
 from repro.frameql.analyzer import ExactQuerySpec
 from repro.frameql.schema import FrameRecord
 from repro.metrics.runtime import RuntimeLedger
@@ -21,11 +22,23 @@ from repro.tracking.iou_tracker import IoUTracker
 class ExactQueryPlan(PhysicalPlan):
     """Run object detection over every frame and materialise all records."""
 
-    def __init__(self, spec: ExactQuerySpec) -> None:
+    def __init__(self, spec: ExactQuerySpec, hints: QueryHints | None = None) -> None:
         self.spec = spec
+        self.hints = require_hints(hints) or QueryHints()
 
     def describe(self) -> str:
         return f"ExactQueryPlan(reason={self.spec.reason!r})"
+
+    def operator_tree(self) -> OperatorNode:
+        return OperatorNode(
+            "ExactQueryPlan",
+            detail=self.spec.reason,
+            children=(
+                OperatorNode("ExhaustiveDetectionScan"),
+                OperatorNode("TrackResolution", detail="IoU tracker"),
+                OperatorNode("RecordMaterialisation"),
+            ),
+        )
 
     def execute(self, context: ExecutionContext) -> ExactResult:
         ledger = RuntimeLedger()

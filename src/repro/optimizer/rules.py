@@ -10,6 +10,9 @@ inside the plans from held-out data.
 
 from __future__ import annotations
 
+import warnings
+
+from repro.api.hints import QueryHints, coerce_hints, require_hints
 from repro.errors import PlanningError, UnknownUDFError
 from repro.frameql.analyzer import (
     AggregateQuerySpec,
@@ -35,7 +38,8 @@ class RuleBasedOptimizer:
     def plan(
         self,
         spec: QuerySpec,
-        scrubbing_indexed: bool = False,
+        hints: QueryHints | None = None,
+        scrubbing_indexed: bool | None = None,
         selection_filter_classes: set[str] | None = None,
     ) -> PhysicalPlan:
         """Build the physical plan for ``spec``.
@@ -44,24 +48,31 @@ class RuleBasedOptimizer:
         ----------
         spec:
             Analyzed query specification.
-        scrubbing_indexed:
-            Execute scrubbing queries in the pre-indexed mode (specialized NN
-            training and inference assumed already paid for).
-        selection_filter_classes:
-            Restrict selection plans to a subset of filter classes; used by
-            the factor-analysis / lesion-study benchmarks.
+        hints:
+            Typed execution hints (see :class:`~repro.api.hints.QueryHints`).
+        scrubbing_indexed, selection_filter_classes:
+            Deprecated loose forms of the corresponding hint fields; use
+            ``hints`` instead.
         """
+        require_hints(hints)
+        if scrubbing_indexed is not None or selection_filter_classes is not None:
+            warnings.warn(
+                "the scrubbing_indexed / selection_filter_classes keyword "
+                "arguments are deprecated; pass hints=QueryHints(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            hints = coerce_hints(hints, scrubbing_indexed, selection_filter_classes)
+        hints = hints or QueryHints()
         self._validate_udfs(spec)
         if isinstance(spec, AggregateQuerySpec):
-            return AggregateQueryPlan(spec)
+            return AggregateQueryPlan(spec, hints=hints)
         if isinstance(spec, ScrubbingQuerySpec):
-            return ScrubbingQueryPlan(spec, indexed=scrubbing_indexed)
+            return ScrubbingQueryPlan(spec, hints=hints)
         if isinstance(spec, SelectionQuerySpec):
-            return SelectionQueryPlan(
-                spec, enabled_filter_classes=selection_filter_classes
-            )
+            return SelectionQueryPlan(spec, hints=hints)
         if isinstance(spec, ExactQuerySpec):
-            return ExactQueryPlan(spec)
+            return ExactQueryPlan(spec, hints=hints)
         raise PlanningError(f"no plan rule for query spec of type {type(spec).__name__}")
 
     def _validate_udfs(self, spec: QuerySpec) -> None:

@@ -15,8 +15,9 @@ inference cost is charged to this query.
 
 from __future__ import annotations
 
+from repro.api.hints import QueryHints, require_hints
 from repro.core.context import ExecutionContext
-from repro.core.results import ScrubbingQueryResult
+from repro.core.results import OperatorNode, ScrubbingQueryResult
 from repro.errors import PlanningError
 from repro.frameql.analyzer import ScrubbingQuerySpec
 from repro.metrics.runtime import RuntimeLedger
@@ -29,13 +30,21 @@ from repro.specialization.multiclass import MultiClassCountModel
 class ScrubbingQueryPlan(PhysicalPlan):
     """Importance-ranked scrubbing with detector verification."""
 
-    def __init__(self, spec: ScrubbingQuerySpec, indexed: bool = False) -> None:
+    def __init__(
+        self,
+        spec: ScrubbingQuerySpec,
+        indexed: bool | None = None,
+        hints: QueryHints | None = None,
+    ) -> None:
         if not spec.min_counts:
             raise PlanningError("scrubbing queries need at least one count predicate")
         if spec.limit < 1:
             raise PlanningError(f"LIMIT must be >= 1, got {spec.limit}")
         self.spec = spec
-        self.indexed = indexed
+        self.hints = require_hints(hints) or QueryHints()
+        # The explicit ``indexed`` argument (historical API, still the second
+        # positional parameter) wins over hints.
+        self.indexed = self.hints.scrubbing_indexed if indexed is None else indexed
 
     def describe(self) -> str:
         predicate = " AND ".join(
@@ -43,6 +52,26 @@ class ScrubbingQueryPlan(PhysicalPlan):
         )
         suffix = " (indexed)" if self.indexed else ""
         return f"ScrubbingQueryPlan({predicate}, limit={self.spec.limit}){suffix}"
+
+    def operator_tree(self) -> OperatorNode:
+        predicate = " AND ".join(
+            f"{cls}>={count}" for cls, count in sorted(self.spec.min_counts.items())
+        )
+        ranking_detail = "pre-indexed" if self.indexed else "trained per query"
+        return OperatorNode(
+            "ScrubbingQueryPlan",
+            detail=f"{predicate}, limit={self.spec.limit}, gap={self.spec.gap}",
+            children=(
+                OperatorNode("MultiClassNNRanking", detail=ranking_detail),
+                OperatorNode("DetectorVerification", detail="down the ranking"),
+            ),
+        )
+
+    def estimate_detector_calls(self, num_frames: int) -> int:
+        # The ranking concentrates positives near the front, so verification
+        # typically touches a small multiple of the requested clip count; the
+        # exhaustive fallback (no training instances) scans everything.
+        return min(num_frames, self.spec.limit * 100)
 
     # -- execution ----------------------------------------------------------------
 

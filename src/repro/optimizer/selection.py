@@ -17,8 +17,9 @@ import math
 
 import numpy as np
 
+from repro.api.hints import QueryHints, require_hints
 from repro.core.context import ExecutionContext
-from repro.core.results import SelectionResult
+from repro.core.results import OperatorNode, SelectionResult
 from repro.detection.base import Detection, DetectionResult
 from repro.errors import PlanningError
 from repro.frameql.analyzer import SelectionQuerySpec
@@ -72,17 +73,26 @@ def detection_matches(
 class SelectionQueryPlan(PhysicalPlan):
     """Filter pipeline followed by detection and predicate evaluation."""
 
+    _UNSET = object()
+
     def __init__(
         self,
         spec: SelectionQuerySpec,
-        enabled_filter_classes: set[str] | None = None,
+        enabled_filter_classes: set[str] | None = _UNSET,  # type: ignore[assignment]
+        hints: QueryHints | None = None,
     ) -> None:
         if spec.object_class is None and not spec.udf_predicates:
             raise PlanningError(
                 "selection queries need a class predicate or at least one UDF predicate"
             )
         self.spec = spec
-        self.enabled_filter_classes = enabled_filter_classes
+        self.hints = require_hints(hints) or QueryHints()
+        # The explicit ``enabled_filter_classes`` argument (historical API,
+        # where ``None`` means "all") wins over hints.
+        if enabled_filter_classes is self._UNSET:
+            self.enabled_filter_classes = self.hints.enabled_filter_classes
+        else:
+            self.enabled_filter_classes = enabled_filter_classes
 
     def describe(self) -> str:
         enabled = (
@@ -95,6 +105,35 @@ class SelectionQueryPlan(PhysicalPlan):
             f"udfs={[p.udf_name for p in self.spec.udf_predicates]}, "
             f"filters={enabled})"
         )
+
+    def operator_tree(self) -> OperatorNode:
+        spec = self.spec
+        enabled = (
+            ", ".join(sorted(self.enabled_filter_classes))
+            if self.enabled_filter_classes is not None
+            else "all"
+        )
+        return OperatorNode(
+            "SelectionQueryPlan",
+            detail=f"class={spec.object_class}",
+            children=(
+                OperatorNode("InferredFilterPipeline", detail=f"classes={enabled}"),
+                OperatorNode("DetectorVerification", detail="surviving frames only"),
+                OperatorNode(
+                    "PredicateEvaluation",
+                    detail=f"udfs={[p.udf_name for p in spec.udf_predicates]}",
+                ),
+                OperatorNode("TrackResolution", detail="IoU tracker"),
+            ),
+        )
+
+    def estimate_detector_calls(self, num_frames: int) -> int:
+        if self.enabled_filter_classes is not None and not self.enabled_filter_classes:
+            return num_frames
+        # Inferred filters typically discard the large majority of frames; a
+        # 10% survival rate is the explanatory stand-in for the data-dependent
+        # pass rates chosen from the held-out day at execution time.
+        return max(1, num_frames // 10)
 
     # -- execution --------------------------------------------------------------------
 

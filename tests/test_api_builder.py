@@ -1,0 +1,181 @@
+"""Builder <-> parser equivalence: the fluent builder must produce exactly the
+AST the parser produces for the equivalent FrameQL text, for every query class
+the optimizer distinguishes."""
+
+import pytest
+
+from repro.api import (
+    AVG,
+    COUNT,
+    FCOUNT,
+    Q,
+    SUM,
+    QueryBuilder,
+    area,
+    class_is,
+    col,
+    fn,
+    lit,
+    udf,
+    xmax,
+    ymin,
+)
+from repro.errors import FrameQLAnalysisError
+from repro.frameql.analyzer import QueryKind, analyze
+from repro.frameql.ast import BinaryOp, ColumnRef, Literal, UnaryOp
+from repro.frameql.parser import parse
+
+
+class TestParserEquivalence:
+    """One representative query per class: builder AST == parse(text) AST."""
+
+    def test_aggregate_query(self):
+        built = (
+            Q.select(FCOUNT())
+            .from_("taipei")
+            .where(cls="car")
+            .error_within(0.1)
+            .confidence(0.95)
+            .build()
+        )
+        parsed = parse(
+            "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
+            "ERROR WITHIN 0.1 AT CONFIDENCE 95%"
+        )
+        assert built == parsed
+        assert analyze(built).kind is QueryKind.AGGREGATE
+
+    def test_scrubbing_query(self):
+        built = (
+            Q.select("timestamp")
+            .from_("taipei")
+            .group_by("timestamp")
+            .having(SUM(class_is("bus")) >= 1, SUM(class_is("car")) >= 5)
+            .limit(10)
+            .gap(300)
+            .build()
+        )
+        parsed = parse(
+            "SELECT timestamp FROM taipei GROUP BY timestamp "
+            "HAVING SUM(class='bus') >= 1 AND SUM(class='car') >= 5 "
+            "LIMIT 10 GAP 300"
+        )
+        assert built == parsed
+        assert analyze(built).kind is QueryKind.SCRUBBING
+
+    def test_selection_query(self):
+        built = (
+            Q.select("*")
+            .from_("taipei")
+            .where(class_is("bus"), udf("redness") >= 17.5, area() > 100000)
+            .group_by("trackid")
+            .having(COUNT() > 15)
+            .build()
+        )
+        parsed = parse(
+            "SELECT * FROM taipei WHERE class = 'bus' "
+            "AND redness(content) >= 17.5 AND area(mask) > 100000 "
+            "GROUP BY trackid HAVING COUNT(*) > 15"
+        )
+        assert built == parsed
+        assert analyze(built).kind is QueryKind.SELECTION
+
+    def test_exact_query(self):
+        built = Q.select("*").from_("taipei").build()
+        parsed = parse("SELECT * FROM taipei")
+        assert built == parsed
+        assert analyze(built).kind is QueryKind.EXACT
+
+    def test_spatial_and_count_distinct(self):
+        built = (
+            Q.select(COUNT("trackid", distinct=True))
+            .from_("amsterdam")
+            .where(class_is("car"), xmax() < 960, ymin() >= 100)
+            .build()
+        )
+        parsed = parse(
+            "SELECT COUNT(DISTINCT trackid) FROM amsterdam "
+            "WHERE class = 'car' AND xmax(mask) < 960 AND ymin(mask) >= 100"
+        )
+        assert built == parsed
+
+    def test_noscope_replication_query(self):
+        built = (
+            Q.select("timestamp")
+            .from_("taipei")
+            .where(cls="person")
+            .fnr_within(0.01)
+            .fpr_within(0.01)
+            .build()
+        )
+        parsed = parse(
+            "SELECT timestamp FROM taipei WHERE class = 'person' "
+            "FNR WITHIN 0.01 FPR WITHIN 0.01"
+        )
+        assert built == parsed
+
+    def test_builder_text_round_trips_through_parser(self):
+        builder = (
+            Q.select(FCOUNT())
+            .from_("rialto")
+            .where(cls="boat")
+            .error_within(0.05)
+            .confidence(0.99)
+        )
+        assert parse(str(builder)) == builder.build()
+
+
+class TestBuilderSemantics:
+    def test_builders_are_immutable(self):
+        base = Q.select("timestamp").from_("taipei")
+        narrowed = base.where(cls="car")
+        assert base.build().where is None
+        assert narrowed.build().where is not None
+
+    def test_where_calls_accumulate_conjuncts(self):
+        split = (
+            Q.select("*").from_("v").where(class_is("bus")).where(area() > 10).build()
+        )
+        joined = Q.select("*").from_("v").where(class_is("bus"), area() > 10).build()
+        assert split == joined
+
+    def test_confidence_accepts_percent_or_fraction(self):
+        as_fraction = Q.select(FCOUNT()).from_("v").confidence(0.95).build()
+        as_percent = Q.select(FCOUNT()).from_("v").confidence(95).build()
+        assert as_fraction.confidence == pytest.approx(0.95)
+        assert as_percent.confidence == pytest.approx(0.95)
+
+    def test_confidence_out_of_range_rejected(self):
+        with pytest.raises(FrameQLAnalysisError, match="confidence"):
+            Q.select(FCOUNT()).from_("v").confidence(150)
+        with pytest.raises(FrameQLAnalysisError, match="confidence"):
+            Q.select(FCOUNT()).from_("v").confidence(0)
+
+    def test_expression_helpers(self):
+        assert col("timestamp") == ColumnRef("timestamp")
+        assert lit(3) == Literal(3)
+        assert fn("redness", col("content")) == udf("redness")
+        assert AVG("timestamp") == fn("AVG", col("timestamp"))
+        predicate = col("timestamp").eq(5)
+        assert predicate == BinaryOp("=", ColumnRef("timestamp"), Literal(5))
+        assert col("timestamp").ne(5).op == "!="
+        negated = ~class_is("car")
+        assert isinstance(negated, UnaryOp) and negated.op == "NOT"
+        conjunction = class_is("car") & (area() > 10)
+        assert conjunction.op == "AND"
+
+    def test_build_without_select_or_from_raises(self):
+        with pytest.raises(FrameQLAnalysisError, match="selects nothing"):
+            QueryBuilder().from_("v").build()
+        with pytest.raises(FrameQLAnalysisError, match="no FROM video"):
+            Q.select("*").build()
+        with pytest.raises(FrameQLAnalysisError):
+            Q.select("*").from_("v").where()
+
+    def test_int_and_float_literals_match_parser(self):
+        built = Q.select("*").from_("v").where(class_is("bus"), area() > 100000).build()
+        parsed = parse("SELECT * FROM v WHERE class='bus' AND area(mask) > 100000")
+        assert built == parsed  # 100000 stays an int on both sides
+        built_f = Q.select("*").from_("v").where(class_is("bus"), udf("redness") >= 17.5).build()
+        parsed_f = parse("SELECT * FROM v WHERE class='bus' AND redness(content) >= 17.5")
+        assert built_f == parsed_f

@@ -1,0 +1,137 @@
+"""Tests for typed query hints: validation, propagation into plans, and the
+deprecation shim over the historical loose keyword arguments."""
+
+import warnings
+
+import pytest
+
+from repro.api import QueryHints
+from repro.api.hints import NO_HINTS, coerce_hints
+from repro.errors import ConfigurationError
+from repro.optimizer.scrubbing import ScrubbingQueryPlan
+from repro.optimizer.selection import SelectionQueryPlan
+
+SCRUB_QUERY = (
+    "SELECT timestamp FROM tiny GROUP BY timestamp "
+    "HAVING SUM(class='car') >= 2 LIMIT 3"
+)
+SELECT_QUERY = "SELECT * FROM tiny WHERE class = 'bus' AND redness(content) >= 17.5"
+
+
+class TestQueryHintsValidation:
+    def test_defaults(self):
+        hints = QueryHints()
+        assert hints.scrubbing_indexed is False
+        assert hints.selection_filter_classes is None
+        assert hints.describe() == "none"
+
+    def test_filter_classes_normalized_to_frozenset(self):
+        hints = QueryHints(selection_filter_classes={"label", "temporal"})
+        assert hints.selection_filter_classes == frozenset({"label", "temporal"})
+        assert hints.enabled_filter_classes == {"label", "temporal"}
+
+    def test_unknown_filter_class_rejected(self):
+        with pytest.raises(ConfigurationError, match="wavelet"):
+            QueryHints(selection_filter_classes={"wavelet"})
+
+    def test_string_rejected_as_filter_classes(self):
+        with pytest.raises(ConfigurationError):
+            QueryHints(selection_filter_classes="label")
+
+    def test_hashable_for_cache_keys(self):
+        a = QueryHints(selection_filter_classes={"label"})
+        b = QueryHints(selection_filter_classes={"label"})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_describe_mentions_active_hints(self):
+        text = QueryHints(
+            scrubbing_indexed=True, selection_filter_classes={"label"}
+        ).describe()
+        assert "scrubbing_indexed" in text
+        assert "label" in text
+
+    def test_positional_bool_rejected_with_clear_error(self, tiny_engine):
+        """Legacy positional calls (second arg used to be scrubbing_indexed)."""
+        with pytest.raises(TypeError, match="QueryHints"):
+            tiny_engine.plan(SCRUB_QUERY, True)
+        spec = tiny_engine.analyze(SCRUB_QUERY)
+        with pytest.raises(TypeError, match="QueryHints"):
+            tiny_engine.optimizer.plan(spec, True)
+        with pytest.raises(TypeError, match="QueryHints"):
+            tiny_engine.session().prepare(SCRUB_QUERY, hints=True)
+
+    def test_coerce_hints_legacy_overrides(self):
+        merged = coerce_hints(NO_HINTS, True, {"spatial"})
+        assert merged.scrubbing_indexed is True
+        assert merged.selection_filter_classes == frozenset({"spatial"})
+        assert coerce_hints(None) is NO_HINTS
+
+
+class TestHintPropagation:
+    def test_scrubbing_indexed_reaches_plan(self, tiny_engine):
+        _, plan = tiny_engine.plan(SCRUB_QUERY, hints=QueryHints(scrubbing_indexed=True))
+        assert isinstance(plan, ScrubbingQueryPlan)
+        assert plan.indexed is True
+        _, default_plan = tiny_engine.plan(SCRUB_QUERY)
+        assert default_plan.indexed is False
+
+    def test_selection_filter_classes_reach_plan(self, tiny_engine):
+        hints = QueryHints(selection_filter_classes={"label"})
+        _, plan = tiny_engine.plan(SELECT_QUERY, hints=hints)
+        assert isinstance(plan, SelectionQueryPlan)
+        assert plan.enabled_filter_classes == {"label"}
+        assert plan.hints is hints
+
+    def test_empty_filter_set_disables_filters_end_to_end(self, tiny_engine):
+        result = tiny_engine.session().execute(
+            SELECT_QUERY, hints=QueryHints(selection_filter_classes=frozenset())
+        )
+        assert result.method == "exhaustive"
+
+    def test_indexed_scrubbing_is_no_slower(self, tiny_engine):
+        session = tiny_engine.session()
+        normal = session.execute(SCRUB_QUERY)
+        indexed = session.execute(SCRUB_QUERY, hints=QueryHints(scrubbing_indexed=True))
+        assert indexed.runtime_seconds <= normal.runtime_seconds
+
+    def test_hints_visible_in_explanation(self, tiny_engine):
+        explanation = tiny_engine.session().explain(
+            SELECT_QUERY, hints=QueryHints(selection_filter_classes={"label"})
+        )
+        assert "label" in explanation.hints_applied
+
+
+class TestDeprecationShim:
+    def test_engine_query_legacy_kwargs_warn(self, tiny_engine):
+        with pytest.warns(DeprecationWarning, match="QueryHints"):
+            tiny_engine.query(SCRUB_QUERY, scrubbing_indexed=True)
+        with pytest.warns(DeprecationWarning, match="QueryHints"):
+            tiny_engine.query(SELECT_QUERY, selection_filter_classes={"label"})
+
+    def test_engine_plan_legacy_kwargs_warn_and_propagate(self, tiny_engine):
+        with pytest.warns(DeprecationWarning):
+            _, plan = tiny_engine.plan(SCRUB_QUERY, scrubbing_indexed=True)
+        assert plan.indexed is True
+
+    def test_optimizer_plan_legacy_kwargs_warn(self, tiny_engine):
+        spec = tiny_engine.analyze(SELECT_QUERY)
+        with pytest.warns(DeprecationWarning):
+            plan = tiny_engine.optimizer.plan(spec, selection_filter_classes={"label"})
+        assert plan.enabled_filter_classes == {"label"}
+
+    def test_legacy_and_typed_paths_agree(self, tiny_engine):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = tiny_engine.query(SELECT_QUERY, selection_filter_classes=set())
+        typed = tiny_engine.query(
+            SELECT_QUERY, hints=QueryHints(selection_filter_classes=frozenset())
+        )
+        assert legacy.method == typed.method == "exhaustive"
+
+    def test_modern_paths_do_not_warn(self, tiny_engine):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            tiny_engine.query(SCRUB_QUERY)
+            tiny_engine.plan(SCRUB_QUERY, hints=QueryHints(scrubbing_indexed=True))
+            tiny_engine.session().execute(SCRUB_QUERY)
