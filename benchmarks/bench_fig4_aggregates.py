@@ -22,7 +22,6 @@ from repro.baselines.aggregates import (
     naive_aqp_aggregate,
     noscope_oracle_aggregate,
 )
-from repro.core.config import AggregateMethod
 from repro.workloads.queries import aggregate_query
 
 #: The five videos of Figure 4 (archie is excluded there because its

@@ -17,7 +17,15 @@ are the interesting part.
 
 from __future__ import annotations
 
-from repro import FCOUNT, BlazeIt, BlazeItConfig, Q
+from repro import (
+    FCOUNT,
+    BlazeIt,
+    BlazeItConfig,
+    Completed,
+    Q,
+    ScrubbingHit,
+    StopConditions,
+)
 from repro.baselines.aggregates import naive_aggregate
 
 NUM_FRAMES = 3000  # per split: train, held-out, test
@@ -74,6 +82,26 @@ def main() -> None:
         print(f"example record      : t={first.timestamp:.1f}s "
               f"track={first.trackid} area={first.mask.area:,.0f}px")
     print(f"simulated runtime   : {selection.runtime_seconds:,.1f} s")
+
+    # 4. Streaming: the same scrubbing query, but the first hit arrives the
+    #    moment it is verified, and the stop condition ends execution there.
+    print("\n-- Streaming (time to first hit) --------------------------------")
+    stream = session.stream(
+        "SELECT timestamp FROM taipei GROUP BY timestamp "
+        "HAVING SUM(class='car') >= 3 LIMIT 5 GAP 30",
+        stop=StopConditions(limit=1),
+    )
+    for event in stream:
+        if isinstance(event, ScrubbingHit):
+            print(f"first verified hit  : frame {event.frame_index} "
+                  f"@ {event.timestamp:.1f}s")
+        elif isinstance(event, Completed):
+            ledger = event.result.execution_ledger
+            print(f"detector calls      : {ledger.detector_calls} "
+                  f"(full run above used {scrub.detection_calls})")
+            print(f"stop reason         : {event.stop_reason}")
+            print(f"simulated runtime   : {event.result.runtime_seconds:,.1f} s "
+                  f"(vs {scrub.runtime_seconds:,.1f} s blocking)")
 
 
 if __name__ == "__main__":

@@ -9,7 +9,7 @@ optimizations.
 
 Quick start (session API — prepare once, execute many)::
 
-    from repro import BlazeIt, Q, FCOUNT, QueryHints
+    from repro import BlazeIt, Q, FCOUNT
 
     engine = BlazeIt()
     engine.register_scenario("taipei", num_frames=4000)
@@ -23,13 +23,18 @@ Quick start (session API — prepare once, execute many)::
         print(result.value, result.method, result.runtime_seconds)
         print(prepared.explain().render())
 
-        # Re-bind runtime parameters without re-planning:
-        sweep = prepared.execute_many(
-            [{"error_within": e} for e in (0.1, 0.05, 0.02)]
-        )
+Streaming execution (incremental results and early termination)::
 
-One-shot queries still work (``engine.query(text)``), paying the full
-parse/plan cost per call.
+    from repro import Completed, EstimateUpdate, StopConditions
+
+    for event in session.stream(prepared.text, stop=StopConditions(ci_width=0.5)):
+        if isinstance(event, EstimateUpdate):
+            print(f"estimate={event.estimate:.2f} ± {event.half_width:.3f}")
+        elif isinstance(event, Completed):
+            print("final:", event.result.value)
+
+One-shot queries still work (``engine.query(text)`` / ``engine.stream(text)``),
+paying the full parse/plan cost per call.
 """
 
 from repro.api import (
@@ -37,15 +42,25 @@ from repro.api import (
     COUNT,
     FCOUNT,
     NO_HINTS,
+    NO_STOP,
     Q,
     SUM,
+    Completed,
+    EstimateUpdate,
+    ExecutionControl,
+    ExecutionEvent,
+    ExecutionStream,
     OperatorNode,
     PlanExplanation,
     PreparedQuery,
+    Progress,
     QueryBuilder,
     QueryHints,
     QuerySession,
+    ScrubbingHit,
+    SelectionWindow,
     SessionStats,
+    StopConditions,
     area,
     class_is,
     col,
@@ -78,11 +93,11 @@ from repro.errors import (
 )
 from repro.frameql.analyzer import analyze
 from repro.frameql.parser import parse
-from repro.metrics.runtime import RuntimeLedger, StandardCosts
+from repro.metrics.runtime import ExecutionLedger, RuntimeLedger, StandardCosts
 from repro.video.scenarios import generate_scenario, list_scenarios
 from repro.video.synthetic import SyntheticVideo
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BlazeIt",
@@ -95,6 +110,17 @@ __all__ = [
     "Q",
     "QueryHints",
     "NO_HINTS",
+    "StopConditions",
+    "NO_STOP",
+    "ExecutionStream",
+    "ExecutionControl",
+    "ExecutionEvent",
+    "ExecutionLedger",
+    "Progress",
+    "EstimateUpdate",
+    "ScrubbingHit",
+    "SelectionWindow",
+    "Completed",
     "PlanExplanation",
     "OperatorNode",
     "FCOUNT",

@@ -6,8 +6,13 @@ This package is the DB-style client surface of the engine:
   with a per-session execution-context cache and independent per-execution
   RNG streams (``engine.session()``);
 * :class:`~repro.api.session.PreparedQuery` — a parsed/analyzed/planned query
-  with ``execute(**params)``, ``execute_many(param_sets)`` and a structured
-  ``explain()``;
+  with ``execute(**params)``, ``execute_many(param_sets)``, a lazy
+  ``stream()`` of typed execution events and a structured ``explain()``;
+* :class:`~repro.core.events.ExecutionStream` and the
+  :class:`~repro.core.events.ExecutionEvent` types (``Progress``,
+  ``EstimateUpdate``, ``ScrubbingHit``, ``SelectionWindow``, ``Completed``)
+  — the streaming execution protocol: incremental results, progress events
+  and early termination (``StopConditions``, ``stream.cancel()``);
 * :class:`~repro.api.builder.QueryBuilder` / :class:`~repro.api.builder.Q` —
   a fluent builder that compiles to the FrameQL AST directly, bypassing the
   lexer and parser;
@@ -34,9 +39,26 @@ from repro.api.builder import (
     ymax,
     ymin,
 )
-from repro.api.hints import NO_HINTS, VALID_FILTER_CLASSES, QueryHints
+from repro.api.hints import (
+    NO_HINTS,
+    NO_STOP,
+    VALID_FILTER_CLASSES,
+    QueryHints,
+    StopConditions,
+)
 from repro.api.session import PreparedQuery, QuerySession, SessionStats
+from repro.core.events import (
+    Completed,
+    EstimateUpdate,
+    ExecutionControl,
+    ExecutionEvent,
+    ExecutionStream,
+    Progress,
+    ScrubbingHit,
+    SelectionWindow,
+)
 from repro.core.results import OperatorNode, PlanExplanation
+from repro.metrics.runtime import ExecutionLedger
 
 __all__ = [
     "QuerySession",
@@ -47,6 +69,17 @@ __all__ = [
     "QueryHints",
     "NO_HINTS",
     "VALID_FILTER_CLASSES",
+    "StopConditions",
+    "NO_STOP",
+    "ExecutionStream",
+    "ExecutionControl",
+    "ExecutionEvent",
+    "ExecutionLedger",
+    "Progress",
+    "EstimateUpdate",
+    "ScrubbingHit",
+    "SelectionWindow",
+    "Completed",
     "PlanExplanation",
     "OperatorNode",
     "FCOUNT",

@@ -32,7 +32,7 @@ equality is spelled ``.eq()`` because ``==`` keeps its structural meaning.
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.errors import FrameQLAnalysisError
 from repro.frameql.ast import (

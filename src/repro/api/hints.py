@@ -10,9 +10,20 @@ same, validated hint set and new hints need only be added in one place.
 from __future__ import annotations
 
 from collections.abc import Iterable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.stopping import NO_STOP, StopConditions
+
+__all__ = [
+    "QueryHints",
+    "NO_HINTS",
+    "StopConditions",
+    "NO_STOP",
+    "VALID_FILTER_CLASSES",
+    "require_hints",
+    "coerce_hints",
+]
 
 #: Filter classes a selection plan knows how to infer (Section 8).
 VALID_FILTER_CLASSES = frozenset({"spatial", "temporal", "content", "label"})
@@ -36,12 +47,26 @@ class QueryHints:
         (the default) lets the optimizer infer every applicable filter; an
         empty set disables filtering entirely.  Used by the factor-analysis
         and lesion-study benchmarks of Figure 11.
+    stop_conditions:
+        Default :class:`~repro.core.events.StopConditions` applied to every
+        execution of queries prepared with these hints (``limit`` for
+        scrubbing/selection, ``ci_width`` / ``max_detector_calls`` for
+        aggregates and scans).  An explicit ``stop=`` argument to
+        ``stream()``/``execute()`` overrides them per execution.
     """
 
     scrubbing_indexed: bool = False
     selection_filter_classes: frozenset[str] | None = None
+    stop_conditions: StopConditions | None = None
 
     def __post_init__(self) -> None:
+        if self.stop_conditions is not None and not isinstance(
+            self.stop_conditions, StopConditions
+        ):
+            raise ConfigurationError(
+                "stop_conditions must be a StopConditions instance or None, "
+                f"got {self.stop_conditions!r}"
+            )
         classes = self.selection_filter_classes
         if classes is not None:
             if isinstance(classes, str) or not isinstance(classes, Iterable):
@@ -75,6 +100,8 @@ class QueryHints:
                 "selection_filter_classes="
                 f"{{{', '.join(sorted(self.selection_filter_classes))}}}"
             )
+        if self.stop_conditions is not None and not self.stop_conditions.is_noop:
+            parts.append(f"stop({self.stop_conditions.describe()})")
         return ", ".join(parts) if parts else "none"
 
 
@@ -121,4 +148,5 @@ def coerce_hints(
         selection_filter_classes=updates.get(
             "selection_filter_classes", base.selection_filter_classes
         ),
+        stop_conditions=base.stop_conditions,
     )

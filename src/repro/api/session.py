@@ -25,14 +25,20 @@ Typical use::
 from __future__ import annotations
 
 import contextlib
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.api.builder import QueryBuilder
-from repro.api.hints import QueryHints, require_hints
+from repro.api.hints import QueryHints, StopConditions, require_hints
+from repro.core.events import (
+    DEFAULT_BATCH_SIZE,
+    ExecutionControl,
+    ExecutionEvent,
+    ExecutionStream,
+)
 from repro.core.results import PlanExplanation, QueryResult
 from repro.errors import QueryParameterError
 from repro.frameql.analyzer import (
@@ -123,6 +129,7 @@ class SessionStats:
     parses: int = 0
     plans: int = 0
     executions: int = 0
+    streams: int = 0
     prepared_cache_hits: int = 0
 
 
@@ -181,20 +188,76 @@ class PreparedQuery:
 
     # -- execution ----------------------------------------------------------------
 
-    def execute(
-        self, rng: np.random.Generator | None = None, **params: Any
-    ) -> QueryResult:
-        """Run the prepared plan, optionally re-binding runtime parameters.
+    def stream(
+        self,
+        rng: np.random.Generator | None = None,
+        stop: StopConditions | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        **params: Any,
+    ) -> ExecutionStream:
+        """Run the prepared plan as a lazy stream of typed execution events.
 
+        The returned :class:`~repro.core.events.ExecutionStream` yields
+        ``Progress`` / ``EstimateUpdate`` / ``ScrubbingHit`` /
+        ``SelectionWindow`` events as the plan works, terminated by a single
+        ``Completed`` carrying the full :class:`QueryResult`.  ``stop``
+        attaches :class:`~repro.api.hints.StopConditions` for this execution
+        (falling back to the hints' default conditions), ``stream.cancel()``
+        requests cooperative cancellation, and runtime parameters re-bind
+        exactly as with :meth:`execute`.
+
+        The plan does no work until the stream is iterated; interleaving two
+        live streams of the same prepared query is not supported (they share
+        the analyzed spec and the context's RNG binding).
+        """
+        self._session.stats.streams += 1
+        return self._open_stream(rng, stop, batch_size, params)
+
+    def _open_stream(
+        self,
+        rng: np.random.Generator | None,
+        stop: StopConditions | None,
+        batch_size: int,
+        params: Mapping[str, Any],
+    ) -> ExecutionStream:
+        context = self._session._context_for(self.spec.video)
+        # The RNG stream is drawn now (so spawn order follows creation order)
+        # but bound only while iterating: executions that run between pulls
+        # of a lazy stream share the context and must not contaminate it.
+        bound_rng = rng if rng is not None else self._session._next_rng()
+        control = ExecutionControl(
+            stop=stop if stop is not None else self.hints.stop_conditions,
+            batch_size=batch_size,
+        )
+
+        def events() -> Iterator[ExecutionEvent]:
+            self._session.stats.executions += 1
+            with self._bound(params):
+                plan_events = self.plan.run(context, control)
+                while True:
+                    context.bind_rng(bound_rng)
+                    try:
+                        event = next(plan_events)
+                    except StopIteration:
+                        return
+                    yield event
+
+        return ExecutionStream(events(), control)
+
+    def execute(
+        self,
+        rng: np.random.Generator | None = None,
+        stop: StopConditions | None = None,
+        **params: Any,
+    ) -> QueryResult:
+        """Run the prepared plan to completion by draining its event stream.
+
+        Blocking execution is *defined* as ``stream(...).drain()``, so the
+        result is identical to what iterating the stream would have produced.
         Each call draws a fresh RNG stream from the session (unless ``rng``
         is given), so repeated approximate executions sample independently.
         """
-        context = self._session._context_for(self.spec.video)
-        context.bind_rng(rng if rng is not None else self._session._next_rng())
-        with self._bound(params):
-            result = self.plan.execute(context)
-        self._session.stats.executions += 1
-        return result
+        return self._open_stream(rng, stop, DEFAULT_BATCH_SIZE, params).drain()
 
     def execute_many(
         self, param_sets: Iterable[Mapping[str, Any]]
@@ -309,6 +372,7 @@ class QuerySession:
         query: str | QueryBuilder | Query,
         hints: QueryHints | None = None,
         rng: np.random.Generator | None = None,
+        stop: StopConditions | None = None,
         **params: Any,
     ) -> QueryResult:
         """Prepare (with caching) and execute a query in one call.
@@ -317,6 +381,34 @@ class QuerySession:
         :class:`PreparedQuery` — one parse and one plan for the whole
         session — while still drawing a fresh RNG stream per execution.
         """
+        return self._prepared_for(query, hints).execute(rng=rng, stop=stop, **params)
+
+    def stream(
+        self,
+        query: str | QueryBuilder | Query,
+        hints: QueryHints | None = None,
+        rng: np.random.Generator | None = None,
+        stop: StopConditions | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        **params: Any,
+    ) -> ExecutionStream:
+        """Prepare (with caching) and stream a query's execution events.
+
+        The streaming analogue of :meth:`execute`: returns a lazy
+        :class:`~repro.core.events.ExecutionStream` of typed events
+        (``Progress``, ``EstimateUpdate``, ``ScrubbingHit``,
+        ``SelectionWindow``, terminal ``Completed``), supporting early
+        termination via ``stop=StopConditions(...)`` and cooperative
+        cancellation via ``stream.cancel()``.
+        """
+        return self._prepared_for(query, hints).stream(
+            rng=rng, stop=stop, batch_size=batch_size, **params
+        )
+
+    def _prepared_for(
+        self, query: str | QueryBuilder | Query, hints: QueryHints | None
+    ) -> PreparedQuery:
+        """The cached prepared query for (query, hints), preparing on a miss."""
         source: str | Query
         if isinstance(query, str):
             key_text = source = query
@@ -334,7 +426,7 @@ class QuerySession:
             self._prepared[key] = prepared
         else:
             self.stats.prepared_cache_hits += 1
-        return prepared.execute(rng=rng, **params)
+        return prepared
 
     def execute_many(
         self,

@@ -4,6 +4,11 @@ Implements the sampling machinery of Section 6: an adaptive sampling procedure
 with an epsilon-net minimum sample size and a CLT stopping rule, and the
 control-variates variance-reduction estimator that uses specialized-NN outputs
 as the cheap auxiliary variable.
+
+Both estimators are generators at their core (``adaptive_sample_stream`` /
+``control_variate_stream``): they yield one round object per sampling round
+so streaming consumers can watch the confidence interval shrink, and the
+blocking functions simply drain them.
 """
 
 from repro.aqp.estimators import (
@@ -11,10 +16,18 @@ from repro.aqp.estimators import (
     finite_population_correction,
     sample_standard_deviation,
 )
-from repro.aqp.sampling import AdaptiveSamplingConfig, SamplingResult, adaptive_sample
+from repro.aqp.sampling import (
+    AdaptiveSamplingConfig,
+    SamplingResult,
+    SamplingRound,
+    adaptive_sample,
+    adaptive_sample_stream,
+)
 from repro.aqp.control_variates import (
     ControlVariateResult,
+    ControlVariateRound,
     control_variate_estimate,
+    control_variate_stream,
     optimal_coefficient,
 )
 
@@ -24,8 +37,12 @@ __all__ = [
     "sample_standard_deviation",
     "AdaptiveSamplingConfig",
     "SamplingResult",
+    "SamplingRound",
     "adaptive_sample",
+    "adaptive_sample_stream",
     "ControlVariateResult",
+    "ControlVariateRound",
     "control_variate_estimate",
+    "control_variate_stream",
     "optimal_coefficient",
 ]

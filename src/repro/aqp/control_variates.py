@@ -14,7 +14,7 @@ samples needed to hit the user's error bound.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,7 +24,7 @@ from repro.aqp.estimators import (
     epsilon_net_minimum_samples,
     sample_standard_deviation,
 )
-from repro.aqp.sampling import AdaptiveSamplingConfig
+from repro.aqp.sampling import AdaptiveSamplingConfig, StopPredicate
 
 
 def optimal_coefficient(m_values: np.ndarray, t_values: np.ndarray) -> float:
@@ -59,6 +59,23 @@ class ControlVariateResult:
     converged: bool
 
 
+@dataclass(frozen=True)
+class ControlVariateRound:
+    """One round of the control-variate loop, for streaming consumers.
+
+    ``done`` marks the final round; only then is ``result`` populated (with
+    exactly what :func:`control_variate_estimate` would have returned).
+    """
+
+    estimate: float
+    half_width: float
+    samples_used: int
+    correlation: float
+    rounds: int
+    done: bool
+    result: ControlVariateResult | None = None
+
+
 def control_variate_estimate(
     sample_fn: Callable[[np.ndarray], np.ndarray],
     auxiliary_values: np.ndarray,
@@ -85,6 +102,41 @@ def control_variate_estimate(
     fixed_coefficient:
         When given, use this coefficient instead of estimating the optimal one
         each round (used by the ablation benchmark).
+    """
+    for round_ in control_variate_stream(
+        sample_fn,
+        auxiliary_values,
+        error_tolerance,
+        confidence,
+        value_range,
+        rng=rng,
+        config=config,
+        fixed_coefficient=fixed_coefficient,
+    ):
+        if round_.done:
+            assert round_.result is not None
+            return round_.result
+    raise RuntimeError("control-variate stream ended without a final round")
+
+
+def control_variate_stream(
+    sample_fn: Callable[[np.ndarray], np.ndarray],
+    auxiliary_values: np.ndarray,
+    error_tolerance: float,
+    confidence: float,
+    value_range: float,
+    rng: np.random.Generator | None = None,
+    config: AdaptiveSamplingConfig | None = None,
+    fixed_coefficient: float | None = None,
+    should_stop: StopPredicate | None = None,
+) -> Iterator[ControlVariateRound]:
+    """Control-variate estimation as a stream of per-round updates.
+
+    The generator core behind :func:`control_variate_estimate` (which drains
+    it): identical sampling order, RNG stream and termination rule, but
+    yielding the variance-reduced running estimate and CI half-width after
+    every round.  ``should_stop`` is an external termination predicate
+    checked after the built-in rules each round.
     """
     auxiliary_values = np.asarray(auxiliary_values, dtype=np.float64)
     population_size = auxiliary_values.shape[0]
@@ -123,9 +175,48 @@ def control_variate_estimate(
         half_width = clt_half_width(std, taken, confidence, population_size)
         if half_width < error_tolerance:
             converged = True
-            break
-        if taken >= max_samples:
-            break
+        done = (
+            converged
+            or taken >= max_samples
+            or (should_stop is not None and should_stop(taken, half_width))
+        )
+        if done:
+            result = ControlVariateResult(
+                estimate=float(np.mean(adjusted)),
+                plain_estimate=float(np.mean(m_values)),
+                half_width=float(
+                    clt_half_width(
+                        sample_standard_deviation(adjusted),
+                        taken,
+                        confidence,
+                        population_size,
+                    )
+                ),
+                samples_used=taken,
+                sampled_indices=permutation[:taken].copy(),
+                coefficient=coefficient,
+                correlation=correlation,
+                rounds=rounds,
+                converged=converged,
+            )
+            yield ControlVariateRound(
+                estimate=result.estimate,
+                half_width=result.half_width,
+                samples_used=taken,
+                correlation=correlation,
+                rounds=rounds,
+                done=True,
+                result=result,
+            )
+            return
+        yield ControlVariateRound(
+            estimate=float(np.mean(adjusted)),
+            half_width=float(half_width),
+            samples_used=taken,
+            correlation=correlation,
+            rounds=rounds,
+            done=False,
+        )
         next_taken = min(taken + batch, max_samples)
         new_values = np.asarray(
             sample_fn(permutation[taken:next_taken]), dtype=np.float64
@@ -133,21 +224,3 @@ def control_variate_estimate(
         m_values = np.concatenate([m_values, new_values])
         taken = next_taken
         rounds += 1
-
-    t_sample = auxiliary_values[permutation[:taken]]
-    adjusted = m_values + coefficient * (t_sample - tau)
-    return ControlVariateResult(
-        estimate=float(np.mean(adjusted)),
-        plain_estimate=float(np.mean(m_values)),
-        half_width=float(
-            clt_half_width(
-                sample_standard_deviation(adjusted), taken, confidence, population_size
-            )
-        ),
-        samples_used=taken,
-        sampled_indices=permutation[:taken].copy(),
-        coefficient=coefficient,
-        correlation=correlation,
-        rounds=rounds,
-        converged=converged,
-    )

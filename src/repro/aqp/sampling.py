@@ -11,7 +11,7 @@ terminate earlier.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,6 +21,11 @@ from repro.aqp.estimators import (
     epsilon_net_minimum_samples,
     sample_standard_deviation,
 )
+
+#: External stop predicate checked once per round: ``(samples_used,
+#: half_width) -> bool``.  Used to thread user stop conditions (CI-width
+#: targets, detector budgets, cancellation) into the sampling loop.
+StopPredicate = Callable[[int, float], bool]
 
 
 @dataclass(frozen=True)
@@ -54,6 +59,22 @@ class SamplingResult:
     sampled_values: np.ndarray
     rounds: int
     converged: bool
+
+
+@dataclass(frozen=True)
+class SamplingRound:
+    """One round of the adaptive sampling loop, as seen by a streaming consumer.
+
+    ``done`` marks the final round; only then is ``result`` populated (with
+    exactly what :func:`adaptive_sample` would have returned).
+    """
+
+    estimate: float
+    half_width: float
+    samples_used: int
+    rounds: int
+    done: bool
+    result: SamplingResult | None = None
 
 
 def adaptive_sample(
@@ -93,6 +114,40 @@ def adaptive_sample(
         The estimate, the final CLT half width, the indices sampled and
         whether the loop converged before exhausting the population.
     """
+    for round_ in adaptive_sample_stream(
+        sample_fn,
+        population_size,
+        error_tolerance,
+        confidence,
+        value_range,
+        rng=rng,
+        config=config,
+    ):
+        if round_.done:
+            assert round_.result is not None
+            return round_.result
+    raise RuntimeError("adaptive sampling stream ended without a final round")
+
+
+def adaptive_sample_stream(
+    sample_fn: Callable[[np.ndarray], np.ndarray],
+    population_size: int,
+    error_tolerance: float,
+    confidence: float,
+    value_range: float,
+    rng: np.random.Generator | None = None,
+    config: AdaptiveSamplingConfig | None = None,
+    should_stop: StopPredicate | None = None,
+) -> Iterator[SamplingRound]:
+    """Adaptive sampling as a stream: one :class:`SamplingRound` per round.
+
+    The generator core behind :func:`adaptive_sample` (which drains it):
+    identical sampling order, RNG stream and termination rule, but yielding
+    the running estimate and CI half-width after every round so callers can
+    watch the interval shrink.  ``should_stop`` is an external termination
+    predicate checked after the built-in rules each round; when it fires the
+    loop finalises early with ``converged`` reflecting only the CLT bound.
+    """
     if population_size < 1:
         raise ValueError(f"population_size must be >= 1, got {population_size}")
     if error_tolerance <= 0:
@@ -117,24 +172,47 @@ def adaptive_sample(
         half_width = clt_half_width(std, taken, confidence, population_size)
         if half_width < error_tolerance:
             converged = True
-            break
-        if taken >= max_samples:
-            break
+        done = (
+            converged
+            or taken >= max_samples
+            or (should_stop is not None and should_stop(taken, half_width))
+        )
+        if done:
+            result = SamplingResult(
+                estimate=float(np.mean(values)),
+                half_width=float(
+                    clt_half_width(
+                        sample_standard_deviation(values),
+                        taken,
+                        confidence,
+                        population_size,
+                    )
+                ),
+                samples_used=taken,
+                sampled_indices=permutation[:taken].copy(),
+                sampled_values=values,
+                rounds=rounds,
+                converged=converged,
+            )
+            yield SamplingRound(
+                estimate=result.estimate,
+                half_width=result.half_width,
+                samples_used=taken,
+                rounds=rounds,
+                done=True,
+                result=result,
+            )
+            return
+        yield SamplingRound(
+            estimate=float(np.mean(values)),
+            half_width=float(half_width),
+            samples_used=taken,
+            rounds=rounds,
+            done=False,
+        )
         next_taken = min(taken + batch, max_samples)
         new_indices = permutation[taken:next_taken]
         new_values = np.asarray(sample_fn(new_indices), dtype=np.float64)
         values = np.concatenate([values, new_values])
         taken = next_taken
         rounds += 1
-
-    return SamplingResult(
-        estimate=float(np.mean(values)),
-        half_width=float(clt_half_width(
-            sample_standard_deviation(values), taken, confidence, population_size
-        )),
-        samples_used=taken,
-        sampled_indices=permutation[:taken].copy(),
-        sampled_values=values,
-        rounds=rounds,
-        converged=converged,
-    )

@@ -27,7 +27,7 @@ from repro.core.config import BlazeItConfig
 from repro.core.labeled_set import LabeledSet
 from repro.core.recorded import RecordedDetections
 from repro.detection.base import DetectionResult, ObjectDetector
-from repro.metrics.runtime import OperatorCost, RuntimeLedger
+from repro.metrics.runtime import ExecutionLedger, OperatorCost, RuntimeLedger
 from repro.udf.registry import UDFRegistry
 from repro.video.synthetic import SyntheticVideo
 
@@ -67,8 +67,17 @@ class ExecutionContext:
         """Run (or replay) object detection on one test-day frame.
 
         ``cost_scale`` reduces the charged cost when a spatial filter has
-        cropped the frame.
+        cropped the frame.  When ``ledger`` is an
+        :class:`~repro.metrics.runtime.ExecutionLedger`, detections computed
+        earlier in the same execution are served from its per-frame cache
+        without re-calling (or re-charging) the detector.
         """
+        execution_ledger = ledger if isinstance(ledger, ExecutionLedger) else None
+        if execution_ledger is not None:
+            cached = execution_ledger.cached_detection(frame_index)
+            if cached is not None:
+                execution_ledger.record_cache_hit()
+                return cached
         if ledger is not None:
             cost = self.detector.cost
             if cost_scale != 1.0:
@@ -77,8 +86,12 @@ class ExecutionContext:
                 )
             ledger.charge(cost)
         if self.recorded is not None:
-            return self.recorded.result(frame_index)
-        return self.detector.detect(self.video, frame_index)
+            result = self.recorded.result(frame_index)
+        else:
+            result = self.detector.detect(self.video, frame_index)
+        if execution_ledger is not None:
+            execution_ledger.record_detection(frame_index, result)
+        return result
 
     def detect_counts(
         self,

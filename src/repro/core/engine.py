@@ -35,8 +35,8 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
-from repro.api.hints import QueryHints, coerce_hints, require_hints
 from repro.core.config import BlazeItConfig
+from repro.core.events import ExecutionStream, StopConditions
 from repro.core.context import ExecutionContext
 from repro.core.labeled_set import LabeledSet
 from repro.core.recorded import RecordedDetections
@@ -53,7 +53,8 @@ from repro.video.scenarios import DEFAULT_SPLIT_FRAMES, generate_scenario
 from repro.video.store import VideoStore
 from repro.video.synthetic import SyntheticVideo
 
-if TYPE_CHECKING:  # pragma: no cover - circular at runtime (api.session uses engine)
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime (api uses engine)
+    from repro.api.hints import QueryHints
     from repro.api.session import QuerySession
 
 _DEPRECATED_KWARGS_MESSAGE = (
@@ -257,12 +258,40 @@ class BlazeIt:
         )
         return self.session().prepare(query_text, hints=hints).execute(rng=rng)
 
+    def stream(
+        self,
+        query_text: str,
+        hints: QueryHints | None = None,
+        rng: np.random.Generator | None = None,
+        stop: StopConditions | None = None,
+        **params: object,
+    ) -> ExecutionStream:
+        """Optimize a query and stream its execution events (throwaway session).
+
+        One-shot convenience over :meth:`session`: returns a lazy
+        :class:`~repro.core.events.ExecutionStream` yielding incremental
+        events (progress, running estimates, verified hits) terminated by a
+        ``Completed`` event with the full result.  Supports early termination
+        via ``stop=StopConditions(...)`` and ``stream.cancel()``.
+        """
+        from repro.api.hints import require_hints
+
+        require_hints(hints)
+        return self.session().stream(
+            query_text, hints=hints, rng=rng, stop=stop, **params
+        )
+
     def _coerce_legacy_hints(
         self,
         hints: QueryHints | None,
         scrubbing_indexed: bool | None,
         selection_filter_classes: set[str] | None,
     ) -> QueryHints | None:
+        # Imported lazily: the hints module sits above the core layer (it
+        # pulls in the streaming event types), so a module-level import here
+        # would close an import cycle through ``repro.core.__init__``.
+        from repro.api.hints import coerce_hints, require_hints
+
         require_hints(hints)
         if scrubbing_indexed is None and selection_filter_classes is None:
             return hints

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.frameql.schema import FrameRecord
-from repro.metrics.runtime import RuntimeLedger
+from repro.metrics.runtime import ExecutionLedger, RuntimeLedger
 
 
 @dataclass(frozen=True)
@@ -85,6 +85,12 @@ class QueryResult:
         Number of full object-detection invocations charged.
     plan_description:
         Human-readable description of the executed plan.
+    stop_reason:
+        Why execution ended early (``"limit"``, ``"ci_width"``,
+        ``"max_detector_calls"`` or ``"cancelled"``), or ``None`` when the
+        plan ran to natural completion.  Blocking callers use this to tell a
+        truncated partial answer from a full one without consuming the event
+        stream themselves.
     """
 
     kind: str
@@ -92,11 +98,28 @@ class QueryResult:
     ledger: RuntimeLedger = field(default_factory=RuntimeLedger)
     detection_calls: int = 0
     plan_description: str = ""
+    stop_reason: str | None = None
 
     @property
     def runtime_seconds(self) -> float:
         """Total simulated runtime of the query."""
         return self.ledger.total_seconds
+
+    @property
+    def execution_ledger(self) -> ExecutionLedger:
+        """The per-execution ledger (frames decoded, detector calls, batches).
+
+        Every plan executed through the streaming protocol attaches an
+        :class:`~repro.metrics.runtime.ExecutionLedger`; results constructed
+        by hand (baselines, tests) may carry a plain ``RuntimeLedger``, which
+        raises here to make the missing accounting explicit.
+        """
+        if not isinstance(self.ledger, ExecutionLedger):
+            raise TypeError(
+                "this result was not produced by the streaming execution "
+                "protocol; its ledger carries no execution counters"
+            )
+        return self.ledger
 
 
 @dataclass

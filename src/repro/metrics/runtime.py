@@ -20,6 +20,10 @@ Only *relative* runtimes (speedup factors, crossover points) are meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (metrics must not import detection)
+    from repro.detection.base import DetectionResult
 
 
 @dataclass(frozen=True)
@@ -131,4 +135,92 @@ class RuntimeLedger:
         copy = RuntimeLedger()
         copy.charges = dict(self.charges)
         copy.calls = dict(self.calls)
+        return copy
+
+
+@dataclass
+class ExecutionLedger(RuntimeLedger):
+    """Per-execution ledger attached to every query result.
+
+    Extends the simulated-runtime accounting with execution-level counters
+    (detector invocations, frames decoded, events/batches emitted over the
+    streaming protocol, wall-clock time) and a per-execution detection cache
+    keyed by frame index.  The cache is what lets a plan revisit a frame —
+    e.g. the scrubbing plan's exhaustive fallback sweeping frames already
+    examined during the importance scan — without re-calling (or re-charging)
+    the object detector.
+
+    ``wall_seconds`` and the detection cache are excluded from equality so
+    that a streamed execution and a blocking execution of the same plan under
+    the same RNG stream compare equal field-for-field.
+    """
+
+    #: Object-detector invocations actually charged (cache misses only).
+    detector_calls: int = 0
+    #: Distinct frames decoded (one per charged detection).
+    frames_decoded: int = 0
+    #: Detections served from the per-execution cache instead of the detector.
+    detection_cache_hits: int = 0
+    #: Incremental (non-terminal) events emitted over the streaming protocol.
+    batches_emitted: int = 0
+    #: All events emitted, including the terminal ``Completed``.
+    events_emitted: int = 0
+    #: Wall-clock seconds from the first event to the terminal one.
+    wall_seconds: float = field(default=0.0, compare=False)
+    _detections: "dict[int, DetectionResult]" = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    @property
+    def seen_frames(self) -> set[int]:
+        """Frame indices whose detections this execution has already computed."""
+        return set(self._detections)
+
+    def cached_detection(self, frame_index: int) -> "DetectionResult | None":
+        """The cached detection for a frame, or ``None`` if never computed."""
+        return self._detections.get(frame_index)
+
+    def record_detection(self, frame_index: int, result: "DetectionResult") -> None:
+        """Note one charged detector invocation and cache its output."""
+        if frame_index not in self._detections:
+            self.frames_decoded += 1
+        self._detections[frame_index] = result
+        self.detector_calls += 1
+
+    def record_cache_hit(self) -> None:
+        """Note one detection served from the cache (nothing charged)."""
+        self.detection_cache_hits += 1
+
+    def release_cache(self) -> None:
+        """Drop the per-frame detection cache, keeping every counter.
+
+        Called when execution completes: the cache exists only for
+        intra-execution dedupe, and results should not pin one
+        ``DetectionResult`` per decoded frame for their whole lifetime.
+        """
+        self._detections.clear()
+
+    def merge(self, other: RuntimeLedger) -> None:
+        """Fold another ledger's charges — and execution counters — into this one."""
+        super().merge(other)
+        if isinstance(other, ExecutionLedger):
+            self.detector_calls += other.detector_calls
+            self.frames_decoded += other.frames_decoded
+            self.detection_cache_hits += other.detection_cache_hits
+            self.batches_emitted += other.batches_emitted
+            self.events_emitted += other.events_emitted
+            self.wall_seconds += other.wall_seconds
+
+    def snapshot(self) -> "ExecutionLedger":
+        """Return an independent copy, execution counters and cache included."""
+        copy = ExecutionLedger()
+        copy.charges = dict(self.charges)
+        copy.calls = dict(self.calls)
+        copy.detector_calls = self.detector_calls
+        copy.frames_decoded = self.frames_decoded
+        copy.detection_cache_hits = self.detection_cache_hits
+        copy.batches_emitted = self.batches_emitted
+        copy.events_emitted = self.events_emitted
+        copy.wall_seconds = self.wall_seconds
+        copy._detections = dict(self._detections)
         return copy

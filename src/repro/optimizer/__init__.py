@@ -1,4 +1,4 @@
-"""Rule-based query optimizer and physical plans.
+"""Rule-based query optimizer and streaming physical plans.
 
 The optimizer inspects the analyzed query spec and chooses a physical plan
 (Section 5).  Because the filters and specialized NNs are orders of magnitude
@@ -6,9 +6,27 @@ cheaper than object detection, a rule-based optimizer is sufficient: the plan
 structure is determined by the query class, and the statistical decisions
 (rewrite vs control variates, filter thresholds) are made inside the plans
 from held-out data, following Algorithm 1.
+
+Every plan executes through the pull-based streaming protocol of
+:mod:`repro.core.events`: ``plan.run(context)`` yields typed
+:class:`~repro.core.events.ExecutionEvent` objects, ``plan.open(context)``
+returns a :class:`PlanCursor` with explicit ``next_batch()``/``close()``, and
+``plan.execute(context)`` drains the stream into a blocking result.  The
+event types are re-exported here so the optimizer package is a complete,
+typed surface for plan authors.
 """
 
-from repro.optimizer.base import PhysicalPlan
+from repro.core.events import (
+    Completed,
+    EstimateUpdate,
+    ExecutionControl,
+    ExecutionEvent,
+    Progress,
+    ScrubbingHit,
+    SelectionWindow,
+    StopConditions,
+)
+from repro.optimizer.base import PhysicalPlan, PlanCursor
 from repro.optimizer.aggregates import AggregateQueryPlan
 from repro.optimizer.scrubbing import ScrubbingQueryPlan
 from repro.optimizer.selection import SelectionQueryPlan
@@ -17,9 +35,18 @@ from repro.optimizer.rules import RuleBasedOptimizer
 
 __all__ = [
     "PhysicalPlan",
+    "PlanCursor",
     "AggregateQueryPlan",
     "ScrubbingQueryPlan",
     "SelectionQueryPlan",
     "ExactQueryPlan",
     "RuleBasedOptimizer",
+    "ExecutionEvent",
+    "ExecutionControl",
+    "Progress",
+    "EstimateUpdate",
+    "ScrubbingHit",
+    "SelectionWindow",
+    "Completed",
+    "StopConditions",
 ]

@@ -21,18 +21,27 @@ per-variant series of Figure 4 and Figure 5.
 
 from __future__ import annotations
 
+from collections.abc import Generator, Iterator
+
 import numpy as np
 
 from repro.api.hints import QueryHints, require_hints
-from repro.aqp.control_variates import control_variate_estimate
+from repro.aqp.control_variates import control_variate_stream
 from repro.aqp.estimators import epsilon_net_minimum_samples
-from repro.aqp.sampling import adaptive_sample
+from repro.aqp.sampling import AdaptiveSamplingConfig, adaptive_sample_stream
 from repro.core.config import AggregateMethod
 from repro.core.context import ExecutionContext
+from repro.core.events import (
+    Completed,
+    EstimateUpdate,
+    ExecutionControl,
+    ExecutionEvent,
+    Progress,
+)
 from repro.core.results import AggregateResult, OperatorNode
 from repro.errors import PlanningError
 from repro.frameql.analyzer import AggregateQuerySpec
-from repro.metrics.runtime import RuntimeLedger
+from repro.metrics.runtime import ExecutionLedger
 from repro.optimizer.base import PhysicalPlan
 from repro.specialization.calibration import (
     bootstrap_error_estimate,
@@ -98,18 +107,42 @@ class AggregateQueryPlan(PhysicalPlan):
 
     # -- entry point ---------------------------------------------------------------
 
-    def execute(self, context: ExecutionContext) -> AggregateResult:
+    def _stream(
+        self, context: ExecutionContext, control: ExecutionControl
+    ) -> Iterator[ExecutionEvent]:
+        """Algorithm 1's decision procedure, as an event stream."""
         spec = self.spec
-        ledger = RuntimeLedger()
+        ledger = ExecutionLedger()
         method = context.config.aggregate_method
+        yield Progress(
+            phase="plan_selection", total_frames=context.video.num_frames
+        )
 
         if spec.aggregate == "count_distinct":
-            return self._execute_exact(context, ledger)
-        if spec.error_tolerance is None or method == AggregateMethod.EXACT:
-            return self._execute_exact(context, ledger)
-        if method == AggregateMethod.NAIVE_AQP:
-            return self._execute_aqp(context, ledger)
+            result = yield from self._stream_exact(context, control, ledger)
+        elif spec.error_tolerance is None or method == AggregateMethod.EXACT:
+            result = yield from self._stream_exact(context, control, ledger)
+        elif method == AggregateMethod.NAIVE_AQP:
+            result = yield from self._stream_aqp(context, control, ledger)
+        else:
+            result = yield from self._stream_specialized(
+                context, control, ledger, method
+            )
+        # The sampling loops honour the detector budget by capping their
+        # sample count, which ends them through the normal "population
+        # exhausted" exit; attribute the early finish to the budget here.
+        if control.stop_reason is None and control.out_of_budget(ledger):
+            control.note_stop("max_detector_calls")
+        yield Completed(result, stop_reason=control.stop_reason)
 
+    def _stream_specialized(
+        self,
+        context: ExecutionContext,
+        control: ExecutionControl,
+        ledger: ExecutionLedger,
+        method: AggregateMethod,
+    ) -> Generator[ExecutionEvent, None, AggregateResult]:
+        spec = self.spec
         labeled = context.labeled_set
         enough_data = (
             labeled is not None
@@ -125,23 +158,31 @@ class AggregateQueryPlan(PhysicalPlan):
                     f"not enough training data for class {spec.object_class!r} to "
                     f"force {method.value}; the training day has too few positives"
                 )
-            return self._execute_aqp(context, ledger)
+            return (yield from self._stream_aqp(context, control, ledger))
 
+        yield Progress(phase="train_specialized_nn")
         model = self._train_model(context, ledger)
         if method == AggregateMethod.SPECIALIZED_REWRITE:
-            return self._execute_rewrite(context, ledger, model)
+            return (yield from self._stream_rewrite(context, control, ledger, model))
         if method == AggregateMethod.CONTROL_VARIATES:
-            return self._execute_control_variates(context, ledger, model)
+            return (
+                yield from self._stream_control_variates(
+                    context, control, ledger, model
+                )
+            )
 
         # AUTO: Algorithm 1's accuracy gate.
+        yield Progress(phase="accuracy_gate")
         if self._rewrite_is_accurate_enough(context, ledger, model):
-            return self._execute_rewrite(context, ledger, model)
-        return self._execute_control_variates(context, ledger, model)
+            return (yield from self._stream_rewrite(context, control, ledger, model))
+        return (
+            yield from self._stream_control_variates(context, control, ledger, model)
+        )
 
     # -- model training and the accuracy gate --------------------------------------------
 
     def _train_model(
-        self, context: ExecutionContext, ledger: RuntimeLedger
+        self, context: ExecutionContext, ledger: ExecutionLedger
     ) -> CountSpecializedModel:
         labeled = context.require_labeled_set()
         model = CountSpecializedModel(
@@ -162,7 +203,7 @@ class AggregateQueryPlan(PhysicalPlan):
     def _rewrite_is_accurate_enough(
         self,
         context: ExecutionContext,
-        ledger: RuntimeLedger,
+        ledger: ExecutionLedger,
         model: CountSpecializedModel,
     ) -> bool:
         labeled = context.require_labeled_set()
@@ -178,51 +219,139 @@ class AggregateQueryPlan(PhysicalPlan):
 
     # -- execution strategies -----------------------------------------------------------
 
-    def _execute_exact(
-        self, context: ExecutionContext, ledger: RuntimeLedger
-    ) -> AggregateResult:
+    def _stream_exact(
+        self,
+        context: ExecutionContext,
+        control: ExecutionControl,
+        ledger: ExecutionLedger,
+    ) -> Generator[ExecutionEvent, None, AggregateResult]:
         object_class = self.spec.object_class
         num_frames = context.video.num_frames
         if self.spec.aggregate == "count_distinct":
+            results = []
+            while len(results) < num_frames and not control.should_stop(ledger):
+                stop_at = min(
+                    num_frames, len(results) + control.batch_allowance(ledger)
+                )
+                while len(results) < stop_at:
+                    results.append(context.detect(len(results), ledger))
+                yield Progress(
+                    phase="detection_scan",
+                    frames_scanned=ledger.frames_decoded,
+                    detector_calls=ledger.detector_calls,
+                    total_frames=num_frames,
+                )
             tracker = IoUTracker(iou_threshold=0.7, max_gap=1)
-            results = [
-                context.detect(frame, ledger) for frame in range(num_frames)
-            ]
             tracks = tracker.resolve(results)
             if object_class is not None:
                 tracks = [t for t in tracks if t.object_class == object_class]
             value = float(len(tracks))
+            scanned = len(results)
+            partial_note = "distinct count covers only the scanned prefix"
         else:
-            counts = context.detect_counts(
-                np.arange(num_frames), object_class, ledger
+            count_chunks: list[np.ndarray] = []
+            scanned = 0
+            running_sum = 0.0
+            while scanned < num_frames and not control.should_stop(ledger):
+                stop_at = min(num_frames, scanned + control.batch_allowance(ledger))
+                chunk = context.detect_counts(
+                    np.arange(scanned, stop_at), object_class, ledger
+                )
+                count_chunks.append(chunk)
+                running_sum += float(chunk.sum())
+                scanned = stop_at
+                yield Progress(
+                    phase="detection_scan",
+                    frames_scanned=ledger.frames_decoded,
+                    detector_calls=ledger.detector_calls,
+                    total_frames=num_frames,
+                )
+                yield EstimateUpdate(
+                    estimate=self._finalize(running_sum / scanned, num_frames),
+                    half_width=0.0,
+                    samples_used=scanned,
+                    confidence=self.spec.confidence,
+                )
+            counts = (
+                np.concatenate(count_chunks)
+                if count_chunks
+                else np.empty(0, dtype=np.float64)
             )
-            value = self._finalize(float(counts.mean()), num_frames)
+            mean = float(counts.mean()) if counts.size else 0.0
+            value = self._finalize(mean, num_frames)
+            partial_note = "value computed from the scanned prefix only"
+        description = "exact: object detection on every frame"
+        if scanned < num_frames:
+            description += (
+                f" (stopped early: {scanned}/{num_frames} frames scanned; "
+                f"{partial_note})"
+            )
         return AggregateResult(
             kind="aggregate",
             method="exact",
             ledger=ledger,
             detection_calls=ledger.call_count(context.detector.cost.name),
-            plan_description="exact: object detection on every frame",
+            plan_description=description,
             value=value,
             error_tolerance=self.spec.error_tolerance,
             confidence=self.spec.confidence,
-            samples_used=num_frames,
+            samples_used=scanned,
         )
 
-    def _execute_aqp(
-        self, context: ExecutionContext, ledger: RuntimeLedger
-    ) -> AggregateResult:
+    def _width_scale(self, num_frames: int) -> float:
+        """Factor putting CI half-widths in the streamed estimate's units.
+
+        ``_finalize`` scales ``COUNT`` estimates from per-frame means to
+        totals; events and ``ci_width`` stop checks must scale the half-width
+        identically or "estimate ± half_width" would be off by ``num_frames``.
+        The result's ``half_width`` field stays in per-frame units, matching
+        the blocking API's historical contract.
+        """
+        return float(num_frames) if self.spec.aggregate == "count" else 1.0
+
+    def _sampling_config(
+        self, control: ExecutionControl, ledger: ExecutionLedger
+    ) -> AdaptiveSamplingConfig | None:
+        """Default sampling knobs, with the detector budget folded into the cap."""
+        budget = control.stop.max_detector_calls
+        if budget is None:
+            return None
+        return AdaptiveSamplingConfig(
+            max_samples=max(1, budget - ledger.detector_calls)
+        )
+
+    def _stream_aqp(
+        self,
+        context: ExecutionContext,
+        control: ExecutionControl,
+        ledger: ExecutionLedger,
+    ) -> Generator[ExecutionEvent, None, AggregateResult]:
         object_class = self.spec.object_class
         num_frames = context.video.num_frames
         value_range = self._value_range(context)
-        result = adaptive_sample(
+        scale = self._width_scale(num_frames)
+        result = None
+        for round_ in adaptive_sample_stream(
             sample_fn=lambda idx: context.detect_counts(idx, object_class, ledger),
             population_size=num_frames,
             error_tolerance=self.spec.error_tolerance,
             confidence=self.spec.confidence,
             value_range=value_range,
             rng=context.rng,
-        )
+            config=self._sampling_config(control, ledger),
+            should_stop=lambda taken, hw: control.should_stop(
+                ledger, half_width=hw * scale
+            ),
+        ):
+            yield EstimateUpdate(
+                estimate=self._finalize(round_.estimate, num_frames),
+                half_width=round_.half_width * scale,
+                samples_used=round_.samples_used,
+                confidence=self.spec.confidence,
+            )
+            if round_.done:
+                result = round_.result
+        assert result is not None
         return AggregateResult(
             kind="aggregate",
             method="naive_aqp",
@@ -239,15 +368,28 @@ class AggregateQueryPlan(PhysicalPlan):
             half_width=result.half_width,
         )
 
-    def _execute_rewrite(
+    def _stream_rewrite(
         self,
         context: ExecutionContext,
-        ledger: RuntimeLedger,
+        control: ExecutionControl,
+        ledger: ExecutionLedger,
         model: CountSpecializedModel,
-    ) -> AggregateResult:
+    ) -> Generator[ExecutionEvent, None, AggregateResult]:
         num_frames = context.video.num_frames
         features = context.test_features()
+        yield Progress(
+            phase="specialized_inference",
+            frames_scanned=ledger.frames_decoded,
+            detector_calls=ledger.detector_calls,
+            total_frames=num_frames,
+        )
         mean_count = model.mean_count(features, ledger)
+        yield EstimateUpdate(
+            estimate=self._finalize(mean_count, num_frames),
+            half_width=0.0,
+            samples_used=num_frames,
+            confidence=self.spec.confidence,
+        )
         return AggregateResult(
             kind="aggregate",
             method="specialized_rewrite",
@@ -262,25 +404,41 @@ class AggregateQueryPlan(PhysicalPlan):
             samples_used=num_frames,
         )
 
-    def _execute_control_variates(
+    def _stream_control_variates(
         self,
         context: ExecutionContext,
-        ledger: RuntimeLedger,
+        control: ExecutionControl,
+        ledger: ExecutionLedger,
         model: CountSpecializedModel,
-    ) -> AggregateResult:
+    ) -> Generator[ExecutionEvent, None, AggregateResult]:
         object_class = self.spec.object_class
         num_frames = context.video.num_frames
         features = context.test_features()
         auxiliary = model.expected_counts(features, ledger)
         value_range = self._value_range(context)
-        result = control_variate_estimate(
+        scale = self._width_scale(num_frames)
+        result = None
+        for round_ in control_variate_stream(
             sample_fn=lambda idx: context.detect_counts(idx, object_class, ledger),
             auxiliary_values=auxiliary,
             error_tolerance=self.spec.error_tolerance,
             confidence=self.spec.confidence,
             value_range=value_range,
             rng=context.rng,
-        )
+            config=self._sampling_config(control, ledger),
+            should_stop=lambda taken, hw: control.should_stop(
+                ledger, half_width=hw * scale
+            ),
+        ):
+            yield EstimateUpdate(
+                estimate=self._finalize(round_.estimate, num_frames),
+                half_width=round_.half_width * scale,
+                samples_used=round_.samples_used,
+                confidence=self.spec.confidence,
+            )
+            if round_.done:
+                result = round_.result
+        assert result is not None
         return AggregateResult(
             kind="aggregate",
             method="control_variates",

@@ -9,12 +9,20 @@ avoid — but it is always available and always correct.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+
 from repro.api.hints import QueryHints, require_hints
 from repro.core.context import ExecutionContext
+from repro.core.events import (
+    Completed,
+    ExecutionControl,
+    ExecutionEvent,
+    Progress,
+)
 from repro.core.results import ExactResult, OperatorNode
 from repro.frameql.analyzer import ExactQuerySpec
 from repro.frameql.schema import FrameRecord
-from repro.metrics.runtime import RuntimeLedger
+from repro.metrics.runtime import ExecutionLedger
 from repro.optimizer.base import PhysicalPlan
 from repro.tracking.iou_tracker import IoUTracker
 
@@ -40,12 +48,23 @@ class ExactQueryPlan(PhysicalPlan):
             ),
         )
 
-    def execute(self, context: ExecutionContext) -> ExactResult:
-        ledger = RuntimeLedger()
-        results = [
-            context.detect(frame_index, ledger)
-            for frame_index in range(context.video.num_frames)
-        ]
+    def _stream(
+        self, context: ExecutionContext, control: ExecutionControl
+    ) -> Iterator[ExecutionEvent]:
+        ledger = ExecutionLedger()
+        num_frames = context.video.num_frames
+        yield Progress(phase="detection_scan", total_frames=num_frames)
+        results = []
+        while len(results) < num_frames and not control.should_stop(ledger):
+            stop_at = min(num_frames, len(results) + control.batch_allowance(ledger))
+            while len(results) < stop_at:
+                results.append(context.detect(len(results), ledger))
+            yield Progress(
+                phase="detection_scan",
+                frames_scanned=ledger.frames_decoded,
+                detector_calls=ledger.detector_calls,
+                total_frames=num_frames,
+            )
         tracker = IoUTracker(iou_threshold=0.7, max_gap=1)
         tracks = tracker.resolve(results)
         records: list[FrameRecord] = []
@@ -64,11 +83,16 @@ class ExactQueryPlan(PhysicalPlan):
                         color_name=det.color_name,
                     )
                 )
-        return ExactResult(
-            kind="exact",
-            method="exhaustive",
-            ledger=ledger,
-            detection_calls=len(results),
-            plan_description="object detection on every frame, all records materialised",
-            records=records,
+        yield Completed(
+            ExactResult(
+                kind="exact",
+                method="exhaustive",
+                ledger=ledger,
+                detection_calls=len(results),
+                plan_description=(
+                    "object detection on every frame, all records materialised"
+                ),
+                records=records,
+            ),
+            stop_reason=control.stop_reason,
         )

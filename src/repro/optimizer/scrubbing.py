@@ -15,15 +15,25 @@ inference cost is charged to this query.
 
 from __future__ import annotations
 
+from collections.abc import Generator, Iterator
+
+import numpy as np
+
 from repro.api.hints import QueryHints, require_hints
 from repro.core.context import ExecutionContext
+from repro.core.events import (
+    Completed,
+    ExecutionControl,
+    ExecutionEvent,
+    Progress,
+    ScrubbingHit,
+)
 from repro.core.results import OperatorNode, ScrubbingQueryResult
 from repro.errors import PlanningError
 from repro.frameql.analyzer import ScrubbingQuerySpec
-from repro.metrics.runtime import RuntimeLedger
+from repro.metrics.runtime import ExecutionLedger
 from repro.optimizer.base import PhysicalPlan
-from repro.scrubbing.baselines import sequential_scrub
-from repro.scrubbing.importance import ScrubbingResult, importance_scrub
+from repro.scrubbing.importance import ScrubbingResult, iter_scrub_ordered
 from repro.specialization.multiclass import MultiClassCountModel
 
 
@@ -75,41 +85,125 @@ class ScrubbingQueryPlan(PhysicalPlan):
 
     # -- execution ----------------------------------------------------------------
 
-    def execute(self, context: ExecutionContext) -> ScrubbingQueryResult:
-        ledger = RuntimeLedger()
+    def _stream(
+        self, context: ExecutionContext, control: ExecutionControl
+    ) -> Iterator[ExecutionEvent]:
+        ledger = ExecutionLedger()
+        limit = control.effective_limit(self.spec.limit)
         labeled = context.labeled_set
         has_training_instances = (
             labeled is not None and labeled.training_instances(self.spec.min_counts) > 0
         )
+        result = ScrubbingResult()
         if not has_training_instances:
-            result = self._exhaustive_scan(context, ledger)
             method = "exhaustive"
             description = (
                 "no training instances of the event: sequential detection scan"
             )
+            yield Progress(
+                phase="detection_scan", total_frames=context.video.num_frames
+            )
+            yield from self._verify_candidates(
+                context, control, ledger, np.arange(context.video.num_frames),
+                limit, result,
+            )
         else:
-            result = self._importance_scan(context, ledger)
             method = "importance_indexed" if self.indexed else "importance"
             description = (
                 "specialized NN ranks frames by conjunction confidence; "
                 "detector verifies down the ranking"
             )
+            yield Progress(
+                phase="importance_ranking", total_frames=context.video.num_frames
+            )
+            order = self._importance_order(context, ledger)
+            yield from self._verify_candidates(
+                context, control, ledger, order, limit, result
+            )
+            if not result.satisfied and control.stop_reason is None:
+                # Exhaustive fallback: sweep only frames the ranked scan
+                # never examined — detections already computed during the
+                # importance scan are reused via the ledger's seen-frame
+                # set, never re-requested from the detector.  When the
+                # ranked scan examined everything there is nothing to sweep.
+                remaining = np.setdiff1d(
+                    np.arange(context.video.num_frames),
+                    np.fromiter(ledger.seen_frames, dtype=np.int64, count=-1),
+                )
+                if remaining.size:
+                    yield Progress(
+                        phase="exhaustive_fallback",
+                        frames_scanned=ledger.frames_decoded,
+                        detector_calls=ledger.detector_calls,
+                        total_frames=context.video.num_frames,
+                    )
+                    yield from self._verify_candidates(
+                        context, control, ledger, remaining, limit, result
+                    )
+        if result.satisfied and limit < self.spec.limit:
+            control.note_stop("limit")
         frames = sorted(result.frames)
-        return ScrubbingQueryResult(
-            kind="scrubbing",
-            method=method,
-            ledger=ledger,
-            detection_calls=result.detection_calls,
-            plan_description=description,
-            frames=frames,
-            timestamps=[context.video.timestamp_of(f) for f in frames],
-            limit=self.spec.limit,
-            satisfied=result.satisfied,
+        yield Completed(
+            ScrubbingQueryResult(
+                kind="scrubbing",
+                method=method,
+                ledger=ledger,
+                detection_calls=ledger.detector_calls,
+                plan_description=description,
+                frames=frames,
+                timestamps=[context.video.timestamp_of(f) for f in frames],
+                limit=self.spec.limit,
+                # ``satisfied`` keeps its blocking-API meaning — the query's
+                # own LIMIT was reached — so a run truncated by a tighter
+                # stop-condition limit reports satisfied=False.
+                satisfied=result.satisfied and limit >= self.spec.limit,
+            ),
+            stop_reason=control.stop_reason,
         )
 
-    def _importance_scan(
-        self, context: ExecutionContext, ledger: RuntimeLedger
-    ) -> ScrubbingResult:
+    def _verify_candidates(
+        self,
+        context: ExecutionContext,
+        control: ExecutionControl,
+        ledger: ExecutionLedger,
+        candidate_order: np.ndarray,
+        limit: int,
+        result: ScrubbingResult,
+    ) -> Generator[ExecutionEvent, None, None]:
+        """Verify candidates in order, emitting a hit event per accepted frame."""
+        examined_in_batch = 0
+        for step in iter_scrub_ordered(
+            candidate_order,
+            lambda frame: context.satisfies_min_counts(
+                frame, self.spec.min_counts, ledger
+            ),
+            limit=limit,
+            gap=self.spec.gap,
+            result=result,
+        ):
+            if step.verified:
+                yield ScrubbingHit(
+                    frame_index=step.frame,
+                    timestamp=context.video.timestamp_of(step.frame),
+                    hits_so_far=step.hits_so_far,
+                    limit=limit,
+                )
+            examined_in_batch += 1
+            if examined_in_batch >= control.batch_size:
+                examined_in_batch = 0
+                yield Progress(
+                    phase="verification",
+                    frames_scanned=ledger.frames_decoded,
+                    detector_calls=ledger.detector_calls,
+                    total_frames=context.video.num_frames,
+                )
+            if not result.satisfied and control.should_stop(ledger):
+                return
+
+    def _importance_order(
+        self, context: ExecutionContext, ledger: ExecutionLedger
+    ) -> np.ndarray:
+        """Frames ranked by specialized-NN conjunction confidence, best first."""
         labeled = context.require_labeled_set()
         training_ledger = (
             ledger if (context.config.include_training_time and not self.indexed) else None
@@ -130,23 +224,4 @@ class ScrubbingQueryPlan(PhysicalPlan):
         scores = model.score_conjunction(
             context.test_features(), self.spec.min_counts, inference_ledger
         )
-        return importance_scrub(
-            scores=scores,
-            verify_fn=lambda frame: context.satisfies_min_counts(
-                frame, self.spec.min_counts, ledger
-            ),
-            limit=self.spec.limit,
-            gap=self.spec.gap,
-        )
-
-    def _exhaustive_scan(
-        self, context: ExecutionContext, ledger: RuntimeLedger
-    ) -> ScrubbingResult:
-        return sequential_scrub(
-            num_frames=context.video.num_frames,
-            verify_fn=lambda frame: context.satisfies_min_counts(
-                frame, self.spec.min_counts, ledger
-            ),
-            limit=self.spec.limit,
-            gap=self.spec.gap,
-        )
+        return np.argsort(-np.asarray(scores, dtype=np.float64), kind="stable")

@@ -14,17 +14,25 @@ positives — matching the paper's error accounting for these queries.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterator
 
 import numpy as np
 
 from repro.api.hints import QueryHints, require_hints
 from repro.core.context import ExecutionContext
+from repro.core.events import (
+    Completed,
+    ExecutionControl,
+    ExecutionEvent,
+    Progress,
+    SelectionWindow,
+)
 from repro.core.results import OperatorNode, SelectionResult
 from repro.detection.base import Detection, DetectionResult
 from repro.errors import PlanningError
 from repro.frameql.analyzer import SelectionQuerySpec
 from repro.frameql.schema import FrameRecord
-from repro.metrics.runtime import RuntimeLedger
+from repro.metrics.runtime import ExecutionLedger, RuntimeLedger
 from repro.optimizer.base import PhysicalPlan
 from repro.selection.filters import TemporalFilter
 from repro.selection.inference import FilterInferenceInputs, infer_selection_plan
@@ -137,34 +145,128 @@ class SelectionQueryPlan(PhysicalPlan):
 
     # -- execution --------------------------------------------------------------------
 
-    def execute(self, context: ExecutionContext) -> SelectionResult:
-        ledger = RuntimeLedger()
+    def _stream(
+        self, context: ExecutionContext, control: ExecutionControl
+    ) -> Iterator[ExecutionEvent]:
+        ledger = ExecutionLedger()
+        yield Progress(
+            phase="filter_inference", total_frames=context.video.num_frames
+        )
         plan = self._build_filter_plan(context, ledger)
 
         all_frames = np.arange(context.video.num_frames, dtype=np.int64)
         surviving = plan.apply(context.video, all_frames, ledger)
+        yield Progress(
+            phase="filter_pipeline",
+            frames_scanned=ledger.frames_decoded,
+            detector_calls=ledger.detector_calls,
+            total_frames=int(surviving.size),
+        )
 
         cost_scale = plan.detection_cost_scale
+        window_limit = control.stop.limit
+        # Early stopping on provisional windows is unsound for duration
+        # queries: a track straddling the scanned prefix has not yet met
+        # min_track_frames, so fragments of one real event could be counted
+        # as several windows.  Those queries scan fully and only truncate
+        # the finished window list.
+        provisional_limit = (
+            window_limit if self.spec.min_track_frames is None else None
+        )
         frame_results: list[DetectionResult] = []
-        for frame_index in surviving:
-            frame_results.append(
+        records: list[FrameRecord] = []
+        matched_frames: set[int] = set()
+        candidates_pending = False
+        taken = 0
+        while taken < surviving.size:
+            if control.should_stop(ledger):
+                break
+            stop_at = min(int(surviving.size), taken + control.batch_allowance(ledger))
+            batch_results = [
                 context.detect(int(frame_index), ledger, cost_scale=cost_scale)
+                for frame_index in surviving[taken:stop_at]
+            ]
+            frame_results.extend(batch_results)
+            taken = stop_at
+            yield Progress(
+                phase="detector_verification",
+                frames_scanned=ledger.frames_decoded,
+                detector_calls=ledger.detector_calls,
+                total_frames=int(surviving.size),
+            )
+            if provisional_limit is not None:
+                # Provisional evaluation over the detections so far: stop as
+                # soon as enough matched windows exist.  (Without a limit the
+                # predicates are evaluated exactly once, after the full scan.)
+                # Track resolution over the full prefix is quadratic in the
+                # worst case, so it only reruns when a batch actually adds a
+                # detection that passes the object-level predicates — batches
+                # of non-candidates cannot change the window count.
+                candidates_pending = candidates_pending or any(
+                    detection_matches(det, self.spec, context.udf_registry)
+                    for result in batch_results
+                    for det in result.detections
+                )
+                if not candidates_pending:
+                    continue
+                records, matched_frames = self._evaluate_predicates(
+                    context, frame_results, plan
+                )
+                candidates_pending = False
+                if len(self._windows(matched_frames, plan)) >= provisional_limit:
+                    control.note_stop("limit")
+                    break
+        if provisional_limit is None or (
+            taken >= surviving.size and control.stop_reason is None
+        ):
+            records, matched_frames = self._evaluate_predicates(
+                context, frame_results, plan
             )
 
-        records, matched_frames = self._evaluate_predicates(
-            context, frame_results, plan
+        windows = self._windows(matched_frames, plan)
+        if window_limit is not None and len(windows) > window_limit:
+            windows = windows[:window_limit]
+            kept = {
+                frame
+                for start, end in windows
+                for frame in range(start, end + 1)
+            }
+            matched_frames = {f for f in matched_frames if f in kept}
+            records = [r for r in records if r.frame_index in kept]
+        for position, (start, end) in enumerate(windows, start=1):
+            yield SelectionWindow(
+                start_frame=start,
+                end_frame=end,
+                matched_frames=sum(1 for f in matched_frames if start <= f <= end),
+                windows_so_far=position,
+            )
+        yield Completed(
+            SelectionResult(
+                kind="selection",
+                method="filtered" if plan.filters else "exhaustive",
+                ledger=ledger,
+                detection_calls=len(frame_results),
+                plan_description=plan.describe(),
+                records=records,
+                matched_frames=sorted(matched_frames),
+                frames_scanned=int(all_frames.size),
+                frames_after_filters=int(surviving.size),
+            ),
+            stop_reason=control.stop_reason,
         )
-        return SelectionResult(
-            kind="selection",
-            method="filtered" if plan.filters else "exhaustive",
-            ledger=ledger,
-            detection_calls=len(frame_results),
-            plan_description=plan.describe(),
-            records=records,
-            matched_frames=sorted(matched_frames),
-            frames_scanned=int(all_frames.size),
-            frames_after_filters=int(surviving.size),
-        )
+
+    def _windows(
+        self, matched_frames: set[int], plan: SelectionPlan
+    ) -> list[tuple[int, int]]:
+        """Contiguous windows of matched frames (subsample-step tolerant)."""
+        step = max(1, self._subsample_step(plan))
+        windows: list[tuple[int, int]] = []
+        for frame in sorted(matched_frames):
+            if windows and frame - windows[-1][1] <= step:
+                windows[-1] = (windows[-1][0], frame)
+            else:
+                windows.append((frame, frame))
+        return windows
 
     # -- filter inference ----------------------------------------------------------------
 

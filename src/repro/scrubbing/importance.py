@@ -9,7 +9,7 @@ the full detector; the ``GAP`` constraint is enforced on the verified frames.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -44,6 +44,56 @@ def _respects_gap(frame: int, accepted: list[int], gap: int) -> bool:
     return all(abs(frame - other) >= gap for other in accepted)
 
 
+@dataclass(frozen=True)
+class ScrubStep:
+    """One examined candidate frame, for streaming consumers.
+
+    ``hits_so_far`` counts the accepted (verified, gap-respecting) frames
+    including this one when ``verified`` is true.
+    """
+
+    frame: int
+    verified: bool
+    hits_so_far: int
+
+
+def iter_scrub_ordered(
+    candidate_order: np.ndarray | list[int],
+    verify_fn: Callable[[int], bool],
+    limit: int,
+    gap: int = 0,
+    result: ScrubbingResult | None = None,
+) -> Iterator[ScrubStep]:
+    """Walk candidate frames in order, yielding one :class:`ScrubStep` each.
+
+    The generator core behind :func:`scrub_ordered` (which drains it) and the
+    streaming scrubbing plan.  State accumulates in ``result`` — pass the same
+    :class:`ScrubbingResult` to a second call to *resume* a scrub over a
+    different candidate order (e.g. an exhaustive fallback sweep after an
+    importance scan) with the accepted frames and counters carried over.
+    """
+    if limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    if result is None:
+        result = ScrubbingResult()
+    for frame in candidate_order:
+        frame = int(frame)
+        if frame in result.frames or not _respects_gap(frame, result.frames, gap):
+            continue
+        result.detection_calls += 1
+        result.frames_examined += 1
+        verified = verify_fn(frame)
+        if verified:
+            result.frames.append(frame)
+            if len(result.frames) >= limit:
+                result.satisfied = True
+        yield ScrubStep(
+            frame=frame, verified=verified, hits_so_far=len(result.frames)
+        )
+        if result.satisfied:
+            return
+
+
 def scrub_ordered(
     candidate_order: np.ndarray | list[int],
     verify_fn: Callable[[int], bool],
@@ -55,20 +105,9 @@ def scrub_ordered(
     This is the shared engine behind the importance-ranked strategy and all
     baselines; they differ only in the order of ``candidate_order``.
     """
-    if limit < 1:
-        raise ValueError(f"limit must be >= 1, got {limit}")
     result = ScrubbingResult()
-    for frame in candidate_order:
-        frame = int(frame)
-        if not _respects_gap(frame, result.frames, gap):
-            continue
-        result.detection_calls += 1
-        result.frames_examined += 1
-        if verify_fn(frame):
-            result.frames.append(frame)
-            if len(result.frames) >= limit:
-                result.satisfied = True
-                break
+    for _ in iter_scrub_ordered(candidate_order, verify_fn, limit, gap, result):
+        pass
     return result
 
 

@@ -1,0 +1,72 @@
+"""Typed early-termination conditions for query execution.
+
+This is a dependency-free leaf module: :class:`StopConditions` is shared by
+the query-hint layer (:mod:`repro.api.hints`) and the streaming execution
+protocol (:mod:`repro.core.events`), which sit on opposite sides of the
+core/api package boundary.  Defining it here keeps both imports acyclic.
+The canonical public import paths are ``repro.api`` and ``repro.core.events``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StopConditions:
+    """Typed early-termination conditions threaded through every plan.
+
+    Parameters
+    ----------
+    limit:
+        Stop scrubbing/selection executions after this many verified hits /
+        matched windows, even if the query's own ``LIMIT`` is larger.
+    ci_width:
+        Stop aggregate sampling as soon as the CI half-width is at or below
+        this value, even if the query's ``ERROR WITHIN`` bound is tighter.
+    max_detector_calls:
+        Hard budget on charged object-detector invocations for any plan;
+        execution finalises a partial result once the budget is reached.
+    """
+
+    limit: int | None = None
+    ci_width: float | None = None
+    max_detector_calls: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.limit is not None and self.limit < 1:
+            raise ConfigurationError(f"stop limit must be >= 1, got {self.limit}")
+        if self.ci_width is not None and self.ci_width <= 0:
+            raise ConfigurationError(
+                f"stop ci_width must be positive, got {self.ci_width}"
+            )
+        if self.max_detector_calls is not None and self.max_detector_calls < 1:
+            raise ConfigurationError(
+                f"stop max_detector_calls must be >= 1, got {self.max_detector_calls}"
+            )
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether no condition is set (execution runs to natural completion)."""
+        return (
+            self.limit is None
+            and self.ci_width is None
+            and self.max_detector_calls is None
+        )
+
+    def describe(self) -> str:
+        """Compact human-readable form, used by hint/plan descriptions."""
+        parts = []
+        if self.limit is not None:
+            parts.append(f"limit={self.limit}")
+        if self.ci_width is not None:
+            parts.append(f"ci_width<={self.ci_width:g}")
+        if self.max_detector_calls is not None:
+            parts.append(f"max_detector_calls={self.max_detector_calls}")
+        return ", ".join(parts) if parts else "none"
+
+
+#: The stop-condition set meaning "run to completion".
+NO_STOP = StopConditions()

@@ -17,7 +17,7 @@ paying the simulated detection cost; query execution goes through
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,6 +1,5 @@
 """Tests for the baseline strategies used in the evaluation comparisons."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.aggregates import (

@@ -7,7 +7,6 @@ from repro.metrics.runtime import RuntimeLedger
 from repro.specialization.binary_model import BinaryPresenceModel
 from repro.specialization.count_model import CountSpecializedModel, select_num_classes
 from repro.specialization.multiclass import MultiClassCountModel
-from repro.specialization.trainer import TrainingConfig
 
 
 class TestSelectNumClasses:

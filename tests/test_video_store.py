@@ -1,6 +1,5 @@
 """Tests for the video store and the decode cost model."""
 
-import numpy as np
 import pytest
 
 from repro.errors import UnknownVideoError
