@@ -53,11 +53,21 @@ class QueryHints:
         scrubbing/selection, ``ci_width`` / ``max_detector_calls`` for
         aggregates and scans).  An explicit ``stop=`` argument to
         ``stream()``/``execute()`` overrides them per execution.
+    batch_size:
+        Chunk size of the vectorized execution pipeline: how many candidate
+        frames a plan pulls (and scores / verifies with one batched call)
+        between control checks and progress events.  ``None`` uses the
+        engine default (:data:`~repro.core.events.DEFAULT_BATCH_SIZE`).
+        Results are identical for every batch size; chunking only affects
+        how eagerly early-stop conditions are honoured (see the README's
+        "Performance" notes).  An explicit ``batch_size=`` argument to
+        ``stream()`` overrides it per execution.
     """
 
     scrubbing_indexed: bool = False
     selection_filter_classes: frozenset[str] | None = None
     stop_conditions: StopConditions | None = None
+    batch_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.stop_conditions is not None and not isinstance(
@@ -66,6 +76,13 @@ class QueryHints:
             raise ConfigurationError(
                 "stop_conditions must be a StopConditions instance or None, "
                 f"got {self.stop_conditions!r}"
+            )
+        if self.batch_size is not None and (
+            not isinstance(self.batch_size, int) or self.batch_size < 1
+        ):
+            raise ConfigurationError(
+                f"batch_size must be a positive integer or None, got "
+                f"{self.batch_size!r}"
             )
         classes = self.selection_filter_classes
         if classes is not None:
@@ -102,6 +119,8 @@ class QueryHints:
             )
         if self.stop_conditions is not None and not self.stop_conditions.is_noop:
             parts.append(f"stop({self.stop_conditions.describe()})")
+        if self.batch_size is not None:
+            parts.append(f"batch_size={self.batch_size}")
         return ", ".join(parts) if parts else "none"
 
 
@@ -149,4 +168,5 @@ def coerce_hints(
             "selection_filter_classes", base.selection_filter_classes
         ),
         stop_conditions=base.stop_conditions,
+        batch_size=base.batch_size,
     )

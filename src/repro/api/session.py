@@ -192,7 +192,7 @@ class PreparedQuery:
         self,
         rng: np.random.Generator | None = None,
         stop: StopConditions | None = None,
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_size: int | None = None,
         **params: Any,
     ) -> ExecutionStream:
         """Run the prepared plan as a lazy stream of typed execution events.
@@ -202,7 +202,9 @@ class PreparedQuery:
         ``SelectionWindow`` events as the plan works, terminated by a single
         ``Completed`` carrying the full :class:`QueryResult`.  ``stop``
         attaches :class:`~repro.api.hints.StopConditions` for this execution
-        (falling back to the hints' default conditions), ``stream.cancel()``
+        (falling back to the hints' default conditions), ``batch_size``
+        overrides the pipeline chunk size (falling back to the hints'
+        ``batch_size``, then the engine default), ``stream.cancel()``
         requests cooperative cancellation, and runtime parameters re-bind
         exactly as with :meth:`execute`.
 
@@ -217,7 +219,7 @@ class PreparedQuery:
         self,
         rng: np.random.Generator | None,
         stop: StopConditions | None,
-        batch_size: int,
+        batch_size: int | None,
         params: Mapping[str, Any],
     ) -> ExecutionStream:
         context = self._session._context_for(self.spec.video)
@@ -225,6 +227,12 @@ class PreparedQuery:
         # but bound only while iterating: executions that run between pulls
         # of a lazy stream share the context and must not contaminate it.
         bound_rng = rng if rng is not None else self._session._next_rng()
+        if batch_size is None:
+            batch_size = (
+                self.hints.batch_size
+                if self.hints.batch_size is not None
+                else DEFAULT_BATCH_SIZE
+            )
         control = ExecutionControl(
             stop=stop if stop is not None else self.hints.stop_conditions,
             batch_size=batch_size,
@@ -257,7 +265,7 @@ class PreparedQuery:
         Each call draws a fresh RNG stream from the session (unless ``rng``
         is given), so repeated approximate executions sample independently.
         """
-        return self._open_stream(rng, stop, DEFAULT_BATCH_SIZE, params).drain()
+        return self._open_stream(rng, stop, None, params).drain()
 
     def execute_many(
         self, param_sets: Iterable[Mapping[str, Any]]
@@ -389,7 +397,7 @@ class QuerySession:
         hints: QueryHints | None = None,
         rng: np.random.Generator | None = None,
         stop: StopConditions | None = None,
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_size: int | None = None,
         **params: Any,
     ) -> ExecutionStream:
         """Prepare (with caching) and stream a query's execution events.

@@ -55,6 +55,12 @@ class BlazeItConfig:
         sets are large enough to train it reliably).
     specialized_hidden_size:
         Hidden width of the MLP specialized models.
+    batched_execution:
+        Route detector access through the vectorized batch pipeline
+        (``ExecutionContext.detect_batch``; the default).  When disabled,
+        batch calls fall back to the scalar per-frame reference path —
+        bit-for-bit identical results, used by the perf-regression bench and
+        the scalar/batched equivalence tests.
     seed:
         Seed for all randomised decisions made by the engine.
     """
@@ -67,6 +73,7 @@ class BlazeItConfig:
     include_training_time: bool = True
     specialized_model_type: str = "softmax"
     specialized_hidden_size: int = 32
+    batched_execution: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -26,7 +26,11 @@ import numpy as np
 from repro.core.config import BlazeItConfig
 from repro.core.labeled_set import LabeledSet
 from repro.core.recorded import RecordedDetections
-from repro.detection.base import DetectionResult, ObjectDetector
+from repro.detection.base import (
+    DetectionResult,
+    ObjectDetector,
+    resolve_detection_batch,
+)
 from repro.metrics.runtime import ExecutionLedger, OperatorCost, RuntimeLedger
 from repro.udf.registry import UDFRegistry
 from repro.video.synthetic import SyntheticVideo
@@ -79,12 +83,7 @@ class ExecutionContext:
                 execution_ledger.record_cache_hit()
                 return cached
         if ledger is not None:
-            cost = self.detector.cost
-            if cost_scale != 1.0:
-                cost = OperatorCost(
-                    name=cost.name, seconds_per_call=cost.seconds_per_call * cost_scale
-                )
-            ledger.charge(cost)
+            ledger.charge(self._scaled_cost(cost_scale))
         if self.recorded is not None:
             result = self.recorded.result(frame_index)
         else:
@@ -93,19 +92,81 @@ class ExecutionContext:
             execution_ledger.record_detection(frame_index, result)
         return result
 
+    def detect_batch(
+        self,
+        frame_indices: np.ndarray | list[int],
+        ledger: RuntimeLedger | None = None,
+        cost_scale: float = 1.0,
+    ) -> list[DetectionResult]:
+        """Run (or replay) detection on a batch of frames, charging once.
+
+        The batched counterpart of :meth:`detect`, with identical results and
+        identical per-frame accounting: the indices are partitioned into
+        cache hits (served from the :class:`ExecutionLedger` detection cache
+        and counted as hits) and misses, the misses are computed in one
+        vectorized :meth:`~repro.detection.base.ObjectDetector.detect_many`
+        call (or read from the recording), and the ledger is charged with a
+        single ``charge(cost, count=misses)``.  Repeated frames within the
+        batch are computed once; under an execution ledger the repeats are
+        accounted as cache hits, exactly as a sequential ``detect`` loop
+        would (the shared semantics live in
+        :func:`~repro.detection.base.resolve_detection_batch`).  With
+        ``config.batched_execution`` disabled this falls back to that
+        sequential scalar loop.
+        """
+        indices = np.asarray(frame_indices, dtype=np.int64)
+        if not self.config.batched_execution:
+            return [
+                self.detect(int(i), ledger, cost_scale=cost_scale) for i in indices
+            ]
+        execution_ledger = ledger if isinstance(ledger, ExecutionLedger) else None
+
+        def compute_misses(miss_frames: list[int]) -> list[DetectionResult]:
+            if ledger is not None:
+                ledger.charge(self._scaled_cost(cost_scale), len(miss_frames))
+            if self.recorded is not None:
+                return [self.recorded.result(i) for i in miss_frames]
+            return self.detector.detect_many(self.video, miss_frames)
+
+        return resolve_detection_batch(indices, execution_ledger, compute_misses)
+
+    def _scaled_cost(self, cost_scale: float) -> OperatorCost:
+        """The detector's per-call cost, reduced by a spatial-crop scale."""
+        cost = self.detector.cost
+        if cost_scale == 1.0:
+            return cost
+        return OperatorCost(
+            name=cost.name, seconds_per_call=cost.seconds_per_call * cost_scale
+        )
+
     def detect_counts(
         self,
         frame_indices: np.ndarray,
         object_class: str,
         ledger: RuntimeLedger | None = None,
     ) -> np.ndarray:
-        """Detected counts of one class at the given frames, charging per call."""
+        """Detected counts of one class at the given frames, charging per call.
+
+        Scalar reference loop; the plans use :meth:`detect_counts_batch`.
+        """
         indices = np.asarray(frame_indices, dtype=np.int64)
         counts = np.empty(indices.shape[0], dtype=np.float64)
         for row, frame_index in enumerate(indices):
             result = self.detect(int(frame_index), ledger)
             counts[row] = result.count(object_class)
         return counts
+
+    def detect_counts_batch(
+        self,
+        frame_indices: np.ndarray,
+        object_class: str,
+        ledger: RuntimeLedger | None = None,
+    ) -> np.ndarray:
+        """Detected counts of one class over a batch, via :meth:`detect_batch`."""
+        results = self.detect_batch(frame_indices, ledger)
+        return np.array(
+            [result.count(object_class) for result in results], dtype=np.float64
+        )
 
     def satisfies_min_counts(
         self,

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.metrics.runtime import OperatorCost, RuntimeLedger
+from repro.metrics.runtime import ExecutionLedger, OperatorCost, RuntimeLedger
 from repro.video.geometry import BoundingBox
 from repro.video.synthetic import SyntheticVideo
 
@@ -57,6 +57,52 @@ class DetectionResult:
         return sum(1 for d in self.detections if d.object_class == object_class)
 
 
+def resolve_detection_batch(
+    frame_indices,
+    execution_ledger: ExecutionLedger | None,
+    compute_misses,
+) -> list[DetectionResult]:
+    """Serve a batch of frames from the detection cache, computing the misses.
+
+    The single home of the batch cache-accounting semantics, shared by
+    :meth:`ObjectDetector.detect_many` and
+    :meth:`repro.core.context.ExecutionContext.detect_batch`: frames already
+    in the execution ledger's per-execution cache — and repeats within the
+    batch — are accounted as cache hits, exactly as a sequential loop of
+    cache-aware ``detect`` calls would do; the deduplicated misses are
+    computed by ``compute_misses(miss_frames)`` (which owns all charging) and
+    recorded into the cache.  Results come back in input order.
+    """
+    order = [int(i) for i in frame_indices]
+    out: list[DetectionResult | None] = [None] * len(order)
+    miss_frames: list[int] = []
+    scheduled: set[int] = set()
+    for pos, frame_index in enumerate(order):
+        cached = (
+            execution_ledger.cached_detection(frame_index)
+            if execution_ledger is not None
+            else None
+        )
+        if cached is not None:
+            execution_ledger.record_cache_hit()
+            out[pos] = cached
+        elif frame_index in scheduled:
+            if execution_ledger is not None:
+                execution_ledger.record_cache_hit()
+        else:
+            scheduled.add(frame_index)
+            miss_frames.append(frame_index)
+    if miss_frames:
+        computed = dict(zip(miss_frames, compute_misses(miss_frames)))
+        if execution_ledger is not None:
+            for frame_index, result in computed.items():
+                execution_ledger.record_detection(frame_index, result)
+        for pos, frame_index in enumerate(order):
+            if out[pos] is None:
+                out[pos] = computed[frame_index]
+    return out  # type: ignore[return-value]
+
+
 class ObjectDetector(abc.ABC):
     """Interface every object detection method implements.
 
@@ -88,7 +134,39 @@ class ObjectDetector(abc.ABC):
         frame_indices: list[int] | np.ndarray,
         ledger: RuntimeLedger | None = None,
     ) -> list[DetectionResult]:
-        """Run detection on several frames."""
+        """Run detection on several frames, never recomputing a repeated frame.
+
+        The batch is routed through the cache-aware path: when ``ledger`` is
+        an :class:`~repro.metrics.runtime.ExecutionLedger`, frames already in
+        its per-execution detection cache are served (and accounted) as cache
+        hits, and freshly computed frames are recorded into it — exactly the
+        accounting a sequential loop of cache-aware ``detect`` calls would
+        produce.  Repeats within the batch are computed and charged once;
+        with a plain ledger the deduped repeats are simply free.
+
+        Subclasses vectorize the actual computation by overriding
+        :meth:`_detect_batch`; the deduping and cache bookkeeping live in
+        :func:`resolve_detection_batch`.
+        """
+        execution_ledger = ledger if isinstance(ledger, ExecutionLedger) else None
+        return resolve_detection_batch(
+            frame_indices,
+            execution_ledger,
+            lambda miss_frames: self._detect_batch(video, miss_frames, ledger),
+        )
+
+    def _detect_batch(
+        self,
+        video: SyntheticVideo,
+        frame_indices: list[int],
+        ledger: RuntimeLedger | None = None,
+    ) -> list[DetectionResult]:
+        """Compute detections for a deduplicated batch of frames.
+
+        The vectorization hook behind :meth:`detect_many`: implementations
+        charge ``ledger`` once per frame and may share work across the batch.
+        The default simply loops :meth:`detect`.
+        """
         return [self.detect(video, int(i), ledger) for i in frame_indices]
 
     def supported_classes(self) -> set[str] | None:

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.detection.base import Detection, DetectionResult, ObjectDetector
 from repro.metrics.runtime import OperatorCost, RuntimeLedger, StandardCosts
+from repro.rng import RekeyedPhilox
 from repro.video.geometry import BoundingBox
 from repro.video.synthetic import SyntheticVideo
 
@@ -180,6 +181,177 @@ class SimulatedDetector(ObjectDetector):
         return DetectionResult(
             frame_index=frame_index, timestamp=timestamp, detections=detections
         )
+
+    def _detect_batch(
+        self,
+        video: SyntheticVideo,
+        frame_indices: list[int],
+        ledger: RuntimeLedger | None = None,
+    ) -> list[DetectionResult]:
+        """Vectorized batch detection, bit-for-bit identical to :meth:`detect`.
+
+        All geometry- and noise-model quantities (clipped boxes, area
+        fractions, miss probabilities, confidence bases, jitter scales,
+        detection-feature bases) are computed for every (frame, object) pair
+        in one array program over the video's columnar object table; the
+        per-frame loop only draws from the frame's RNG stream in exactly the
+        order the scalar path does, so every random draw — and therefore
+        every detection — is identical.
+        """
+        if ledger is not None:
+            ledger.charge(self._cost, len(frame_indices))
+        table = video.frame_object_table(np.asarray(frame_indices, dtype=np.int64))
+        frame_area = float(video.spec.width * video.spec.height)
+        n_pairs = len(table)
+        if n_pairs:
+            box_w = table.x_max - table.x_min
+            box_h = table.y_max - table.y_min
+            area_fraction = (box_w * box_h) / frame_area
+            threshold = self.noise.small_object_area_fraction
+            miss_prob = np.where(
+                area_fraction >= threshold,
+                0.02,
+                0.02 + (1.0 - area_fraction / threshold) * self.noise.max_miss_probability,
+            ).tolist()
+            conf_base = (
+                0.55 + 0.4 * np.minimum(1.0, area_fraction / (4 * threshold))
+            ).tolist()
+            jitter_x = (self.noise.box_jitter * np.maximum(box_w, 1.0)).tolist()
+            jitter_y = (self.noise.box_jitter * np.maximum(box_h, 1.0)).tolist()
+            feature_base = np.concatenate(
+                [
+                    table.colors / 255.0,
+                    box_w[:, None] / 1000.0,
+                    box_h[:, None] / 1000.0,
+                ],
+                axis=1,
+            )
+            x_min = table.x_min.tolist()
+            y_min = table.y_min.tolist()
+            x_max = table.x_max.tolist()
+            y_max = table.y_max.tolist()
+            class_codes = table.class_codes.tolist()
+            color_codes = table.color_codes.tolist()
+            colors = [tuple(c) for c in table.colors.tolist()]
+            if self._supported is not None:
+                supported = [
+                    name in self._supported for name in table.class_names
+                ]
+                pair_supported = [supported[code] for code in class_codes]
+            else:
+                pair_supported = [True] * n_pairs
+        width, height = video.spec.width, video.spec.height
+        confidence_noise = self.noise.confidence_noise
+        floor = self.noise.confidence_floor
+        conf_threshold = self.confidence_threshold
+        class_names = table.class_names
+        color_names = table.color_names
+        fp_class_names = video.object_class_names or ["car"]
+        offsets = table.offsets.tolist()
+        # One bit generator re-keyed per frame: bit-identical to the fresh
+        # ``Philox(key=[combined, frame])`` streams ``_frame_rng`` builds,
+        # without paying generator construction per frame.
+        combined = (
+            (self.seed * 2654435761) ^ (video.spec.seed * 40503)
+        ) & 0xFFFFFFFFFFFFFFFF
+        frame_streams = RekeyedPhilox(combined)
+        results: list[DetectionResult] = []
+        for row, frame_index in enumerate(frame_indices):
+            rng = frame_streams.rekey(frame_index)
+            timestamp = video.timestamp_of(frame_index)
+            lo, hi = offsets[row], offsets[row + 1]
+            detections: list[Detection] = []
+            for k in range(lo, hi):
+                if not pair_supported[k]:
+                    continue
+                if rng.random() < miss_prob[k]:
+                    continue
+                confidence = conf_base[k] + rng.normal(0.0, confidence_noise)
+                confidence = float(min(0.999, max(floor, confidence)))
+                if confidence < conf_threshold:
+                    continue
+                left = x_min[k] + rng.normal(0.0, jitter_x[k])
+                top = y_min[k] + rng.normal(0.0, jitter_y[k])
+                right = x_max[k] + rng.normal(0.0, jitter_x[k])
+                bottom = y_max[k] + rng.normal(0.0, jitter_y[k])
+                box = BoundingBox(
+                    min(left, right), min(top, bottom),
+                    max(left, right), max(top, bottom),
+                ).clip_to(width, height)
+                detections.append(
+                    Detection(
+                        frame_index=frame_index,
+                        timestamp=timestamp,
+                        object_class=class_names[class_codes[k]],
+                        box=box,
+                        confidence=confidence,
+                        features=feature_base[k] + rng.normal(0.0, 0.02, size=5),
+                        color=colors[k],
+                        color_name=color_names[color_codes[k]],
+                    )
+                )
+            if hi > lo:
+                detections.extend(
+                    self._false_positives_from_table(
+                        table, lo, hi, frame_index, timestamp, rng,
+                        fp_class_names, x_min, y_min, x_max, y_max, colors,
+                        class_codes, color_codes, width, height,
+                    )
+                )
+            results.append(
+                DetectionResult(
+                    frame_index=frame_index, timestamp=timestamp, detections=detections
+                )
+            )
+        return results
+
+    def _false_positives_from_table(
+        self,
+        table,
+        lo: int,
+        hi: int,
+        frame_index: int,
+        timestamp: float,
+        rng: np.random.Generator,
+        class_names: list[str],
+        x_min: list[float],
+        y_min: list[float],
+        x_max: list[float],
+        y_max: list[float],
+        colors: list[tuple[float, float, float]],
+        class_codes: list[int],
+        color_codes: list[int],
+        width: float,
+        height: float,
+    ) -> list[Detection]:
+        """Columnar counterpart of :meth:`_false_positives` (same draws)."""
+        count = rng.poisson(self.noise.false_positive_rate)
+        detections: list[Detection] = []
+        for _ in range(count):
+            k = lo + int(rng.integers(0, hi - lo))
+            source_class = table.class_names[class_codes[k]]
+            wrong_classes = [c for c in class_names if c != source_class]
+            if not wrong_classes:
+                continue
+            object_class = str(rng.choice(wrong_classes))
+            confidence = float(rng.uniform(self.noise.confidence_floor, 0.6))
+            if confidence < self.confidence_threshold:
+                continue
+            detections.append(
+                Detection(
+                    frame_index=frame_index,
+                    timestamp=timestamp,
+                    object_class=object_class,
+                    box=BoundingBox(
+                        x_min[k], y_min[k], x_max[k], y_max[k]
+                    ).clip_to(width, height),
+                    confidence=confidence,
+                    features=None,
+                    color=colors[k],
+                    color_name=table.color_names[color_codes[k]],
+                )
+            )
+        return detections
 
     # -- noise model ------------------------------------------------------------
 

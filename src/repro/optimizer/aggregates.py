@@ -233,8 +233,9 @@ class AggregateQueryPlan(PhysicalPlan):
                 stop_at = min(
                     num_frames, len(results) + control.batch_allowance(ledger)
                 )
-                while len(results) < stop_at:
-                    results.append(context.detect(len(results), ledger))
+                results.extend(
+                    context.detect_batch(np.arange(len(results), stop_at), ledger)
+                )
                 yield Progress(
                     phase="detection_scan",
                     frames_scanned=ledger.frames_decoded,
@@ -254,7 +255,7 @@ class AggregateQueryPlan(PhysicalPlan):
             running_sum = 0.0
             while scanned < num_frames and not control.should_stop(ledger):
                 stop_at = min(num_frames, scanned + control.batch_allowance(ledger))
-                chunk = context.detect_counts(
+                chunk = context.detect_counts_batch(
                     np.arange(scanned, stop_at), object_class, ledger
                 )
                 count_chunks.append(chunk)
@@ -332,7 +333,7 @@ class AggregateQueryPlan(PhysicalPlan):
         scale = self._width_scale(num_frames)
         result = None
         for round_ in adaptive_sample_stream(
-            sample_fn=lambda idx: context.detect_counts(idx, object_class, ledger),
+            sample_fn=lambda idx: context.detect_counts_batch(idx, object_class, ledger),
             population_size=num_frames,
             error_tolerance=self.spec.error_tolerance,
             confidence=self.spec.confidence,
@@ -419,7 +420,7 @@ class AggregateQueryPlan(PhysicalPlan):
         scale = self._width_scale(num_frames)
         result = None
         for round_ in control_variate_stream(
-            sample_fn=lambda idx: context.detect_counts(idx, object_class, ledger),
+            sample_fn=lambda idx: context.detect_counts_batch(idx, object_class, ledger),
             auxiliary_values=auxiliary,
             error_tolerance=self.spec.error_tolerance,
             confidence=self.spec.confidence,

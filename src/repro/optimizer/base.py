@@ -22,6 +22,7 @@ from collections.abc import Iterator
 
 from repro.core.context import ExecutionContext
 from repro.core.events import (
+    DEFAULT_BATCH_SIZE,
     Completed,
     ExecutionControl,
     ExecutionEvent,
@@ -45,17 +46,27 @@ class PhysicalPlan(abc.ABC):
         well-formed — possibly partial — result.
         """
 
+    def _default_control(self) -> ExecutionControl:
+        """A fresh control honouring the plan's hints (chunk size only)."""
+        hints = getattr(self, "hints", None)
+        batch_size = getattr(hints, "batch_size", None)
+        return ExecutionControl(
+            batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
+        )
+
     def run(
         self, context: ExecutionContext, control: ExecutionControl | None = None
     ) -> Iterator[ExecutionEvent]:
         """The plan's event stream, with per-execution ledger bookkeeping."""
-        return timed_stream(self._stream(context, control or ExecutionControl()))
+        return timed_stream(
+            self._stream(context, control or self._default_control())
+        )
 
     def open(
         self, context: ExecutionContext, control: ExecutionControl | None = None
     ) -> PlanCursor:
         """Open a pull-based cursor over the plan's event stream."""
-        control = control or ExecutionControl()
+        control = control or self._default_control()
         return PlanCursor(self.run(context, control), control)
 
     def execute(

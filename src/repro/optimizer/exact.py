@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+import numpy as np
+
 from repro.api.hints import QueryHints, require_hints
 from repro.core.context import ExecutionContext
 from repro.core.events import (
@@ -57,8 +59,9 @@ class ExactQueryPlan(PhysicalPlan):
         results = []
         while len(results) < num_frames and not control.should_stop(ledger):
             stop_at = min(num_frames, len(results) + control.batch_allowance(ledger))
-            while len(results) < stop_at:
-                results.append(context.detect(len(results), ledger))
+            results.extend(
+                context.detect_batch(np.arange(len(results), stop_at), ledger)
+            )
             yield Progress(
                 phase="detection_scan",
                 frames_scanned=ledger.frames_decoded,

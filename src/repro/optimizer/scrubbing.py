@@ -33,7 +33,7 @@ from repro.errors import PlanningError
 from repro.frameql.analyzer import ScrubbingQuerySpec
 from repro.metrics.runtime import ExecutionLedger
 from repro.optimizer.base import PhysicalPlan
-from repro.scrubbing.importance import ScrubbingResult, iter_scrub_ordered
+from repro.scrubbing.importance import ScrubbingResult, ScrubState
 from repro.specialization.multiclass import MultiClassCountModel
 
 
@@ -170,35 +170,66 @@ class ScrubbingQueryPlan(PhysicalPlan):
         limit: int,
         result: ScrubbingResult,
     ) -> Generator[ExecutionEvent, None, None]:
-        """Verify candidates in order, emitting a hit event per accepted frame."""
-        examined_in_batch = 0
-        for step in iter_scrub_ordered(
-            candidate_order,
-            lambda frame: context.satisfies_min_counts(
-                frame, self.spec.min_counts, ledger
-            ),
-            limit=limit,
-            gap=self.spec.gap,
-            result=result,
-        ):
-            if step.verified:
-                yield ScrubbingHit(
-                    frame_index=step.frame,
-                    timestamp=context.video.timestamp_of(step.frame),
-                    hits_so_far=step.hits_so_far,
-                    limit=limit,
-                )
-            examined_in_batch += 1
-            if examined_in_batch >= control.batch_size:
-                examined_in_batch = 0
-                yield Progress(
-                    phase="verification",
-                    frames_scanned=ledger.frames_decoded,
-                    detector_calls=ledger.detector_calls,
-                    total_frames=context.video.num_frames,
-                )
-            if not result.satisfied and control.should_stop(ledger):
+        """Verify candidates in ranked order, one detector batch per chunk.
+
+        Chunks of eligible candidates (not yet accepted, gap-respecting) are
+        assembled up to the control's budget-trimmed batch allowance and
+        verified with a single :meth:`~repro.core.context.ExecutionContext.
+        detect_batch` call.  Acceptance decisions are then replayed in rank
+        order through the same :class:`~repro.scrubbing.importance.ScrubState`
+        bookkeeping the scalar walk uses, so the returned frames are
+        identical for every batch size: an acceptance inside a chunk can
+        invalidate a later in-chunk candidate (its prefetched detection is
+        simply discarded — the documented chunking overshoot), never admit
+        one the scalar path would have rejected.
+        """
+        min_counts = self.spec.min_counts
+        state = ScrubState(result, limit=limit, gap=self.spec.gap)
+        candidates = np.asarray(candidate_order, dtype=np.int64)
+        position = 0
+        while position < candidates.size and not state.satisfied:
+            if control.should_stop(ledger):
                 return
+            # Chunks are trimmed to the remaining hit budget as well as the
+            # detector budget: a run with a tighter LIMIT can never spend
+            # more detector calls than one with a looser LIMIT, and each
+            # chunk can waste at most (remaining limit - 1) prefetched
+            # detections.
+            allowance = min(control.batch_allowance(ledger), limit - state.hits)
+            chunk: list[int] = []
+            while position < candidates.size and len(chunk) < allowance:
+                frame = int(candidates[position])
+                position += 1
+                if state.eligible(frame):
+                    chunk.append(frame)
+            if not chunk:
+                continue
+            chunk_results = context.detect_batch(chunk, ledger)
+            for frame, detection in zip(chunk, chunk_results):
+                if state.satisfied:
+                    break
+                if not state.eligible(frame):
+                    continue
+                verified = state.examine(
+                    frame,
+                    all(
+                        detection.count(object_class) >= min_count
+                        for object_class, min_count in min_counts.items()
+                    ),
+                )
+                if verified:
+                    yield ScrubbingHit(
+                        frame_index=frame,
+                        timestamp=context.video.timestamp_of(frame),
+                        hits_so_far=state.hits,
+                        limit=limit,
+                    )
+            yield Progress(
+                phase="verification",
+                frames_scanned=ledger.frames_decoded,
+                detector_calls=ledger.detector_calls,
+                total_frames=context.video.num_frames,
+            )
 
     def _importance_order(
         self, context: ExecutionContext, ledger: ExecutionLedger

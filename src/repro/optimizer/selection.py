@@ -182,10 +182,9 @@ class SelectionQueryPlan(PhysicalPlan):
             if control.should_stop(ledger):
                 break
             stop_at = min(int(surviving.size), taken + control.batch_allowance(ledger))
-            batch_results = [
-                context.detect(int(frame_index), ledger, cost_scale=cost_scale)
-                for frame_index in surviving[taken:stop_at]
-            ]
+            batch_results = context.detect_batch(
+                surviving[taken:stop_at], ledger, cost_scale=cost_scale
+            )
             frame_results.extend(batch_results)
             taken = stop_at
             yield Progress(

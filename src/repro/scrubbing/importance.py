@@ -9,6 +9,7 @@ the full detector; the ``GAP`` constraint is enforced on the verified frames.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 
@@ -38,10 +39,77 @@ class ScrubbingResult:
     satisfied: bool = False
 
 
-def _respects_gap(frame: int, accepted: list[int], gap: int) -> bool:
+def _respects_gap(frame: int, accepted_sorted: list[int], gap: int) -> bool:
+    """Whether ``frame`` is at least ``gap`` away from every accepted frame.
+
+    ``accepted_sorted`` must be kept sorted; only the two neighbours of the
+    insertion point can violate the gap, so the check is O(log n) instead of
+    O(n) per candidate.
+    """
     if gap <= 0:
         return True
-    return all(abs(frame - other) >= gap for other in accepted)
+    position = bisect_left(accepted_sorted, frame)
+    if position > 0 and frame - accepted_sorted[position - 1] < gap:
+        return False
+    if (
+        position < len(accepted_sorted)
+        and accepted_sorted[position] - frame < gap
+    ):
+        return False
+    return True
+
+
+class ScrubState:
+    """The accept/gap/limit bookkeeping of one scrubbing run.
+
+    The single home of the acceptance semantics, shared by the scalar
+    :func:`iter_scrub_ordered` walk and the scrubbing plan's chunked
+    verifier: candidates are :meth:`eligible` while not yet accepted and at
+    least ``gap`` away from every accepted frame (checked in O(log n)
+    against a sorted accepted list), and :meth:`examine` records one
+    verified/rejected candidate into the underlying
+    :class:`ScrubbingResult`, flipping ``satisfied`` when the limit is
+    reached.  State carries over when resuming a run (e.g. an exhaustive
+    fallback sweep after an importance scan) by rebuilding from the result's
+    accepted frames.
+    """
+
+    def __init__(self, result: ScrubbingResult, limit: int, gap: int) -> None:
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        self.result = result
+        self.limit = limit
+        self.gap = gap
+        self._accepted = set(result.frames)
+        self._accepted_sorted = sorted(result.frames)
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the limit has been reached."""
+        return self.result.satisfied
+
+    @property
+    def hits(self) -> int:
+        """Number of accepted frames so far."""
+        return len(self.result.frames)
+
+    def eligible(self, frame: int) -> bool:
+        """Whether a candidate is worth verifying (free check, no detector)."""
+        return frame not in self._accepted and _respects_gap(
+            frame, self._accepted_sorted, self.gap
+        )
+
+    def examine(self, frame: int, verified: bool) -> bool:
+        """Record one examined candidate; returns whether it was accepted."""
+        self.result.detection_calls += 1
+        self.result.frames_examined += 1
+        if verified:
+            self.result.frames.append(frame)
+            self._accepted.add(frame)
+            insort(self._accepted_sorted, frame)
+            if len(self.result.frames) >= self.limit:
+                self.result.satisfied = True
+        return verified
 
 
 @dataclass(frozen=True)
@@ -72,25 +140,18 @@ def iter_scrub_ordered(
     different candidate order (e.g. an exhaustive fallback sweep after an
     importance scan) with the accepted frames and counters carried over.
     """
-    if limit < 1:
-        raise ValueError(f"limit must be >= 1, got {limit}")
     if result is None:
         result = ScrubbingResult()
+    state = ScrubState(result, limit=limit, gap=gap)
     for frame in candidate_order:
         frame = int(frame)
-        if frame in result.frames or not _respects_gap(frame, result.frames, gap):
+        if not state.eligible(frame):
             continue
-        result.detection_calls += 1
-        result.frames_examined += 1
-        verified = verify_fn(frame)
-        if verified:
-            result.frames.append(frame)
-            if len(result.frames) >= limit:
-                result.satisfied = True
+        verified = state.examine(frame, verify_fn(frame))
         yield ScrubStep(
-            frame=frame, verified=verified, hits_so_far=len(result.frames)
+            frame=frame, verified=verified, hits_so_far=state.hits
         )
-        if result.satisfied:
+        if state.satisfied:
             return
 
 

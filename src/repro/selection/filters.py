@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.metrics.runtime import RuntimeLedger, StandardCosts
 from repro.specialization.binary_model import BinaryPresenceModel
+from repro.video.frame_batch import FrameBatch
 from repro.video.synthetic import FEATURE_CHANNELS, FEATURE_GRID, SyntheticVideo
 
 
@@ -64,6 +65,21 @@ class FrameFilter(abc.ABC):
         ledger: RuntimeLedger | None = None,
     ) -> np.ndarray:
         """Return the subset of ``frame_indices`` that survives the filter."""
+
+    def apply_batch(
+        self, batch: FrameBatch, ledger: RuntimeLedger | None = None
+    ) -> FrameBatch:
+        """Columnar form of :meth:`apply`: narrow a :class:`FrameBatch`.
+
+        Filters that score the cheap features override this to consume the
+        batch's shared feature matrix (one model call per batch, no per-filter
+        feature regather); the default delegates to :meth:`apply` and slices
+        the batch down to the survivors.
+        """
+        surviving = self.apply(batch.video, batch.indices, ledger)
+        if surviving.size == batch.indices.size:
+            return batch
+        return batch.restrict_to(surviving)
 
     #: Multiplier applied to the detection cost of surviving frames (spatial
     #: filters make detection cheaper; everything else leaves it unchanged).
@@ -168,11 +184,18 @@ class ContentFilter(FrameFilter):
         indices = np.asarray(frame_indices, dtype=np.int64)
         if indices.size == 0:
             return indices
-        features = video.frame_features(indices)
+        return self.apply_batch(FrameBatch(video, indices), ledger).indices
+
+    def apply_batch(
+        self, batch: FrameBatch, ledger: RuntimeLedger | None = None
+    ) -> FrameBatch:
+        if len(batch) == 0:
+            return batch
+        features = batch.features
         if ledger is not None:
-            ledger.charge(StandardCosts.SIMPLE_FILTER, int(indices.size))
+            ledger.charge(StandardCosts.SIMPLE_FILTER, len(batch))
         scores = feature_level_score(features, self.udf_name)
-        return indices[scores >= self.threshold]
+        return batch.select(scores >= self.threshold)
 
 
 @dataclass
@@ -195,6 +218,12 @@ class LabelFilter(FrameFilter):
         indices = np.asarray(frame_indices, dtype=np.int64)
         if indices.size == 0:
             return indices
-        features = video.frame_features(indices)
-        scores = self.model.predict_proba_present(features, ledger)
-        return indices[scores >= self.threshold]
+        return self.apply_batch(FrameBatch(video, indices), ledger).indices
+
+    def apply_batch(
+        self, batch: FrameBatch, ledger: RuntimeLedger | None = None
+    ) -> FrameBatch:
+        if len(batch) == 0:
+            return batch
+        scores = self.model.predict_proba_present(batch.features, ledger)
+        return batch.select(scores >= self.threshold)

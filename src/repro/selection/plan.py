@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.metrics.runtime import RuntimeLedger
 from repro.selection.filters import FrameFilter
+from repro.video.frame_batch import FrameBatch
 from repro.video.synthetic import SyntheticVideo
 
 
@@ -57,14 +58,23 @@ class SelectionPlan:
         ledger: RuntimeLedger | None = None,
     ) -> np.ndarray:
         """Run every filter in order and return the surviving frame indices."""
-        if frame_indices is None:
-            frame_indices = np.arange(video.num_frames, dtype=np.int64)
-        surviving = np.asarray(frame_indices, dtype=np.int64)
+        return self.apply_batch(FrameBatch(video, frame_indices), ledger).indices
+
+    def apply_batch(
+        self, batch: FrameBatch, ledger: RuntimeLedger | None = None
+    ) -> FrameBatch:
+        """Run the cascade columnar: one shared feature matrix, masked down.
+
+        Feature-scoring filters (content, label) consume the batch's feature
+        matrix, which is computed once for the whole cascade; every stage
+        narrows the same batch with a boolean mask instead of regathering
+        features for its survivor list.
+        """
         for filter_ in self.filters:
-            surviving = filter_.apply(video, surviving, ledger)
-            if surviving.size == 0:
+            batch = filter_.apply_batch(batch, ledger)
+            if len(batch) == 0:
                 break
-        return surviving
+        return batch
 
     def describe(self) -> str:
         """Human-readable one-line description of the plan."""

@@ -9,7 +9,8 @@ occupancy / duration / distinct-count figures.
 
 from repro.video.geometry import BoundingBox, Point
 from repro.video.frame import Frame, GroundTruthObject
-from repro.video.synthetic import SyntheticVideo, Track, VideoSpec
+from repro.video.frame_batch import FrameBatch
+from repro.video.synthetic import FrameObjectTable, SyntheticVideo, Track, VideoSpec
 from repro.video.scenarios import SCENARIOS, ScenarioSpec, generate_scenario, list_scenarios
 from repro.video.store import VideoStore
 from repro.video.codec import DecodeCostModel
@@ -18,6 +19,8 @@ __all__ = [
     "BoundingBox",
     "Point",
     "Frame",
+    "FrameBatch",
+    "FrameObjectTable",
     "GroundTruthObject",
     "SyntheticVideo",
     "Track",

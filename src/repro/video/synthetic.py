@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.rng import RekeyedPhilox
 from repro.video.frame import COLOR_PALETTE, Frame, GroundTruthObject
 from repro.video.geometry import BoundingBox
 
@@ -164,6 +165,33 @@ def _rate_profile(
     return rate
 
 
+@dataclass(frozen=True)
+class FrameObjectTable:
+    """Columnar ground-truth objects for a batch of frames.
+
+    One row per visible (frame, track) pair; frame ``i`` of the requesting
+    batch owns rows ``offsets[i]:offsets[i + 1]``, in the order
+    :meth:`SyntheticVideo.objects_at` lists objects.  Boxes are clipped to
+    the frame, exactly as ``GroundTruthObject.box`` would be.
+    """
+
+    frame_row: np.ndarray
+    offsets: np.ndarray
+    track_ids: np.ndarray
+    class_codes: np.ndarray
+    class_names: list[str]
+    x_min: np.ndarray
+    y_min: np.ndarray
+    x_max: np.ndarray
+    y_max: np.ndarray
+    colors: np.ndarray
+    color_codes: np.ndarray
+    color_names: list[str]
+
+    def __len__(self) -> int:
+        return int(self.track_ids.size)
+
+
 class SyntheticVideo:
     """A fully generated synthetic video.
 
@@ -177,7 +205,17 @@ class SyntheticVideo:
         self.spec = spec
         self.tracks = tracks
         self._build_index()
+        #: Switch between the vectorized feature path (default) and the
+        #: per-frame scalar reference.  The two are bit-for-bit identical;
+        #: the flag exists so benchmarks and equivalence tests can time and
+        #: compare both on the same video.
+        self.use_vectorized_features: bool = True
+        # Scalar-reference memo (one vector per frame, like the seed code).
         self._feature_cache: dict[int, np.ndarray] = {}
+        # Vectorized-path memo: a dense (num_frames, FEATURE_DIM) matrix plus
+        # a readiness mask, allocated lazily on the first feature request.
+        self._feature_memo: np.ndarray | None = None
+        self._feature_ready: np.ndarray | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -233,6 +271,7 @@ class SyntheticVideo:
 
     def _build_index(self) -> None:
         """Build (frame, track) pair arrays for fast per-frame lookups."""
+        self._build_track_columns()
         if not self.tracks:
             self._pair_frames = np.zeros(0, dtype=np.int64)
             self._pair_tracks = np.zeros(0, dtype=np.int64)
@@ -255,6 +294,64 @@ class SyntheticVideo:
         self._frame_offsets = np.concatenate(
             [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)]
         )
+
+    def _build_track_columns(self) -> None:
+        """Columnar (struct-of-arrays) view of the track list.
+
+        The vectorized feature and detection paths compute geometry for
+        thousands of (frame, track) pairs as one array program; they index
+        these columns by track position instead of touching ``Track`` objects.
+        """
+        n = len(self.tracks)
+        self._track_start = np.fromiter(
+            (t.start_frame for t in self.tracks), dtype=np.int64, count=n
+        )
+        self._track_sx = np.fromiter(
+            (t.start_x for t in self.tracks), dtype=np.float64, count=n
+        )
+        self._track_sy = np.fromiter(
+            (t.start_y for t in self.tracks), dtype=np.float64, count=n
+        )
+        self._track_vx = np.fromiter(
+            (t.velocity_x for t in self.tracks), dtype=np.float64, count=n
+        )
+        self._track_vy = np.fromiter(
+            (t.velocity_y for t in self.tracks), dtype=np.float64, count=n
+        )
+        self._track_w = np.fromiter(
+            (t.width for t in self.tracks), dtype=np.float64, count=n
+        )
+        self._track_h = np.fromiter(
+            (t.height for t in self.tracks), dtype=np.float64, count=n
+        )
+        self._track_id = np.fromiter(
+            (t.track_id for t in self.tracks), dtype=np.int64, count=n
+        )
+        self._track_color = np.array(
+            [t.color for t in self.tracks], dtype=np.float64
+        ).reshape(n, 3)
+        # Class / colour names as small code tables (first-seen order).
+        class_names: list[str] = []
+        class_codes = np.zeros(n, dtype=np.int64)
+        color_names: list[str] = []
+        color_codes = np.zeros(n, dtype=np.int64)
+        class_index: dict[str, int] = {}
+        color_index: dict[str, int] = {}
+        for idx, track in enumerate(self.tracks):
+            code = class_index.get(track.object_class)
+            if code is None:
+                code = class_index[track.object_class] = len(class_names)
+                class_names.append(track.object_class)
+            class_codes[idx] = code
+            code = color_index.get(track.color_name)
+            if code is None:
+                code = color_index[track.color_name] = len(color_names)
+                color_names.append(track.color_name)
+            color_codes[idx] = code
+        self._track_class_names = class_names
+        self._track_class_code = class_codes
+        self._track_color_names = color_names
+        self._track_color_code = color_codes
 
     # -- basic accessors ----------------------------------------------------
 
@@ -385,11 +482,144 @@ class SyntheticVideo:
         (weighted by relative object area) and an occupancy count.  A global
         brightness term and per-frame observation noise are added.  The noise
         is deterministic per frame so repeated reads agree.
+
+        The default implementation is columnar: an N-frame feature matrix is
+        one array program over the (frame, track) pair index (scatter-adds via
+        ``np.add.at``) backed by a dense memo array, bit-for-bit identical to
+        the per-frame scalar path (:meth:`frame_features_reference`).
+        """
+        if not self.use_vectorized_features:
+            return self.frame_features_reference(frame_indices)
+        indices = np.asarray(frame_indices, dtype=np.int64)
+        if indices.size == 0:
+            return np.zeros((0, FEATURE_DIM), dtype=np.float64)
+        bad = (indices < 0) | (indices >= self.spec.num_frames)
+        if bad.any():
+            self._check_frame(int(indices[np.argmax(bad)]))
+        if self._feature_memo is None or self._feature_ready is None:
+            self._feature_memo = np.zeros(
+                (self.spec.num_frames, FEATURE_DIM), dtype=np.float64
+            )
+            self._feature_ready = np.zeros(self.spec.num_frames, dtype=bool)
+        missing = np.unique(indices[~self._feature_ready[indices]])
+        if missing.size:
+            self._feature_memo[missing] = self._compute_feature_rows(missing)
+            self._feature_ready[missing] = True
+        return self._feature_memo[indices]
+
+    def frame_features_reference(
+        self, frame_indices: np.ndarray | list[int]
+    ) -> np.ndarray:
+        """Scalar per-frame reference implementation of :meth:`frame_features`.
+
+        One Python loop per frame and per visible track, memoised in a
+        per-frame dict — exactly the seed behaviour.  Kept as the ground
+        truth the vectorized path is tested against (and as the baseline the
+        perf-regression bench times).
         """
         indices = np.asarray(frame_indices, dtype=np.int64)
         out = np.zeros((indices.size, FEATURE_DIM), dtype=np.float64)
         for row, frame_index in enumerate(indices):
             out[row] = self._features_for(int(frame_index))
+        return out
+
+    # -- vectorized feature/geometry kernels ---------------------------------
+
+    def _pair_positions(
+        self, frame_indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Positions into the pair arrays for a batch of frames.
+
+        Returns ``(row_of_pair, pair_pos)``: for every (frame, track) pair of
+        every requested frame, the row of the requesting frame in the input
+        batch and the pair's position in ``_pair_frames`` / ``_pair_tracks``.
+        Pairs appear in the same order the scalar path iterates them.
+        """
+        starts = self._frame_offsets[frame_indices]
+        lengths = self._frame_offsets[frame_indices + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        row_of_pair = np.repeat(np.arange(frame_indices.size, dtype=np.int64), lengths)
+        cum = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(lengths)])
+        pair_pos = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(cum[:-1], lengths)
+            + np.repeat(starts, lengths)
+        )
+        return row_of_pair, pair_pos
+
+    def _pair_boxes(
+        self, pair_pos: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Clipped bounding boxes for (frame, track) pairs, as columns.
+
+        Replicates ``Track.box_at(...).clip_to(width, height)`` operation for
+        operation so the vectorized paths are bit-for-bit identical to the
+        scalar ones.  Returns ``(track_idx, x_min, y_min, x_max, y_max)``.
+        """
+        track_idx = self._pair_tracks[pair_pos]
+        elapsed = (self._pair_frames[pair_pos] - self._track_start[track_idx]).astype(
+            np.float64
+        )
+        center_x = self._track_sx[track_idx] + self._track_vx[track_idx] * elapsed
+        center_y = self._track_sy[track_idx] + self._track_vy[track_idx] * elapsed
+        half_w = self._track_w[track_idx] / 2.0
+        half_h = self._track_h[track_idx] / 2.0
+        width = float(self.spec.width)
+        height = float(self.spec.height)
+        x_min = np.minimum(np.maximum(center_x - half_w, 0.0), width)
+        y_min = np.minimum(np.maximum(center_y - half_h, 0.0), height)
+        x_max = np.minimum(np.maximum(center_x + half_w, 0.0), width)
+        y_max = np.minimum(np.maximum(center_y + half_h, 0.0), height)
+        return track_idx, x_min, y_min, x_max, y_max
+
+    def _compute_feature_rows(self, frames: np.ndarray) -> np.ndarray:
+        """Feature matrix for a batch of frames, as one array program."""
+        grid = FEATURE_GRID
+        cell_w = self.spec.width / grid
+        cell_h = self.spec.height / grid
+        frame_area = float(self.spec.width * self.spec.height)
+        out = np.zeros((frames.size, FEATURE_DIM), dtype=np.float64)
+        row_of_pair, pair_pos = self._pair_positions(frames)
+        if pair_pos.size:
+            _, x_min, y_min, x_max, y_max = self._pair_boxes(pair_pos)
+            track_idx = self._pair_tracks[pair_pos]
+            area_fraction = ((x_max - x_min) * (y_max - y_min)) / frame_area
+            center_x = (x_min + x_max) / 2.0
+            center_y = (y_min + y_max) / 2.0
+            col = np.clip(np.floor_divide(center_x, cell_w), 0, grid - 1).astype(
+                np.int64
+            )
+            row = np.clip(np.floor_divide(center_y, cell_h), 0, grid - 1).astype(
+                np.int64
+            )
+            cell = row * grid + col
+            weight = np.minimum(1.0, 3.0 * np.sqrt(area_fraction))
+            colors = self._track_color[track_idx]
+            area_term = 10.0 * area_fraction
+            base = row_of_pair * FEATURE_DIM + cell * FEATURE_CHANNELS
+            flat = out.reshape(-1)
+            # np.add.at is unbuffered: repeated cells accumulate in pair
+            # order, matching the scalar loop's per-track addition order.
+            np.add.at(flat, base + 0, weight * colors[:, 0] / 255.0)
+            np.add.at(flat, base + 1, weight * colors[:, 1] / 255.0)
+            np.add.at(flat, base + 2, weight * colors[:, 2] / 255.0)
+            np.add.at(flat, base + 3, 1.0)
+            np.add.at(flat, base + 4, area_term)
+            global_base = row_of_pair * FEATURE_DIM
+            np.add.at(flat, global_base + (FEATURE_DIM - 3), 1.0)
+            np.add.at(flat, global_base + (FEATURE_DIM - 2), area_term)
+        out[:, FEATURE_DIM - 1] = 0.5 + 0.1 * np.sin(
+            2.0 * np.pi * frames / max(self.spec.num_frames, 1)
+        )
+        # Per-frame observation noise: the same Philox-keyed streams the
+        # scalar path draws, produced by re-keying one bit generator.
+        noise_streams = RekeyedPhilox(self.spec.seed & 0xFFFFFFFF)
+        for row_idx, frame_index in enumerate(frames.tolist()):
+            out[row_idx] += noise_streams.rekey(frame_index).normal(
+                0.0, 0.03, size=FEATURE_DIM
+            )
         return out
 
     def _features_for(self, frame_index: int) -> np.ndarray:
@@ -438,6 +668,59 @@ class SyntheticVideo:
         if len(self._feature_cache) < 500_000:
             self._feature_cache[frame_index] = features
         return features
+
+    # -- columnar object access (vectorized detection path) ------------------
+
+    def frame_object_table(self, frame_indices: np.ndarray | list[int]) -> "FrameObjectTable":
+        """Columnar ground-truth objects for a batch of frames.
+
+        The struct-of-arrays counterpart of calling :meth:`objects_at` per
+        frame: one row per visible (frame, track) pair, in the exact order
+        ``objects_at`` lists them, with boxes already clipped to the frame.
+        The simulated detector's batch path consumes this instead of
+        materialising ``GroundTruthObject`` instances.
+        """
+        indices = np.asarray(frame_indices, dtype=np.int64)
+        bad = (indices < 0) | (indices >= self.spec.num_frames)
+        if bad.any():
+            self._check_frame(int(indices[np.argmax(bad)]))
+        row_of_pair, pair_pos = self._pair_positions(indices)
+        lengths = self._frame_offsets[indices + 1] - self._frame_offsets[indices]
+        offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(lengths, dtype=np.int64)]
+        )
+        if pair_pos.size == 0:
+            empty_f = np.zeros(0, dtype=np.float64)
+            empty_i = np.zeros(0, dtype=np.int64)
+            return FrameObjectTable(
+                frame_row=empty_i,
+                offsets=offsets,
+                track_ids=empty_i,
+                class_codes=empty_i,
+                class_names=list(self._track_class_names),
+                x_min=empty_f,
+                y_min=empty_f,
+                x_max=empty_f,
+                y_max=empty_f,
+                colors=np.zeros((0, 3), dtype=np.float64),
+                color_codes=empty_i,
+                color_names=list(self._track_color_names),
+            )
+        track_idx, x_min, y_min, x_max, y_max = self._pair_boxes(pair_pos)
+        return FrameObjectTable(
+            frame_row=row_of_pair,
+            offsets=offsets,
+            track_ids=self._track_id[track_idx],
+            class_codes=self._track_class_code[track_idx],
+            class_names=list(self._track_class_names),
+            x_min=x_min,
+            y_min=y_min,
+            x_max=x_max,
+            y_max=y_max,
+            colors=self._track_color[track_idx],
+            color_codes=self._track_color_code[track_idx],
+            color_names=list(self._track_color_names),
+        )
 
     # -- splitting -----------------------------------------------------------
 
