@@ -86,7 +86,7 @@ class ScenarioBundle:
         """
         engine = BlazeIt(detector=self.detector, config=config)
         engine.register_video(self.name, test_video=self.test, build_labeled_set=False)
-        engine._labeled_sets[self.name] = self.labeled_set
+        engine.attach_labeled_set(self.name, self.labeled_set)
         engine.attach_recorded(self.name, self.recorded)
         return engine
 
@@ -137,7 +137,7 @@ class BenchEnvironment:
         recorded = RecordedDetections.build(test, detector)
         engine = BlazeIt(detector=detector, config=self.default_config())
         engine.register_video(name, test_video=test, build_labeled_set=False)
-        engine._labeled_sets[name] = labeled_set
+        engine.attach_labeled_set(name, labeled_set)
         engine.attach_recorded(name, recorded)
         bundle = ScenarioBundle(
             name=name,

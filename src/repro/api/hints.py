@@ -22,7 +22,6 @@ __all__ = [
     "NO_STOP",
     "VALID_FILTER_CLASSES",
     "require_hints",
-    "coerce_hints",
 ]
 
 #: Filter classes a selection plan knows how to infer (Section 8).
@@ -62,12 +61,23 @@ class QueryHints:
         how eagerly early-stop conditions are honoured (see the README's
         "Performance" notes).  An explicit ``batch_size=`` argument to
         ``stream()`` overrides it per execution.
+    force_plan:
+        Bypass cost-based selection and pick the named physical candidate
+        outright (the escape hatch for benchmarks and expert users).
+        Candidate names per query class: aggregates with an error tolerance
+        offer ``"auto"``, ``"exact"``, ``"naive_aqp"`` and — given enough
+        training data — ``"specialized_rewrite"`` / ``"control_variates"``;
+        scrubbing offers ``"importance"`` / ``"exhaustive"``; selection
+        offers ``"filtered"`` / ``"exhaustive"``; everything else only
+        ``"exhaustive"``.  Naming an ineligible candidate raises
+        :class:`~repro.errors.PlanningError` at plan time.
     """
 
     scrubbing_indexed: bool = False
     selection_filter_classes: frozenset[str] | None = None
     stop_conditions: StopConditions | None = None
     batch_size: int | None = None
+    force_plan: str | None = None
 
     def __post_init__(self) -> None:
         if self.stop_conditions is not None and not isinstance(
@@ -83,6 +93,13 @@ class QueryHints:
             raise ConfigurationError(
                 f"batch_size must be a positive integer or None, got "
                 f"{self.batch_size!r}"
+            )
+        if self.force_plan is not None and (
+            not isinstance(self.force_plan, str) or not self.force_plan
+        ):
+            raise ConfigurationError(
+                f"force_plan must be a non-empty candidate name or None, got "
+                f"{self.force_plan!r}"
             )
         classes = self.selection_filter_classes
         if classes is not None:
@@ -121,6 +138,8 @@ class QueryHints:
             parts.append(f"stop({self.stop_conditions.describe()})")
         if self.batch_size is not None:
             parts.append(f"batch_size={self.batch_size}")
+        if self.force_plan is not None:
+            parts.append(f"force_plan={self.force_plan}")
         return ", ".join(parts) if parts else "none"
 
 
@@ -139,34 +158,6 @@ def require_hints(hints: object) -> QueryHints | None:
         return hints
     raise TypeError(
         f"hints must be a QueryHints instance or None, got {hints!r}; the old "
-        "positional scrubbing_indexed/selection_filter_classes arguments must "
-        "now be passed as hints=QueryHints(...) or by keyword"
-    )
-
-
-def coerce_hints(
-    hints: QueryHints | None,
-    scrubbing_indexed: bool | None = None,
-    selection_filter_classes: Iterable[str] | None = None,
-) -> QueryHints:
-    """Merge legacy keyword arguments into a :class:`QueryHints`.
-
-    Used by the deprecation shims: explicit legacy kwargs override the
-    corresponding field of ``hints`` (which itself defaults to no hints).
-    """
-    base = hints if hints is not None else NO_HINTS
-    updates: dict[str, object] = {}
-    if scrubbing_indexed is not None:
-        updates["scrubbing_indexed"] = scrubbing_indexed
-    if selection_filter_classes is not None:
-        updates["selection_filter_classes"] = frozenset(selection_filter_classes)
-    if not updates:
-        return base
-    return QueryHints(
-        scrubbing_indexed=updates.get("scrubbing_indexed", base.scrubbing_indexed),
-        selection_filter_classes=updates.get(
-            "selection_filter_classes", base.selection_filter_classes
-        ),
-        stop_conditions=base.stop_conditions,
-        batch_size=base.batch_size,
+        "positional scrubbing_indexed/selection_filter_classes arguments were "
+        "removed — pass hints=QueryHints(...) instead"
     )

@@ -349,13 +349,10 @@ class QuerySession:
     ) -> PlanExplanation:
         store = self.engine.store
         num_frames = store.get(spec.video).num_frames if spec.video in store else 0
-        return PlanExplanation(
-            kind=spec.kind.value,
-            plan_summary=plan.describe(),
-            operators=plan.operator_tree(),
-            estimated_detector_calls=plan.estimate_detector_calls(num_frames),
-            hints_applied=hints.describe(),
-        )
+        # The optimizer assembles the explanation: it holds the statistics
+        # catalog the per-operator cost annotations and the candidate
+        # summaries are priced from.
+        return self.engine.optimizer.explain_plan(spec, plan, hints, num_frames)
 
     # -- public API ----------------------------------------------------------------
 

@@ -1,0 +1,20 @@
+"""Statistics catalog: per-video and per-class statistics for the optimizer.
+
+The catalog is the data side of the cost-based optimizer (Section 5): while
+the operator library describes *how* a query could run, the catalog describes
+*what the data looks like* — frame counts, class frequencies, per-frame count
+variance, detector cost and filter selectivities, all computed once from the
+labeled set that every accelerated plan already depends on.
+"""
+
+from repro.catalog.statistics import (
+    ClassStatistics,
+    StatisticsCatalog,
+    VideoStatistics,
+)
+
+__all__ = [
+    "ClassStatistics",
+    "StatisticsCatalog",
+    "VideoStatistics",
+]

@@ -17,24 +17,24 @@ The session API is the primary query surface — prepare once, execute many::
         print(prepared.explain().render())
 
 ``engine.query(text)`` remains as a one-shot convenience (a throwaway
-session under the hood); its historical ``scrubbing_indexed`` /
-``selection_filter_classes`` keyword arguments are deprecated in favour of
-typed :class:`~repro.api.hints.QueryHints`.
+session under the hood).  The historical ``scrubbing_indexed`` /
+``selection_filter_classes`` keyword arguments (deprecated since the typed
+hints landed) have been removed; pass ``hints=QueryHints(...)``.
 
 The engine owns the video store, the per-video detectors, the labeled sets
-(training + held-out days annotated by the detector), the UDF registry, the
-rule-based optimizer and the root random seed sequence from which every
-session and query execution derives its own independent RNG stream.
+(training + held-out days annotated by the detector), the statistics catalog
+computed from them, the UDF registry, the cost-based optimizer and the root
+random seed sequence from which every session and query execution derives
+its own independent RNG stream.
 """
 
 from __future__ import annotations
-
-import warnings
 
 import numpy as np
 
 from typing import TYPE_CHECKING
 
+from repro.catalog.statistics import StatisticsCatalog
 from repro.core.config import BlazeItConfig
 from repro.core.events import ExecutionStream, StopConditions
 from repro.core.context import ExecutionContext
@@ -47,7 +47,7 @@ from repro.errors import UnknownVideoError
 from repro.frameql.analyzer import QuerySpec, analyze
 from repro.frameql.parser import parse
 from repro.optimizer.base import PhysicalPlan
-from repro.optimizer.rules import RuleBasedOptimizer
+from repro.optimizer.cost import CostBasedOptimizer
 from repro.udf.registry import UDFRegistry, default_udf_registry
 from repro.video.scenarios import DEFAULT_SPLIT_FRAMES, generate_scenario
 from repro.video.store import VideoStore
@@ -56,11 +56,6 @@ from repro.video.synthetic import SyntheticVideo
 if TYPE_CHECKING:  # pragma: no cover - circular at runtime (api uses engine)
     from repro.api.hints import QueryHints
     from repro.api.session import QuerySession
-
-_DEPRECATED_KWARGS_MESSAGE = (
-    "the scrubbing_indexed / selection_filter_classes keyword arguments are "
-    "deprecated; pass hints=QueryHints(...) or use engine.session()"
-)
 
 
 class BlazeIt:
@@ -76,7 +71,10 @@ class BlazeIt:
         self.default_detector = detector or SimulatedDetector.mask_rcnn()
         self.udf_registry = udf_registry or default_udf_registry()
         self.store = VideoStore()
-        self.optimizer = RuleBasedOptimizer(self.udf_registry)
+        self.catalog = StatisticsCatalog()
+        self.optimizer = CostBasedOptimizer(
+            self.udf_registry, catalog=self.catalog, config=self.config
+        )
         self._detectors: dict[str, ObjectDetector] = {}
         self._labeled_sets: dict[str, LabeledSet] = {}
         self._recorded: dict[str, RecordedDetections] = {}
@@ -100,14 +98,24 @@ class BlazeIt:
 
         When ``train_video`` and ``heldout_video`` are given and
         ``build_labeled_set`` is true, the configured detector is run over both
-        days offline to build the labeled set (not charged to any query).
+        days offline to build the labeled set (not charged to any query), and
+        the statistics catalog gains the per-class statistics the cost-based
+        optimizer prices plans with.
         """
         self.store.register(name, test_video)
         if detector is not None:
             self._detectors[name] = detector
         if train_video is not None and heldout_video is not None and build_labeled_set:
-            self._labeled_sets[name] = LabeledSet.build(
+            labeled = LabeledSet.build(
                 train_video, heldout_video, self.detector_for(name)
+            )
+            self._labeled_sets[name] = labeled
+            self.catalog.register_from_labeled_set(
+                name,
+                test_video.num_frames,
+                labeled,
+                self.detector_for(name).cost.seconds_per_call,
+                training_epochs=self.config.training.epochs,
             )
 
     def register_scenario(
@@ -133,6 +141,28 @@ class BlazeIt:
             train_video=train,
             heldout_video=heldout,
             detector=detector,
+        )
+
+    def attach_labeled_set(self, name: str, labeled: LabeledSet) -> None:
+        """Attach a pre-built labeled set for ``name``.
+
+        Registers the derived per-class statistics with the catalog as well,
+        exactly as :meth:`register_video` does when it builds the labeled set
+        itself.  Used by harnesses that share one expensive labeled set across
+        several engine configurations.
+        """
+        if name not in self.store:
+            raise UnknownVideoError(
+                f"register the video {name!r} before attaching its labeled set "
+                f"(available: {', '.join(self.videos()) or '<none>'})"
+            )
+        self._labeled_sets[name] = labeled
+        self.catalog.register_from_labeled_set(
+            name,
+            self.store.get(name).num_frames,
+            labeled,
+            self.detector_for(name).cost.seconds_per_call,
+            training_epochs=self.config.training.epochs,
         )
 
     def attach_recorded(self, name: str, recorded: RecordedDetections) -> None:
@@ -189,16 +219,12 @@ class BlazeIt:
         return analyze(parse(query_text))
 
     def plan(
-        self,
-        query_text: str,
-        hints: QueryHints | None = None,
-        scrubbing_indexed: bool | None = None,
-        selection_filter_classes: set[str] | None = None,
+        self, query_text: str, hints: QueryHints | None = None
     ) -> tuple[QuerySpec, PhysicalPlan]:
         """Analyze a query and build (but do not run) its physical plan."""
-        hints = self._coerce_legacy_hints(
-            hints, scrubbing_indexed, selection_filter_classes
-        )
+        from repro.api.hints import require_hints
+
+        require_hints(hints)
         spec = self.analyze(query_text)
         plan = self.optimizer.plan(spec, hints=hints)
         return spec, plan
@@ -242,8 +268,6 @@ class BlazeIt:
     def query(
         self,
         query_text: str,
-        scrubbing_indexed: bool | None = None,
-        selection_filter_classes: set[str] | None = None,
         rng: np.random.Generator | None = None,
         hints: QueryHints | None = None,
     ) -> QueryResult:
@@ -253,9 +277,9 @@ class BlazeIt:
         parse/analyze/plan cost.  Workloads that repeat queries should hold a
         session and use ``prepare``/``execute`` instead.
         """
-        hints = self._coerce_legacy_hints(
-            hints, scrubbing_indexed, selection_filter_classes
-        )
+        from repro.api.hints import require_hints
+
+        require_hints(hints)
         return self.session().prepare(query_text, hints=hints).execute(rng=rng)
 
     def stream(
@@ -280,20 +304,3 @@ class BlazeIt:
         return self.session().stream(
             query_text, hints=hints, rng=rng, stop=stop, **params
         )
-
-    def _coerce_legacy_hints(
-        self,
-        hints: QueryHints | None,
-        scrubbing_indexed: bool | None,
-        selection_filter_classes: set[str] | None,
-    ) -> QueryHints | None:
-        # Imported lazily: the hints module sits above the core layer (it
-        # pulls in the streaming event types), so a module-level import here
-        # would close an import cycle through ``repro.core.__init__``.
-        from repro.api.hints import coerce_hints, require_hints
-
-        require_hints(hints)
-        if scrubbing_indexed is None and selection_filter_classes is None:
-            return hints
-        warnings.warn(_DEPRECATED_KWARGS_MESSAGE, DeprecationWarning, stacklevel=3)
-        return coerce_hints(hints, scrubbing_indexed, selection_filter_classes)

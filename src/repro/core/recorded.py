@@ -68,6 +68,14 @@ class RecordedDetections:
             ledger.charge(self.detector.cost)
         return self._results[frame_index]
 
+    def observed_classes(self) -> set[str]:
+        """Every object class that appears anywhere in the recording."""
+        return {
+            detection.object_class
+            for result in self._results
+            for detection in result.detections
+        }
+
     def counts(self, object_class: str) -> np.ndarray:
         """Per-frame detected count of one object class (no cost charged)."""
         cached = self._count_cache.get(object_class)

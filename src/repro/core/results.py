@@ -14,15 +14,28 @@ class OperatorNode:
 
     ``detail`` carries operator-specific parameters (thresholds, filter
     classes, sampling configuration) as a short human-readable string.
+    ``estimated_detector_calls`` and ``estimated_seconds`` are per-operator
+    cost estimates from the statistics catalog; they are ``None`` on trees
+    built without statistics (and on decision/bookkeeping nodes that cost
+    nothing worth showing).
     """
 
     name: str
     detail: str = ""
     children: tuple[OperatorNode, ...] = ()
+    estimated_detector_calls: int | None = None
+    estimated_seconds: float | None = None
 
     def render(self, indent: int = 0) -> str:
         """Multi-line indented rendering of the subtree."""
         label = f"{self.name}({self.detail})" if self.detail else self.name
+        costs = []
+        if self.estimated_detector_calls is not None:
+            costs.append(f"~{self.estimated_detector_calls} detector calls")
+        if self.estimated_seconds is not None:
+            costs.append(f"~{self.estimated_seconds:.2f}s")
+        if costs:
+            label += f" [{', '.join(costs)}]"
         lines = ["  " * indent + label]
         for child in self.children:
             lines.append(child.render(indent + 1))
@@ -37,13 +50,38 @@ class OperatorNode:
 
 
 @dataclass(frozen=True)
+class PlanCandidateSummary:
+    """One alternative the cost-based optimizer considered for a query.
+
+    ``detector_calls`` and ``total_seconds`` are the candidate's estimated
+    cost; ``chosen`` marks the alternative the optimizer (or a
+    ``force_plan`` hint) actually selected.
+    """
+
+    name: str
+    detector_calls: int
+    total_seconds: float
+    chosen: bool = False
+    reason: str = ""
+
+    def describe(self) -> str:
+        """One-line rendering used by :meth:`PlanExplanation.render`."""
+        text = f"{self.name}: ~{self.detector_calls} detector calls, ~{self.total_seconds:.2f}s"
+        if self.chosen:
+            text += " <- chosen"
+        return text
+
+
+@dataclass(frozen=True)
 class PlanExplanation:
     """Structured description of the plan chosen for a query.
 
     ``str()`` preserves the historical one-line ``"<kind>: <plan>"`` format;
     the structured fields carry everything the one-liner used to hide: the
-    operator tree, the estimated number of object-detector invocations and
-    the hints that shaped the plan.
+    operator tree (with per-operator cost estimates when statistics are
+    available), the estimated number of object-detector invocations, the
+    hints that shaped the plan and the alternatives the cost-based optimizer
+    priced before choosing.
     """
 
     kind: str
@@ -51,20 +89,23 @@ class PlanExplanation:
     operators: OperatorNode
     estimated_detector_calls: int
     hints_applied: str = "none"
+    candidates: tuple[PlanCandidateSummary, ...] = ()
 
     def __str__(self) -> str:
         return f"{self.kind}: {self.plan_summary}"
 
     def render(self) -> str:
-        """Multi-line rendering: summary, operator tree, estimates, hints."""
-        return "\n".join(
-            [
-                str(self),
-                self.operators.render(indent=1),
-                f"  estimated detector calls: {self.estimated_detector_calls}",
-                f"  hints: {self.hints_applied}",
-            ]
-        )
+        """Multi-line rendering: summary, tree, estimates, hints, candidates."""
+        lines = [
+            str(self),
+            self.operators.render(indent=1),
+            f"  estimated detector calls: {self.estimated_detector_calls}",
+            f"  hints: {self.hints_applied}",
+        ]
+        if self.candidates:
+            lines.append("  candidates:")
+            lines.extend(f"    {candidate.describe()}" for candidate in self.candidates)
+        return "\n".join(lines)
 
 
 @dataclass

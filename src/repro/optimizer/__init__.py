@@ -1,11 +1,18 @@
-"""Rule-based query optimizer and streaming physical plans.
+"""Cost-based query optimizer: logical plans, operators, physical plans.
 
-The optimizer inspects the analyzed query spec and chooses a physical plan
-(Section 5).  Because the filters and specialized NNs are orders of magnitude
-cheaper than object detection, a rule-based optimizer is sufficient: the plan
-structure is determined by the query class, and the statistical decisions
-(rewrite vs control variates, filter thresholds) are made inside the plans
-from held-out data, following Algorithm 1.
+The planning stack has three layers (Section 5):
+
+* **logical plans** (:mod:`repro.optimizer.logical`) restate an analyzed
+  query's semantics as a small relational-style tree;
+* **physical operators** (:mod:`repro.optimizer.operators`) are the
+  composable, stream-compatible stages — scans, samplers, rankers, filter
+  cascades, verifiers, track aggregation — that the four plan classes are
+  built from;
+* the **cost-based optimizer** (:mod:`repro.optimizer.cost`) enumerates
+  alternative operator trees per logical plan, prices them from the
+  statistics catalog (:mod:`repro.catalog`) in estimated detector calls plus
+  specialization training cost, and picks the cheapest —
+  :class:`RuleBasedOptimizer` remains as the thin compatibility wrapper.
 
 Every plan executes through the pull-based streaming protocol of
 :mod:`repro.core.events`: ``plan.run(context)`` yields typed
@@ -26,8 +33,10 @@ from repro.core.events import (
     SelectionWindow,
     StopConditions,
 )
-from repro.optimizer.base import PhysicalPlan, PlanCursor
+from repro.optimizer.base import CostEstimate, PhysicalPlan, PlanCursor
 from repro.optimizer.aggregates import AggregateQueryPlan
+from repro.optimizer.cost import CostBasedOptimizer, PlanCandidate
+from repro.optimizer.logical import LogicalNode, LogicalPlan, build_logical_plan
 from repro.optimizer.scrubbing import ScrubbingQueryPlan
 from repro.optimizer.selection import SelectionQueryPlan
 from repro.optimizer.exact import ExactQueryPlan
@@ -36,11 +45,17 @@ from repro.optimizer.rules import RuleBasedOptimizer
 __all__ = [
     "PhysicalPlan",
     "PlanCursor",
+    "CostEstimate",
     "AggregateQueryPlan",
     "ScrubbingQueryPlan",
     "SelectionQueryPlan",
     "ExactQueryPlan",
+    "CostBasedOptimizer",
+    "PlanCandidate",
     "RuleBasedOptimizer",
+    "LogicalPlan",
+    "LogicalNode",
+    "build_logical_plan",
     "ExecutionEvent",
     "ExecutionControl",
     "Progress",

@@ -1,34 +1,38 @@
 """Physical plan for aggregate queries (Algorithm 1 of the paper).
 
-The plan implements the full decision procedure of Section 6:
+The plan implements the full decision procedure of Section 6 as a composition
+of physical operators:
 
 1. If the query has no error tolerance (or asks for ``COUNT(DISTINCT
-   trackid)``), fall back to exact execution over every frame.
+   trackid)``), fall back to an exhaustive :class:`FullScan`.
 2. If there is not enough training data for the queried class, run plain
-   adaptive sampling (traditional AQP).
-3. Otherwise train a count-specialized NN on the labeled set and estimate its
-   error on the held-out day with the bootstrap.  If the error satisfies the
-   user's bound at the requested confidence, rewrite the query: run the
-   specialized NN over every unseen frame and return its mean directly.
-4. Otherwise use the specialized NN as a control variate: its expected counts
-   over all unseen frames are the cheap auxiliary variable, and the detector
-   is sampled adaptively until the variance-reduced CLT bound is met.
+   adaptive sampling (:class:`RandomSampler`, traditional AQP).
+3. Otherwise :class:`SpecializedInference` trains a count-specialized NN on
+   the labeled set and estimates its error on the held-out day with the
+   bootstrap.  If the error satisfies the user's bound at the requested
+   confidence, rewrite the query: run the specialized NN over every unseen
+   frame and return its mean directly.
+4. Otherwise use the specialized NN as a control variate
+   (:class:`ControlVariateSampler`): its expected counts over all unseen
+   frames are the cheap auxiliary variable, and the detector is sampled
+   adaptively until the variance-reduced CLT bound is met.
 
-The :class:`~repro.core.config.AggregateMethod` configuration can force any
-one of these strategies, which is how the benchmark harness produces the
-per-variant series of Figure 4 and Figure 5.
+The :class:`~repro.core.config.AggregateMethod` configuration — or the
+``method`` constructor argument the cost-based optimizer uses for its forced
+candidates — can force any one of these strategies, which is how the
+benchmark harness produces the per-variant series of Figure 4 and Figure 5.
 """
 
 from __future__ import annotations
 
+import math
 from collections.abc import Generator, Iterator
+from typing import TYPE_CHECKING
 
-import numpy as np
+from scipy import stats as scipy_stats
 
 from repro.api.hints import QueryHints, require_hints
-from repro.aqp.control_variates import control_variate_stream
 from repro.aqp.estimators import epsilon_net_minimum_samples
-from repro.aqp.sampling import AdaptiveSamplingConfig, adaptive_sample_stream
 from repro.core.config import AggregateMethod
 from repro.core.context import ExecutionContext
 from repro.core.events import (
@@ -42,20 +46,61 @@ from repro.core.results import AggregateResult, OperatorNode
 from repro.errors import PlanningError
 from repro.frameql.analyzer import AggregateQuerySpec
 from repro.metrics.runtime import ExecutionLedger
-from repro.optimizer.base import PhysicalPlan
-from repro.specialization.calibration import (
-    bootstrap_error_estimate,
-    error_within_tolerance,
+from repro.optimizer.base import CostEstimate, PhysicalPlan
+from repro.optimizer.operators import (
+    ControlVariateSampler,
+    FullScan,
+    RandomSampler,
+    SpecializedInference,
+    TrackAggregator,
 )
-from repro.specialization.count_model import CountSpecializedModel
-from repro.tracking.iou_tracker import IoUTracker
+from repro.optimizer.operators.common import finalize_aggregate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.catalog.statistics import VideoStatistics
+
+#: Slack on the CLT sample-size estimate ``(z * sigma / epsilon)^2``: the
+#: sampler stops on the *sample* standard deviation, which fluctuates around
+#: the catalog's held-out sigma.
+_CLT_SLACK = 2.0
+
+#: Assumed detector/specialized-NN correlation for pricing the control-variate
+#: candidate before any model has been trained (the paper reports 0.8+ on its
+#: workloads).  Used only for ranking, never for bounding.
+ASSUMED_CV_CORRELATION = 0.8
+
+
+def sampling_calls_estimate(
+    num_frames: int,
+    count_std: float,
+    error_tolerance: float,
+    confidence: float,
+    value_range: float,
+) -> int:
+    """Upper estimate of adaptive-sampling detector calls.
+
+    Adds the CLT sample size for the catalog's held-out count deviation (with
+    slack for sample-sigma fluctuation) to one growth round of overshoot, and
+    never exceeds the population: sampling is without replacement.
+    """
+    initial = min(epsilon_net_minimum_samples(value_range, error_tolerance), num_frames)
+    batch = max(50, initial // 2)
+    if count_std <= 0.0:
+        # Zero observed variance: the CLT bound fires at the first check.
+        return min(num_frames, initial)
+    z = float(scipy_stats.norm.ppf(1.0 - (1.0 - confidence) / 2.0))
+    clt_samples = math.ceil((z * count_std / error_tolerance) ** 2 * _CLT_SLACK)
+    return min(num_frames, max(initial, clt_samples) + batch)
 
 
 class AggregateQueryPlan(PhysicalPlan):
     """Adaptive plan for ``FCOUNT`` / ``COUNT`` aggregate queries."""
 
     def __init__(
-        self, spec: AggregateQuerySpec, hints: QueryHints | None = None
+        self,
+        spec: AggregateQuerySpec,
+        hints: QueryHints | None = None,
+        method: AggregateMethod | None = None,
     ) -> None:
         if spec.object_class is None and spec.aggregate != "count_distinct":
             raise PlanningError(
@@ -64,20 +109,119 @@ class AggregateQueryPlan(PhysicalPlan):
             )
         self.spec = spec
         self.hints = require_hints(hints) or QueryHints()
+        #: Forced execution strategy; ``None`` follows the engine
+        #: configuration (``AUTO`` runs Algorithm 1's accuracy gate).
+        self.method = method
+        self._scan = FullScan()
+        self._tracks = TrackAggregator(iou_threshold=0.7, max_gap=1)
+        self._specialized = SpecializedInference(spec)
+        self._sampler = RandomSampler(spec)
+        self._control_variates = ControlVariateSampler(spec)
 
     def describe(self) -> str:
+        forced = f", method={self.method.value}" if self.method is not None else ""
         return (
             f"AggregateQueryPlan(aggregate={self.spec.aggregate}, "
-            f"class={self.spec.object_class}, error={self.spec.error_tolerance})"
+            f"class={self.spec.object_class}, error={self.spec.error_tolerance}"
+            f"{forced})"
         )
 
-    def operator_tree(self) -> OperatorNode:
+    # -- planning surface ----------------------------------------------------------
+
+    def _effective_method(self, context: ExecutionContext) -> AggregateMethod:
+        """The strategy to run: the plan's override, else the engine config."""
+        if self.method is not None:
+            return self.method
+        return context.config.aggregate_method
+
+    def _exact_only(self) -> bool:
+        return (
+            self.spec.error_tolerance is None
+            or self.spec.aggregate == "count_distinct"
+        )
+
+    def operator_tree(
+        self,
+        num_frames: int | None = None,
+        stats: VideoStatistics | None = None,
+    ) -> OperatorNode:
         spec = self.spec
-        if spec.aggregate == "count_distinct" or spec.error_tolerance is None:
+        scan_calls: int | None = None
+        scan_seconds: float | None = None
+        sampler_calls: int | None = None
+        sampler_seconds: float | None = None
+        cv_calls: int | None = None
+        cv_seconds: float | None = None
+        train_calls: int | None = None
+        training_seconds: float | None = None
+        inference_seconds: float | None = None
+        if num_frames is not None and stats is not None:
+            scan_calls = num_frames
+            scan_seconds = stats.detector_seconds(num_frames)
+            sampler_calls = self._sampling_estimate(
+                num_frames, stats, control_variate=False
+            )
+            sampler_seconds = stats.detector_seconds(sampler_calls)
+            cv_calls = self._sampling_estimate(num_frames, stats, control_variate=True)
+            cv_seconds = stats.detector_seconds(cv_calls)
+            train_calls = 0
+            training_seconds = stats.specialized_training_seconds()
+            inference_seconds = stats.specialized_inference_seconds(num_frames)
+
+        if self._exact_only() or self.method == AggregateMethod.EXACT:
+            children: tuple[OperatorNode, ...] = (
+                OperatorNode(
+                    "FullScan",
+                    detail="detection on every frame",
+                    estimated_detector_calls=scan_calls,
+                    estimated_seconds=scan_seconds,
+                ),
+            )
+            if spec.aggregate == "count_distinct":
+                children += (OperatorNode("TrackAggregator", detail="IoU tracker"),)
             return OperatorNode(
                 "AggregateQueryPlan",
                 detail=f"aggregate={spec.aggregate}",
-                children=(OperatorNode("ExhaustiveDetectionScan"),),
+                children=children,
+            )
+
+        train_node = OperatorNode(
+            "SpecializedInference",
+            detail=f"train class={spec.object_class}",
+            estimated_detector_calls=train_calls,
+            estimated_seconds=training_seconds,
+        )
+        rewrite_node = OperatorNode(
+            "QueryRewrite",
+            detail="specialized NN on every unseen frame",
+            estimated_detector_calls=train_calls,
+            estimated_seconds=inference_seconds,
+        )
+        sampler_node = OperatorNode(
+            "RandomSampler",
+            detail="adaptive CLT-bounded sampling",
+            estimated_detector_calls=sampler_calls,
+            estimated_seconds=sampler_seconds,
+        )
+        cv_node = OperatorNode(
+            "ControlVariateSampler",
+            detail="adaptive CLT-bounded sampling, NN auxiliary",
+            estimated_detector_calls=cv_calls,
+            estimated_seconds=cv_seconds,
+        )
+        method = self.method
+        if method == AggregateMethod.NAIVE_AQP:
+            children = (sampler_node,)
+        elif method == AggregateMethod.SPECIALIZED_REWRITE:
+            children = (train_node, rewrite_node)
+        elif method == AggregateMethod.CONTROL_VARIATES:
+            children = (train_node, cv_node)
+        else:
+            children = (
+                train_node,
+                OperatorNode("BootstrapAccuracyGate", detail="Algorithm 1"),
+                rewrite_node,
+                cv_node,
             )
         return OperatorNode(
             "AggregateQueryPlan",
@@ -85,24 +229,66 @@ class AggregateQueryPlan(PhysicalPlan):
                 f"aggregate={spec.aggregate}, class={spec.object_class}, "
                 f"error={spec.error_tolerance} @ {spec.confidence:g}"
             ),
-            children=(
-                OperatorNode("TrainSpecializedNN", detail=f"class={spec.object_class}"),
-                OperatorNode("BootstrapAccuracyGate", detail="Algorithm 1"),
-                OperatorNode("QueryRewrite", detail="specialized NN on every frame"),
-                OperatorNode(
-                    "ControlVariateSampling", detail="adaptive CLT-bounded sampling"
-                ),
-            ),
+            children=children,
         )
 
-    def estimate_detector_calls(self, num_frames: int) -> int:
-        if self.spec.error_tolerance is None or self.spec.aggregate == "count_distinct":
+    def _sampling_estimate(
+        self,
+        num_frames: int,
+        stats: VideoStatistics | None,
+        control_variate: bool,
+    ) -> int:
+        """Detector calls one sampling run is expected to stay under."""
+        spec = self.spec
+        if stats is None or spec.error_tolerance is None:
+            # No catalog: the only certain bound is the population itself
+            # (sampling is without replacement).
             return num_frames
-        # The adaptive sampler starts from the epsilon-net minimum; the true
-        # per-frame count range K is only known at execution time, so the
-        # nominal fallback K=2 used by the plan itself stands in for it.
-        return min(
-            num_frames, epsilon_net_minimum_samples(2.0, self.spec.error_tolerance)
+        sigma = stats.count_std(spec.object_class)
+        if control_variate:
+            sigma *= math.sqrt(1.0 - ASSUMED_CV_CORRELATION**2)
+        return sampling_calls_estimate(
+            num_frames,
+            sigma,
+            spec.error_tolerance,
+            spec.confidence,
+            stats.value_range(spec.object_class),
+        )
+
+    def estimate_detector_calls(
+        self, num_frames: int, stats: VideoStatistics | None = None
+    ) -> int:
+        # The bound reflects ``self.method``; the cost-based optimizer bakes
+        # a config-forced method into the plans it builds, so estimates and
+        # execution agree.  A plan constructed directly with ``method=None``
+        # but executed under a config that forces EXACT is outside this
+        # bound's contract.
+        if self._exact_only() or self.method == AggregateMethod.EXACT:
+            return num_frames
+        if self.method == AggregateMethod.SPECIALIZED_REWRITE:
+            return 0
+        # Sampling-based strategies (and AUTO, whose worst runtime branch is
+        # control variates): bound with the full count deviation — the
+        # control variate can only reduce the variance the bound prices.
+        return self._sampling_estimate(num_frames, stats, control_variate=False)
+
+    def estimate_cost(
+        self, num_frames: int, stats: VideoStatistics | None = None
+    ) -> CostEstimate:
+        base = super().estimate_cost(num_frames, stats)
+        trains = self.method in (
+            None,
+            AggregateMethod.AUTO,
+            AggregateMethod.SPECIALIZED_REWRITE,
+            AggregateMethod.CONTROL_VARIATES,
+        )
+        if self._exact_only() or stats is None or not trains:
+            return base
+        return CostEstimate(
+            detector_calls=base.detector_calls,
+            detector_seconds=base.detector_seconds,
+            training_seconds=stats.specialized_training_seconds(),
+            inference_seconds=stats.specialized_inference_seconds(num_frames),
         )
 
     # -- entry point ---------------------------------------------------------------
@@ -113,7 +299,7 @@ class AggregateQueryPlan(PhysicalPlan):
         """Algorithm 1's decision procedure, as an event stream."""
         spec = self.spec
         ledger = ExecutionLedger()
-        method = context.config.aggregate_method
+        method = self._effective_method(context)
         yield Progress(
             phase="plan_selection", total_frames=context.video.num_frames
         )
@@ -123,7 +309,7 @@ class AggregateQueryPlan(PhysicalPlan):
         elif spec.error_tolerance is None or method == AggregateMethod.EXACT:
             result = yield from self._stream_exact(context, control, ledger)
         elif method == AggregateMethod.NAIVE_AQP:
-            result = yield from self._stream_aqp(context, control, ledger)
+            result = yield from self._sampler.stream(context, control, ledger)
         else:
             result = yield from self._stream_specialized(
                 context, control, ledger, method
@@ -158,66 +344,36 @@ class AggregateQueryPlan(PhysicalPlan):
                     f"not enough training data for class {spec.object_class!r} to "
                     f"force {method.value}; the training day has too few positives"
                 )
-            return (yield from self._stream_aqp(context, control, ledger))
+            return (yield from self._sampler.stream(context, control, ledger))
 
         yield Progress(phase="train_specialized_nn")
-        model = self._train_model(context, ledger)
+        model = self._specialized.train(context, ledger)
         if method == AggregateMethod.SPECIALIZED_REWRITE:
-            return (yield from self._stream_rewrite(context, control, ledger, model))
+            return (
+                yield from self._specialized.stream_rewrite(
+                    context, control, ledger, model
+                )
+            )
         if method == AggregateMethod.CONTROL_VARIATES:
             return (
-                yield from self._stream_control_variates(
+                yield from self._control_variates.stream(
                     context, control, ledger, model
                 )
             )
 
         # AUTO: Algorithm 1's accuracy gate.
         yield Progress(phase="accuracy_gate")
-        if self._rewrite_is_accurate_enough(context, ledger, model):
-            return (yield from self._stream_rewrite(context, control, ledger, model))
+        if self._specialized.rewrite_within_tolerance(context, ledger, model):
+            return (
+                yield from self._specialized.stream_rewrite(
+                    context, control, ledger, model
+                )
+            )
         return (
-            yield from self._stream_control_variates(context, control, ledger, model)
+            yield from self._control_variates.stream(context, control, ledger, model)
         )
 
-    # -- model training and the accuracy gate --------------------------------------------
-
-    def _train_model(
-        self, context: ExecutionContext, ledger: ExecutionLedger
-    ) -> CountSpecializedModel:
-        labeled = context.require_labeled_set()
-        model = CountSpecializedModel(
-            object_class=self.spec.object_class,
-            model_type=context.config.specialized_model_type,
-            hidden_size=context.config.specialized_hidden_size,
-            training_config=context.config.training,
-            seed=context.config.seed,
-        )
-        training_ledger = ledger if context.config.include_training_time else None
-        model.fit(
-            labeled.train_features,
-            labeled.train_counts(self.spec.object_class),
-            training_ledger,
-        )
-        return model
-
-    def _rewrite_is_accurate_enough(
-        self,
-        context: ExecutionContext,
-        ledger: ExecutionLedger,
-        model: CountSpecializedModel,
-    ) -> bool:
-        labeled = context.require_labeled_set()
-        threshold_ledger = ledger if context.config.include_training_time else None
-        predictions = model.predict_counts(labeled.heldout_features, threshold_ledger)
-        truths = labeled.heldout_counts(self.spec.object_class)
-        errors = bootstrap_error_estimate(
-            predictions, truths, seed=context.config.seed
-        )
-        return error_within_tolerance(
-            errors, self.spec.error_tolerance, self.spec.confidence
-        )
-
-    # -- execution strategies -----------------------------------------------------------
+    # -- exhaustive strategy -----------------------------------------------------------
 
     def _stream_exact(
         self,
@@ -225,61 +381,32 @@ class AggregateQueryPlan(PhysicalPlan):
         control: ExecutionControl,
         ledger: ExecutionLedger,
     ) -> Generator[ExecutionEvent, None, AggregateResult]:
-        object_class = self.spec.object_class
+        spec = self.spec
+        object_class = spec.object_class
         num_frames = context.video.num_frames
-        if self.spec.aggregate == "count_distinct":
-            results = []
-            while len(results) < num_frames and not control.should_stop(ledger):
-                stop_at = min(
-                    num_frames, len(results) + control.batch_allowance(ledger)
-                )
-                results.extend(
-                    context.detect_batch(np.arange(len(results), stop_at), ledger)
-                )
-                yield Progress(
-                    phase="detection_scan",
-                    frames_scanned=ledger.frames_decoded,
-                    detector_calls=ledger.detector_calls,
-                    total_frames=num_frames,
-                )
-            tracker = IoUTracker(iou_threshold=0.7, max_gap=1)
-            tracks = tracker.resolve(results)
-            if object_class is not None:
-                tracks = [t for t in tracks if t.object_class == object_class]
-            value = float(len(tracks))
+        if spec.aggregate == "count_distinct":
+            results = yield from self._scan.stream_detections(
+                context, control, ledger
+            )
+            value = self._tracks.distinct_count(results, object_class)
             scanned = len(results)
             partial_note = "distinct count covers only the scanned prefix"
         else:
-            count_chunks: list[np.ndarray] = []
-            scanned = 0
-            running_sum = 0.0
-            while scanned < num_frames and not control.should_stop(ledger):
-                stop_at = min(num_frames, scanned + control.batch_allowance(ledger))
-                chunk = context.detect_counts_batch(
-                    np.arange(scanned, stop_at), object_class, ledger
-                )
-                count_chunks.append(chunk)
-                running_sum += float(chunk.sum())
-                scanned = stop_at
-                yield Progress(
-                    phase="detection_scan",
-                    frames_scanned=ledger.frames_decoded,
-                    detector_calls=ledger.detector_calls,
-                    total_frames=num_frames,
-                )
-                yield EstimateUpdate(
-                    estimate=self._finalize(running_sum / scanned, num_frames),
+            assert object_class is not None  # enforced at plan construction
+            counts, scanned = yield from self._scan.stream_counts(
+                context,
+                control,
+                ledger,
+                object_class,
+                emit=lambda mean, taken: EstimateUpdate(
+                    estimate=finalize_aggregate(spec, mean, num_frames),
                     half_width=0.0,
-                    samples_used=scanned,
-                    confidence=self.spec.confidence,
-                )
-            counts = (
-                np.concatenate(count_chunks)
-                if count_chunks
-                else np.empty(0, dtype=np.float64)
+                    samples_used=taken,
+                    confidence=spec.confidence,
+                ),
             )
             mean = float(counts.mean()) if counts.size else 0.0
-            value = self._finalize(mean, num_frames)
+            value = finalize_aggregate(spec, mean, num_frames)
             partial_note = "value computed from the scanned prefix only"
         description = "exact: object detection on every frame"
         if scanned < num_frames:
@@ -294,186 +421,7 @@ class AggregateQueryPlan(PhysicalPlan):
             detection_calls=ledger.call_count(context.detector.cost.name),
             plan_description=description,
             value=value,
-            error_tolerance=self.spec.error_tolerance,
-            confidence=self.spec.confidence,
+            error_tolerance=spec.error_tolerance,
+            confidence=spec.confidence,
             samples_used=scanned,
         )
-
-    def _width_scale(self, num_frames: int) -> float:
-        """Factor putting CI half-widths in the streamed estimate's units.
-
-        ``_finalize`` scales ``COUNT`` estimates from per-frame means to
-        totals; events and ``ci_width`` stop checks must scale the half-width
-        identically or "estimate ± half_width" would be off by ``num_frames``.
-        The result's ``half_width`` field stays in per-frame units, matching
-        the blocking API's historical contract.
-        """
-        return float(num_frames) if self.spec.aggregate == "count" else 1.0
-
-    def _sampling_config(
-        self, control: ExecutionControl, ledger: ExecutionLedger
-    ) -> AdaptiveSamplingConfig | None:
-        """Default sampling knobs, with the detector budget folded into the cap."""
-        budget = control.stop.max_detector_calls
-        if budget is None:
-            return None
-        return AdaptiveSamplingConfig(
-            max_samples=max(1, budget - ledger.detector_calls)
-        )
-
-    def _stream_aqp(
-        self,
-        context: ExecutionContext,
-        control: ExecutionControl,
-        ledger: ExecutionLedger,
-    ) -> Generator[ExecutionEvent, None, AggregateResult]:
-        object_class = self.spec.object_class
-        num_frames = context.video.num_frames
-        value_range = self._value_range(context)
-        scale = self._width_scale(num_frames)
-        result = None
-        for round_ in adaptive_sample_stream(
-            sample_fn=lambda idx: context.detect_counts_batch(idx, object_class, ledger),
-            population_size=num_frames,
-            error_tolerance=self.spec.error_tolerance,
-            confidence=self.spec.confidence,
-            value_range=value_range,
-            rng=context.rng,
-            config=self._sampling_config(control, ledger),
-            should_stop=lambda taken, hw: control.should_stop(
-                ledger, half_width=hw * scale
-            ),
-        ):
-            yield EstimateUpdate(
-                estimate=self._finalize(round_.estimate, num_frames),
-                half_width=round_.half_width * scale,
-                samples_used=round_.samples_used,
-                confidence=self.spec.confidence,
-            )
-            if round_.done:
-                result = round_.result
-        assert result is not None
-        return AggregateResult(
-            kind="aggregate",
-            method="naive_aqp",
-            ledger=ledger,
-            detection_calls=ledger.call_count(context.detector.cost.name),
-            plan_description=(
-                f"adaptive sampling (epsilon-net start, CLT stop), "
-                f"K={value_range:.0f}"
-            ),
-            value=self._finalize(result.estimate, num_frames),
-            error_tolerance=self.spec.error_tolerance,
-            confidence=self.spec.confidence,
-            samples_used=result.samples_used,
-            half_width=result.half_width,
-        )
-
-    def _stream_rewrite(
-        self,
-        context: ExecutionContext,
-        control: ExecutionControl,
-        ledger: ExecutionLedger,
-        model: CountSpecializedModel,
-    ) -> Generator[ExecutionEvent, None, AggregateResult]:
-        num_frames = context.video.num_frames
-        features = context.test_features()
-        yield Progress(
-            phase="specialized_inference",
-            frames_scanned=ledger.frames_decoded,
-            detector_calls=ledger.detector_calls,
-            total_frames=num_frames,
-        )
-        mean_count = model.mean_count(features, ledger)
-        yield EstimateUpdate(
-            estimate=self._finalize(mean_count, num_frames),
-            half_width=0.0,
-            samples_used=num_frames,
-            confidence=self.spec.confidence,
-        )
-        return AggregateResult(
-            kind="aggregate",
-            method="specialized_rewrite",
-            ledger=ledger,
-            detection_calls=ledger.call_count(context.detector.cost.name),
-            plan_description=(
-                "query rewriting: specialized NN evaluated on every unseen frame"
-            ),
-            value=self._finalize(mean_count, num_frames),
-            error_tolerance=self.spec.error_tolerance,
-            confidence=self.spec.confidence,
-            samples_used=num_frames,
-        )
-
-    def _stream_control_variates(
-        self,
-        context: ExecutionContext,
-        control: ExecutionControl,
-        ledger: ExecutionLedger,
-        model: CountSpecializedModel,
-    ) -> Generator[ExecutionEvent, None, AggregateResult]:
-        object_class = self.spec.object_class
-        num_frames = context.video.num_frames
-        features = context.test_features()
-        auxiliary = model.expected_counts(features, ledger)
-        value_range = self._value_range(context)
-        scale = self._width_scale(num_frames)
-        result = None
-        for round_ in control_variate_stream(
-            sample_fn=lambda idx: context.detect_counts_batch(idx, object_class, ledger),
-            auxiliary_values=auxiliary,
-            error_tolerance=self.spec.error_tolerance,
-            confidence=self.spec.confidence,
-            value_range=value_range,
-            rng=context.rng,
-            config=self._sampling_config(control, ledger),
-            should_stop=lambda taken, hw: control.should_stop(
-                ledger, half_width=hw * scale
-            ),
-        ):
-            yield EstimateUpdate(
-                estimate=self._finalize(round_.estimate, num_frames),
-                half_width=round_.half_width * scale,
-                samples_used=round_.samples_used,
-                confidence=self.spec.confidence,
-            )
-            if round_.done:
-                result = round_.result
-        assert result is not None
-        return AggregateResult(
-            kind="aggregate",
-            method="control_variates",
-            ledger=ledger,
-            detection_calls=ledger.call_count(context.detector.cost.name),
-            plan_description=(
-                "control variates: specialized NN as the auxiliary variable, "
-                f"correlation={result.correlation:.2f}"
-            ),
-            value=self._finalize(result.estimate, num_frames),
-            error_tolerance=self.spec.error_tolerance,
-            confidence=self.spec.confidence,
-            samples_used=result.samples_used,
-            half_width=result.half_width,
-            correlation=result.correlation,
-        )
-
-    # -- helpers -------------------------------------------------------------------------------
-
-    def _value_range(self, context: ExecutionContext) -> float:
-        """``K``: the range of the per-frame count, from the labeled set."""
-        labeled = context.labeled_set
-        if labeled is not None and self.spec.object_class is not None:
-            train_max = int(labeled.train_counts(self.spec.object_class).max(initial=0))
-            heldout_max = int(
-                labeled.heldout_counts(self.spec.object_class).max(initial=0)
-            )
-            return float(max(train_max, heldout_max) + 1)
-        return 2.0
-
-    def _finalize(self, mean_per_frame: float, num_frames: int) -> float:
-        """Convert the frame-averaged mean to the query's requested statistic."""
-        if self.spec.aggregate in ("fcount", "avg"):
-            return mean_per_frame
-        if self.spec.aggregate == "count":
-            return mean_per_frame * num_frames
-        return mean_per_frame

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import abc
 from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.context import ExecutionContext
 from repro.core.events import (
@@ -30,6 +32,42 @@ from repro.core.events import (
 )
 from repro.core.results import OperatorNode, QueryResult
 from repro.errors import ExecutionError
+from repro.metrics.runtime import StandardCosts
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.catalog.statistics import VideoStatistics
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Estimated cost of one physical plan (or one operator), pre-execution.
+
+    Detector invocations dominate every realistic query, so they are tracked
+    both as a count (the unit the paper reasons in) and as simulated seconds;
+    the remaining buckets separate specialization training, specialized-NN
+    inference and simple-filter passes so explanations can show where the
+    non-detector time goes.
+    """
+
+    detector_calls: int = 0
+    detector_seconds: float = 0.0
+    training_seconds: float = 0.0
+    inference_seconds: float = 0.0
+    filter_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total estimated simulated runtime."""
+        return (
+            self.detector_seconds
+            + self.training_seconds
+            + self.inference_seconds
+            + self.filter_seconds
+        )
+
+    def describe(self) -> str:
+        """Compact human-readable form used by plan explanations."""
+        return f"~{self.detector_calls} detector calls, ~{self.total_seconds:.2f}s"
 
 
 class PhysicalPlan(abc.ABC):
@@ -87,22 +125,51 @@ class PhysicalPlan(abc.ABC):
         """Human-readable description of the plan."""
         return type(self).__name__
 
-    def operator_tree(self) -> OperatorNode:
+    def operator_tree(
+        self,
+        num_frames: int | None = None,
+        stats: VideoStatistics | None = None,
+    ) -> OperatorNode:
         """The plan's operator tree, for structured explanations.
 
         Plans that pick their strategy at execution time (e.g. Algorithm 1's
         accuracy gate) report the full decision pipeline rather than the
-        branch that will eventually run.
+        branch that will eventually run.  When ``num_frames`` and ``stats``
+        are given, nodes carry per-operator cost estimates (detector calls
+        and simulated seconds) from the statistics catalog.
         """
         return OperatorNode(name=type(self).__name__)
 
-    def estimate_detector_calls(self, num_frames: int) -> int:
-        """Rough upper estimate of detector invocations over ``num_frames``.
+    def estimate_detector_calls(
+        self, num_frames: int, stats: VideoStatistics | None = None
+    ) -> int:
+        """Upper estimate of detector invocations over ``num_frames``.
 
-        Used only for explanations, never for planning; the conservative
-        default is an exhaustive scan.
+        The contract (checked by the estimate-invariant tests) is that the
+        estimate *bounds* the ``detector_calls`` the execution ledger will
+        actually record under default statistics.  The conservative default
+        is an exhaustive scan; plans tighten it when ``stats`` from the
+        statistics catalog make a smaller bound defensible.
         """
         return num_frames
+
+    def estimate_cost(
+        self, num_frames: int, stats: VideoStatistics | None = None
+    ) -> CostEstimate:
+        """Full cost estimate: detector calls plus specialization overheads.
+
+        The default prices the detector-call estimate at the catalog's
+        per-call detector cost (falling back to the paper's Mask R-CNN rate);
+        plans with training or filtering stages override to fill the other
+        buckets.
+        """
+        calls = self.estimate_detector_calls(num_frames, stats)
+        per_call = (
+            stats.detector_seconds_per_call
+            if stats is not None
+            else StandardCosts.MASK_RCNN.seconds_per_call
+        )
+        return CostEstimate(detector_calls=calls, detector_seconds=calls * per_call)
 
 
 class PlanCursor:

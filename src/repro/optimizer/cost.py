@@ -1,0 +1,540 @@
+"""Cost-based plan selection over the physical operator library (Section 5).
+
+The optimizer works in three steps:
+
+1. :func:`~repro.optimizer.logical.build_logical_plan` restates the analyzed
+   query as a logical tree;
+2. the logical shape is expanded into every *eligible* physical candidate —
+   alternative compositions of the operator library (exhaustive scan,
+   sampling, specialized rewrite, control variates, importance ranking,
+   filter cascades);
+3. each candidate is priced from the statistics catalog in **estimated
+   detector calls plus specialization training cost**, and the cheapest wins.
+
+Two deliberate asymmetries keep planning honest:
+
+* The *adaptive* candidate of each query class (Algorithm 1's accuracy gate,
+  the scrubbing fallback rule) is listed first and priced at the best of the
+  strategies it can choose at runtime, because that is what it will actually
+  do — it therefore wins ties against the forced variants it subsumes.
+* A forced variant must beat the adaptive default by a clear margin
+  (the ``SELECTION_TOLERANCE_*`` constants) before it is chosen over it:
+  catalog statistics are held-out estimates, and the adaptive plans are
+  robust to their errors in a way a forced strategy is not.
+
+On the paper's target workloads (rare events, specializable classes) the
+winner is therefore the same plan the historical rules produced — results
+included, bit for bit.  When the statistics clearly contradict the rules
+(e.g. scrubbing an event so common that a sequential scan crosses the limit
+in a handful of detections, while ranking would first train a specialized NN
+over the whole labeled set), the cheaper candidate wins instead; that is the
+point of having a cost model.
+
+``QueryHints.force_plan`` bypasses the choice entirely and picks a candidate
+by name — the escape hatch for benchmarks and for users who know better.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.api.hints import NO_HINTS, QueryHints, require_hints
+from repro.core.config import AggregateMethod, BlazeItConfig
+from repro.metrics.runtime import StandardCosts
+from repro.core.results import PlanCandidateSummary, PlanExplanation
+from repro.errors import PlanningError, UnknownUDFError
+from repro.frameql.analyzer import (
+    AggregateQuerySpec,
+    ExactQuerySpec,
+    QuerySpec,
+    ScrubbingQuerySpec,
+    SelectionQuerySpec,
+)
+from repro.catalog.statistics import StatisticsCatalog, VideoStatistics
+from repro.optimizer.aggregates import (
+    ASSUMED_CV_CORRELATION,
+    AggregateQueryPlan,
+    sampling_calls_estimate,
+)
+from repro.optimizer.base import CostEstimate, PhysicalPlan
+from repro.optimizer.exact import ExactQueryPlan
+from repro.optimizer.logical import LogicalPlan, build_logical_plan
+from repro.optimizer.scrubbing import ScrubbingQueryPlan
+from repro.optimizer.selection import SelectionQueryPlan
+from repro.udf.registry import UDFRegistry
+
+#: Relative + absolute margin a forced variant must clear to displace the
+#: adaptive default candidate (see the module docstring).
+SELECTION_TOLERANCE_RELATIVE = 0.10
+SELECTION_TOLERANCE_SECONDS = 0.5
+
+#: Expected detector verifications down an importance ranking, in multiples
+#: of the limit: an informative ranking concentrates true positives at the
+#: front, so verification touches roughly the limit plus overshoot — far
+#: fewer frames than a sequential scan needs to cross the same number of
+#: events (``limit / event_rate``).  Capped at the sequential figure: an
+#: uninformative ranking degrades to random order, never below it.
+RANKING_OVERSHOOT = 2
+
+
+class PlanCandidate:
+    """One priced physical alternative for a query."""
+
+    def __init__(
+        self,
+        name: str,
+        plan: PhysicalPlan,
+        cost: CostEstimate,
+        reason: str = "",
+    ) -> None:
+        self.name = name
+        self.plan = plan
+        self.cost = cost
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return f"PlanCandidate({self.name!r}, {self.cost.describe()})"
+
+    def summary(self, chosen: bool) -> PlanCandidateSummary:
+        """The explanation-facing summary of this candidate."""
+        return PlanCandidateSummary(
+            name=self.name,
+            detector_calls=self.cost.detector_calls,
+            total_seconds=self.cost.total_seconds,
+            chosen=chosen,
+            reason=self.reason,
+        )
+
+
+class CostBasedOptimizer:
+    """Chooses the cheapest eligible physical plan for an analyzed query."""
+
+    def __init__(
+        self,
+        udf_registry: UDFRegistry,
+        catalog: StatisticsCatalog | None = None,
+        config: BlazeItConfig | None = None,
+    ) -> None:
+        self.udf_registry = udf_registry
+        self.catalog = catalog if catalog is not None else StatisticsCatalog()
+        self.config = config if config is not None else BlazeItConfig()
+
+    # -- public surface ------------------------------------------------------------
+
+    def plan(self, spec: QuerySpec, hints: QueryHints | None = None) -> PhysicalPlan:
+        """Build the physical plan for ``spec``.
+
+        Parameters
+        ----------
+        spec:
+            Analyzed query specification.
+        hints:
+            Typed execution hints (see :class:`~repro.api.hints.QueryHints`).
+            ``hints.force_plan`` selects a candidate by name instead of by
+            cost.
+        """
+        require_hints(hints)
+        hints = hints or NO_HINTS
+        self._validate_udfs(spec)
+        candidates = self.candidates(spec, hints)
+        if hints.force_plan is not None:
+            return self._forced(candidates, hints.force_plan).plan
+        if self._config_forces_strategy(spec):
+            return candidates[0].plan
+        return self.choose(candidates, self.statistics_for(spec)).plan
+
+    def logical_plan(self, spec: QuerySpec) -> LogicalPlan:
+        """The logical plan the physical enumeration starts from."""
+        return build_logical_plan(spec)
+
+    def statistics_for(self, spec: QuerySpec) -> VideoStatistics | None:
+        """Catalog statistics for the query's video, if registered."""
+        return self.catalog.get(spec.video)
+
+    def candidates(
+        self,
+        spec: QuerySpec,
+        hints: QueryHints | None = None,
+        num_frames: int | None = None,
+    ) -> list[PlanCandidate]:
+        """Every eligible physical candidate for ``spec``, default first.
+
+        ``num_frames`` sizes the costing when the statistics catalog has no
+        entry for the query's video (explanations pass the store's frame
+        count); with catalog statistics it is taken from them.
+        """
+        require_hints(hints)
+        hints = hints or NO_HINTS
+        logical = self.logical_plan(spec)
+        stats = self.statistics_for(spec)
+        if stats is not None:
+            num_frames = stats.num_frames
+        elif num_frames is None:
+            num_frames = 0
+        if isinstance(spec, AggregateQuerySpec):
+            return self._aggregate_candidates(spec, logical, hints, stats, num_frames)
+        if isinstance(spec, ScrubbingQuerySpec):
+            return self._scrubbing_candidates(spec, hints, stats, num_frames)
+        if isinstance(spec, SelectionQuerySpec):
+            return self._selection_candidates(spec, hints, stats, num_frames)
+        if isinstance(spec, ExactQuerySpec):
+            return self._exact_candidates(spec, hints, stats, num_frames)
+        raise PlanningError(
+            f"no plan rule for query spec of type {type(spec).__name__}"
+        )
+
+    def choose(
+        self, candidates: list[PlanCandidate], stats: VideoStatistics | None
+    ) -> PlanCandidate:
+        """Pick the cheapest candidate, with the adaptive-default preference.
+
+        Without statistics there is nothing to price, so the default (first)
+        candidate — the historical rule-based mapping — is chosen outright.
+        """
+        if stats is None or len(candidates) == 1:
+            return candidates[0]
+        best = min(candidate.cost.total_seconds for candidate in candidates)
+        threshold = best * (1.0 + SELECTION_TOLERANCE_RELATIVE) + (
+            SELECTION_TOLERANCE_SECONDS
+        )
+        for candidate in candidates:
+            if candidate.cost.total_seconds <= threshold:
+                return candidate
+        return candidates[0]  # pragma: no cover - threshold >= best is total
+
+    def explain_plan(
+        self,
+        spec: QuerySpec,
+        plan: PhysicalPlan,
+        hints: QueryHints | None,
+        num_frames: int,
+    ) -> PlanExplanation:
+        """Structured explanation of ``plan``, with per-operator costs."""
+        hints = hints or NO_HINTS
+        stats = self.statistics_for(spec)
+        candidates = self.candidates(spec, hints, num_frames=num_frames)
+        if hints.force_plan is not None:
+            chosen = self._forced(candidates, hints.force_plan).name
+        elif self._config_forces_strategy(spec):
+            chosen = candidates[0].name
+        else:
+            chosen = self.choose(candidates, stats).name
+        return PlanExplanation(
+            kind=spec.kind.value,
+            plan_summary=plan.describe(),
+            operators=plan.operator_tree(num_frames=num_frames, stats=stats),
+            estimated_detector_calls=plan.estimate_detector_calls(num_frames, stats),
+            hints_applied=hints.describe(),
+            candidates=tuple(
+                candidate.summary(chosen=candidate.name == chosen)
+                for candidate in candidates
+            ),
+        )
+
+    # -- shared pieces -------------------------------------------------------------
+
+    def _validate_udfs(self, spec: QuerySpec) -> None:
+        predicates = getattr(spec, "udf_predicates", [])
+        for predicate in predicates:
+            if predicate.udf_name not in self.udf_registry:
+                raise UnknownUDFError(
+                    f"query uses unregistered UDF {predicate.udf_name!r}"
+                )
+
+    def _config_forces_strategy(self, spec: QuerySpec) -> bool:
+        """Whether the engine configuration pins this query's strategy.
+
+        A non-``AUTO`` ``aggregate_method`` is an explicit user override
+        (the Figure 4/5 benchmark knob): cost-based choice is bypassed and
+        the default candidate — which carries that method — is used as-is.
+        """
+        return (
+            isinstance(spec, AggregateQuerySpec)
+            and self._default_aggregate_method() is not None
+        )
+
+    def _forced(
+        self, candidates: list[PlanCandidate], name: str
+    ) -> PlanCandidate:
+        for candidate in candidates:
+            if candidate.name == name:
+                return candidate
+        valid = ", ".join(candidate.name for candidate in candidates)
+        raise PlanningError(
+            f"force_plan={name!r} names no eligible candidate for this query; "
+            f"eligible candidates: {valid}"
+        )
+
+    def _detector_cost(
+        self, calls: int, stats: VideoStatistics | None
+    ) -> CostEstimate:
+        if stats is not None:
+            seconds = stats.detector_seconds(calls)
+        else:
+            # No catalog entry: price at the paper's Mask R-CNN rate so
+            # explanations still show meaningful magnitudes.
+            seconds = calls * StandardCosts.MASK_RCNN.seconds_per_call
+        return CostEstimate(detector_calls=calls, detector_seconds=seconds)
+
+    # -- per-class enumeration -----------------------------------------------------
+
+    def _default_aggregate_method(self) -> AggregateMethod | None:
+        """The method the default candidate will actually run.
+
+        The engine configuration can force a strategy for every aggregate
+        query (the Figure 4/5 benchmark knob); baking it into the default
+        plan keeps that plan's cost estimates bounding what execution will
+        really do.  ``AUTO`` stays ``None``: Algorithm 1 decides at runtime.
+        """
+        if self.config.aggregate_method == AggregateMethod.AUTO:
+            return None
+        return self.config.aggregate_method
+
+    def _aggregate_candidates(
+        self,
+        spec: AggregateQuerySpec,
+        logical: LogicalPlan,
+        hints: QueryHints,
+        stats: VideoStatistics | None,
+        num_frames: int,
+    ) -> list[PlanCandidate]:
+        exact_cost = self._detector_cost(num_frames, stats)
+        default_method = self._default_aggregate_method()
+        if not logical.approximate:
+            return [
+                PlanCandidate(
+                    "exact",
+                    AggregateQueryPlan(spec, hints=hints),
+                    exact_cost,
+                    reason="no error tolerance (or COUNT DISTINCT): "
+                    "every frame must be detected",
+                )
+            ]
+
+        error_tolerance = spec.error_tolerance
+        assert error_tolerance is not None  # guaranteed by logical.approximate
+        class_stats = stats.class_stats(spec.object_class) if stats else None
+        sigma = class_stats.count_std if class_stats is not None else 0.0
+        value_range = (
+            stats.value_range(spec.object_class) if stats is not None else 2.0
+        )
+        aqp_calls = sampling_calls_estimate(
+            num_frames, sigma, error_tolerance, spec.confidence, value_range
+        )
+        aqp_cost = self._detector_cost(aqp_calls, stats)
+
+        specializable = (
+            class_stats is not None
+            and class_stats.training_positives >= self.config.min_training_positives
+        )
+        rewrite_cost = aqp_cost
+        cv_cost = aqp_cost
+        if specializable and stats is not None:
+            training = stats.specialized_training_seconds()
+            inference = stats.specialized_inference_seconds(num_frames)
+            rewrite_cost = CostEstimate(
+                detector_calls=0,
+                training_seconds=training,
+                inference_seconds=inference,
+            )
+            residual_sigma = sigma * math.sqrt(1.0 - ASSUMED_CV_CORRELATION**2)
+            cv_calls = sampling_calls_estimate(
+                num_frames,
+                residual_sigma,
+                error_tolerance,
+                spec.confidence,
+                value_range,
+            )
+            cv_cost = CostEstimate(
+                detector_calls=cv_calls,
+                detector_seconds=stats.detector_seconds(cv_calls),
+                training_seconds=training,
+                inference_seconds=inference,
+            )
+
+        # The default candidate runs whatever the engine configuration forces
+        # (normally AUTO); its price reflects that actual behaviour.
+        if default_method == AggregateMethod.EXACT:
+            auto_cost = exact_cost
+            auto_reason = "engine configuration forces the exact scan"
+        elif default_method == AggregateMethod.NAIVE_AQP:
+            auto_cost = aqp_cost
+            auto_reason = "engine configuration forces adaptive sampling"
+        elif default_method == AggregateMethod.SPECIALIZED_REWRITE:
+            auto_cost = rewrite_cost
+            auto_reason = "engine configuration forces the specialized rewrite"
+        elif default_method == AggregateMethod.CONTROL_VARIATES:
+            auto_cost = cv_cost
+            auto_reason = "engine configuration forces control variates"
+        elif specializable and stats is not None:
+            # The adaptive plan runs whichever branch its accuracy gate
+            # admits; price it at the better of the two.
+            auto_cost = min(
+                (rewrite_cost, cv_cost), key=lambda cost: cost.total_seconds
+            )
+            auto_reason = (
+                "Algorithm 1: bootstrap gate picks rewrite or "
+                "control variates at runtime"
+            )
+        else:
+            auto_cost = aqp_cost
+            auto_reason = "too few training positives: adaptive sampling"
+        candidates: list[PlanCandidate] = [
+            PlanCandidate(
+                "auto",
+                AggregateQueryPlan(spec, hints=hints, method=default_method),
+                auto_cost,
+                reason=auto_reason,
+            )
+        ]
+        candidates.append(
+            PlanCandidate(
+                "exact",
+                AggregateQueryPlan(spec, hints=hints, method=AggregateMethod.EXACT),
+                exact_cost,
+                reason="detection on every frame",
+            )
+        )
+        candidates.append(
+            PlanCandidate(
+                "naive_aqp",
+                AggregateQueryPlan(
+                    spec, hints=hints, method=AggregateMethod.NAIVE_AQP
+                ),
+                aqp_cost,
+                reason="uniform sampling, CLT stop",
+            )
+        )
+        if specializable and stats is not None:
+            candidates.append(
+                PlanCandidate(
+                    "specialized_rewrite",
+                    AggregateQueryPlan(
+                        spec, hints=hints, method=AggregateMethod.SPECIALIZED_REWRITE
+                    ),
+                    rewrite_cost,
+                    reason="specialized NN replaces the detector outright",
+                )
+            )
+            candidates.append(
+                PlanCandidate(
+                    "control_variates",
+                    AggregateQueryPlan(
+                        spec, hints=hints, method=AggregateMethod.CONTROL_VARIATES
+                    ),
+                    cv_cost,
+                    reason="variance-reduced sampling, NN auxiliary",
+                )
+            )
+        return candidates
+
+    def _scrubbing_candidates(
+        self,
+        spec: ScrubbingQuerySpec,
+        hints: QueryHints,
+        stats: VideoStatistics | None,
+        num_frames: int,
+    ) -> list[PlanCandidate]:
+        importance = ScrubbingQueryPlan(spec, hints=hints)
+        exhaustive = ScrubbingQueryPlan(spec, hints=hints, strategy="exhaustive")
+        # Expected verification work, not the conservative per-plan bound:
+        # a sequential scan crosses ``limit / event_rate`` frames before the
+        # limit-th event, while an informative ranking concentrates the true
+        # positives at the front and verifies only a small multiple of the
+        # limit (capped at the sequential figure — an uninformative ranking
+        # degrades to random order, never below it).
+        rate = stats.event_rate(spec.min_counts) if stats is not None else 0.0
+        if rate > 0.0:
+            # A GAP constraint makes the sequential scan cross (limit-1)*gap
+            # frames no matter how common the event is; on bursty videos the
+            # empty stretches between bursts are charged, so they are priced
+            # in full.
+            sequential_calls = min(
+                num_frames,
+                math.ceil(spec.limit / rate) + (spec.limit - 1) * spec.gap,
+            )
+        else:
+            sequential_calls = num_frames
+        trained = (
+            stats is not None and stats.training_event_count(spec.min_counts) > 0
+        )
+        exhaustive_cost = self._detector_cost(sequential_calls, stats)
+        if trained and stats is not None:
+            ranked_calls = min(spec.limit * RANKING_OVERSHOOT, sequential_calls)
+            importance_cost = CostEstimate(
+                detector_calls=ranked_calls,
+                detector_seconds=stats.detector_seconds(ranked_calls),
+                training_seconds=(
+                    0.0 if importance.indexed else stats.specialized_training_seconds()
+                ),
+                inference_seconds=(
+                    0.0
+                    if importance.indexed
+                    else stats.specialized_inference_seconds(num_frames)
+                ),
+            )
+        else:
+            # No training instances: the plan falls back to the sequential
+            # scan at runtime without training anything.
+            importance_cost = exhaustive_cost
+        return [
+            PlanCandidate(
+                "importance",
+                importance,
+                importance_cost,
+                reason=(
+                    "NN ranks frames; detector verifies down the ranking"
+                    if trained
+                    else "no training instances: falls back to the "
+                    "sequential scan at runtime"
+                ),
+            ),
+            PlanCandidate(
+                "exhaustive",
+                exhaustive,
+                exhaustive_cost,
+                reason="sequential detection scan until the limit is met",
+            ),
+        ]
+
+    def _selection_candidates(
+        self,
+        spec: SelectionQuerySpec,
+        hints: QueryHints,
+        stats: VideoStatistics | None,
+        num_frames: int,
+    ) -> list[PlanCandidate]:
+        filtered = SelectionQueryPlan(spec, hints=hints)
+        exhaustive = SelectionQueryPlan(
+            spec, enabled_filter_classes=set(), hints=hints
+        )
+        return [
+            PlanCandidate(
+                "filtered",
+                filtered,
+                filtered.estimate_cost(num_frames, stats),
+                reason="no-false-negative filter cascade before detection",
+            ),
+            PlanCandidate(
+                "exhaustive",
+                exhaustive,
+                exhaustive.estimate_cost(num_frames, stats),
+                reason="detect every frame, no filters",
+            ),
+        ]
+
+    def _exact_candidates(
+        self,
+        spec: ExactQuerySpec,
+        hints: QueryHints,
+        stats: VideoStatistics | None,
+        num_frames: int,
+    ) -> list[PlanCandidate]:
+        return [
+            PlanCandidate(
+                "exhaustive",
+                ExactQueryPlan(spec, hints=hints),
+                self._detector_cost(num_frames, stats),
+                reason="unrecognised query shape: full scan, all records",
+            )
+        ]

@@ -1,17 +1,18 @@
 """Fallback physical plan: exhaustive detection with record materialisation.
 
-Used for queries the rule-based optimizer cannot accelerate (``SELECT *`` with
-no predicates, unrecognised query shapes).  It runs the detector over every
-frame, resolves track identities and materialises every FrameQL record, which
-is exactly the "populate the rows" strategy the paper's optimizations exist to
-avoid — but it is always available and always correct.
+Used for queries the optimizer cannot accelerate (``SELECT *`` with no
+predicates, unrecognised query shapes).  It composes the
+:class:`~repro.optimizer.operators.FullScan` and
+:class:`~repro.optimizer.operators.TrackAggregator` operators: the detector
+runs over every frame, track identities are resolved and every FrameQL record
+is materialised, which is exactly the "populate the rows" strategy the paper's
+optimizations exist to avoid — but it is always available and always correct.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
-
-import numpy as np
+from typing import TYPE_CHECKING
 
 from repro.api.hints import QueryHints, require_hints
 from repro.core.context import ExecutionContext
@@ -23,10 +24,12 @@ from repro.core.events import (
 )
 from repro.core.results import ExactResult, OperatorNode
 from repro.frameql.analyzer import ExactQuerySpec
-from repro.frameql.schema import FrameRecord
 from repro.metrics.runtime import ExecutionLedger
 from repro.optimizer.base import PhysicalPlan
-from repro.tracking.iou_tracker import IoUTracker
+from repro.optimizer.operators import FullScan, TrackAggregator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.catalog.statistics import VideoStatistics
 
 
 class ExactQueryPlan(PhysicalPlan):
@@ -35,18 +38,36 @@ class ExactQueryPlan(PhysicalPlan):
     def __init__(self, spec: ExactQuerySpec, hints: QueryHints | None = None) -> None:
         self.spec = spec
         self.hints = require_hints(hints) or QueryHints()
+        self._scan = FullScan()
+        self._tracks = TrackAggregator(iou_threshold=0.7, max_gap=1)
 
     def describe(self) -> str:
         return f"ExactQueryPlan(reason={self.spec.reason!r})"
 
-    def operator_tree(self) -> OperatorNode:
+    def operator_tree(
+        self,
+        num_frames: int | None = None,
+        stats: VideoStatistics | None = None,
+    ) -> OperatorNode:
+        calls: int | None = None
+        seconds: float | None = None
+        if num_frames is not None and stats is not None:
+            calls = num_frames
+            seconds = stats.detector_seconds(num_frames)
         return OperatorNode(
             "ExactQueryPlan",
             detail=self.spec.reason,
             children=(
-                OperatorNode("ExhaustiveDetectionScan"),
-                OperatorNode("TrackResolution", detail="IoU tracker"),
-                OperatorNode("RecordMaterialisation"),
+                OperatorNode(
+                    "FullScan",
+                    detail="detection on every frame",
+                    estimated_detector_calls=calls,
+                    estimated_seconds=seconds,
+                ),
+                OperatorNode(
+                    "TrackAggregator",
+                    detail="IoU tracker, all records materialised",
+                ),
             ),
         )
 
@@ -56,36 +77,8 @@ class ExactQueryPlan(PhysicalPlan):
         ledger = ExecutionLedger()
         num_frames = context.video.num_frames
         yield Progress(phase="detection_scan", total_frames=num_frames)
-        results = []
-        while len(results) < num_frames and not control.should_stop(ledger):
-            stop_at = min(num_frames, len(results) + control.batch_allowance(ledger))
-            results.extend(
-                context.detect_batch(np.arange(len(results), stop_at), ledger)
-            )
-            yield Progress(
-                phase="detection_scan",
-                frames_scanned=ledger.frames_decoded,
-                detector_calls=ledger.detector_calls,
-                total_frames=num_frames,
-            )
-        tracker = IoUTracker(iou_threshold=0.7, max_gap=1)
-        tracks = tracker.resolve(results)
-        records: list[FrameRecord] = []
-        for track in tracks:
-            for det in track.detections:
-                records.append(
-                    FrameRecord(
-                        timestamp=det.timestamp,
-                        frame_index=det.frame_index,
-                        object_class=det.object_class,
-                        mask=det.box,
-                        trackid=track.track_id,
-                        features=det.features,
-                        confidence=det.confidence,
-                        color=det.color,
-                        color_name=det.color_name,
-                    )
-                )
+        results = yield from self._scan.stream_detections(context, control, ledger)
+        records = self._tracks.materialize(self._tracks.resolve(results))
         yield Completed(
             ExactResult(
                 kind="exact",

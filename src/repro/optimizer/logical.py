@@ -1,0 +1,200 @@
+"""The logical plan layer: what a query computes, before deciding how.
+
+Analyzed :class:`~repro.frameql.analyzer.QuerySpec` objects describe a query's
+*semantics*; a :class:`LogicalPlan` restates those semantics as a small
+relational-style tree (scan → filter/event/aggregate → limit/materialise)
+that the cost-based optimizer maps onto alternative physical operator trees.
+Keeping the layer explicit — rather than dispatching physical plans straight
+off the spec type — is what lets the optimizer enumerate several physical
+strategies for one logical shape and price them against the statistics
+catalog.
+
+Logical nodes carry no execution state and never run; they are the stable
+middle layer between the analyzer and the operator library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanningError
+from repro.frameql.analyzer import (
+    AggregateQuerySpec,
+    ExactQuerySpec,
+    QueryKind,
+    QuerySpec,
+    ScrubbingQuerySpec,
+    SelectionQuerySpec,
+)
+
+
+@dataclass(frozen=True)
+class LogicalNode:
+    """One node of a logical plan tree."""
+
+    name: str
+    detail: str = ""
+    children: tuple[LogicalNode, ...] = ()
+
+    def render(self, indent: int = 0) -> str:
+        """Multi-line indented rendering of the subtree."""
+        label = f"{self.name}({self.detail})" if self.detail else self.name
+        lines = ["  " * indent + label]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def flatten(self) -> list[str]:
+        """Every node name in the subtree, depth first."""
+        names = [self.name]
+        for child in self.children:
+            names.extend(child.flatten())
+        return names
+
+
+@dataclass(frozen=True)
+class LogicalPlan:
+    """A query's semantics as a logical tree, plus planning metadata.
+
+    ``required_classes`` names the object classes whose catalog statistics
+    the physical enumeration will consult; ``approximate`` records whether
+    the query tolerates a bounded error (which is what unlocks the sampling
+    and rewriting strategies).
+    """
+
+    kind: QueryKind
+    video: str
+    root: LogicalNode
+    required_classes: frozenset[str]
+    approximate: bool
+
+    def describe(self) -> str:
+        """One-line summary of the logical shape."""
+        classes = ",".join(sorted(self.required_classes)) or "<none>"
+        return (
+            f"LogicalPlan(kind={self.kind.value}, video={self.video}, "
+            f"classes={classes}, approximate={self.approximate})"
+        )
+
+    def render(self) -> str:
+        """Multi-line rendering of the logical tree."""
+        return self.root.render()
+
+
+def _scan(video: str) -> LogicalNode:
+    return LogicalNode("LogicalScan", detail=f"video={video}")
+
+
+def _aggregate_plan(spec: AggregateQuerySpec) -> LogicalPlan:
+    bound = (
+        f"error<={spec.error_tolerance} @ {spec.confidence:g}"
+        if spec.error_tolerance is not None
+        else "exact"
+    )
+    root = LogicalNode(
+        "LogicalAggregate",
+        detail=f"{spec.aggregate}({spec.object_class or '*'}), {bound}",
+        children=(
+            LogicalNode(
+                "LogicalClassCount",
+                detail=f"class={spec.object_class}",
+                children=(_scan(spec.video),),
+            ),
+        ),
+    )
+    return LogicalPlan(
+        kind=QueryKind.AGGREGATE,
+        video=spec.video,
+        root=root,
+        required_classes=spec.referenced_classes(),
+        approximate=spec.error_tolerance is not None
+        and spec.aggregate != "count_distinct",
+    )
+
+
+def _scrubbing_plan(spec: ScrubbingQuerySpec) -> LogicalPlan:
+    predicate = " AND ".join(
+        f"count({cls})>={count}" for cls, count in sorted(spec.min_counts.items())
+    )
+    root = LogicalNode(
+        "LogicalLimit",
+        detail=f"limit={spec.limit}, gap={spec.gap}",
+        children=(
+            LogicalNode(
+                "LogicalEventFilter",
+                detail=predicate,
+                children=(_scan(spec.video),),
+            ),
+        ),
+    )
+    return LogicalPlan(
+        kind=QueryKind.SCRUBBING,
+        video=spec.video,
+        root=root,
+        required_classes=spec.referenced_classes(),
+        approximate=False,
+    )
+
+
+def _selection_plan(spec: SelectionQuerySpec) -> LogicalPlan:
+    predicates = []
+    if spec.object_class is not None:
+        predicates.append(f"class={spec.object_class}")
+    predicates.extend(
+        f"{p.udf_name}({p.column}){p.op}{p.value}" for p in spec.udf_predicates
+    )
+    for constraint in spec.spatial_constraints:
+        predicates.append(f"{constraint.axis}{constraint.op}{constraint.value:g}")
+    if spec.min_area is not None:
+        predicates.append(f"area>{spec.min_area:g}")
+    if spec.max_area is not None:
+        predicates.append(f"area<{spec.max_area:g}")
+    select = LogicalNode(
+        "LogicalSelect",
+        detail=", ".join(predicates),
+        children=(_scan(spec.video),),
+    )
+    root = select
+    if spec.min_track_frames is not None:
+        root = LogicalNode(
+            "LogicalTrackConstraint",
+            detail=f"min_track_frames={spec.min_track_frames}",
+            children=(select,),
+        )
+    return LogicalPlan(
+        kind=QueryKind.SELECTION,
+        video=spec.video,
+        root=root,
+        required_classes=spec.referenced_classes(),
+        approximate=spec.fnr_within is not None or spec.fpr_within is not None,
+    )
+
+
+def _exact_plan(spec: ExactQuerySpec) -> LogicalPlan:
+    root = LogicalNode(
+        "LogicalMaterialize",
+        detail=spec.reason,
+        children=(_scan(spec.video),),
+    )
+    return LogicalPlan(
+        kind=QueryKind.EXACT,
+        video=spec.video,
+        root=root,
+        required_classes=frozenset(),
+        approximate=False,
+    )
+
+
+def build_logical_plan(spec: QuerySpec) -> LogicalPlan:
+    """Build the logical plan for an analyzed query."""
+    if isinstance(spec, AggregateQuerySpec):
+        return _aggregate_plan(spec)
+    if isinstance(spec, ScrubbingQuerySpec):
+        return _scrubbing_plan(spec)
+    if isinstance(spec, SelectionQuerySpec):
+        return _selection_plan(spec)
+    if isinstance(spec, ExactQuerySpec):
+        return _exact_plan(spec)
+    raise PlanningError(
+        f"no logical plan for query spec of type {type(spec).__name__}"
+    )

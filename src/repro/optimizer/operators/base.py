@@ -1,0 +1,33 @@
+"""Physical operator base: composable, stream-compatible plan stages.
+
+A :class:`PhysicalOperator` is one reusable stage of a physical plan — a
+detection scan, a sampler, a filter cascade, a verifier.  Operators expose
+generator methods that yield the same typed
+:class:`~repro.core.events.ExecutionEvent` objects as plan ``_stream``
+implementations (and return their stage result via ``StopIteration.value``),
+so plans compose them with ``yield from`` without changing the streaming
+protocol, chunked batching, or early-termination semantics.
+
+Operators hold only query parameters: all execution state (video, detector,
+ledger, RNG) arrives through the :class:`~repro.core.context.ExecutionContext`
+and :class:`~repro.core.events.ExecutionControl` at stream time, which is what
+makes one operator instance reusable across executions.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+
+class PhysicalOperator:
+    """Base class for the composable operator library."""
+
+    #: Operator name as shown in operator trees and the README catalog.
+    name: ClassVar[str] = "PhysicalOperator"
+
+    def describe(self) -> str:
+        """Human-readable one-line description of the operator."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,136 @@
+"""Filter-cascade operator and the shared object-level predicate evaluator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.context import ExecutionContext
+from repro.detection.base import Detection
+from repro.frameql.analyzer import SelectionQuerySpec
+from repro.metrics.runtime import RuntimeLedger
+from repro.optimizer.operators.base import PhysicalOperator
+from repro.selection.inference import FilterInferenceInputs, infer_selection_plan
+from repro.selection.plan import SelectionPlan
+from repro.udf.registry import UDFRegistry
+
+_OP_FUNCS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def detection_matches(
+    detection: Detection, spec: SelectionQuerySpec, udf_registry: UDFRegistry
+) -> bool:
+    """Whether one detection satisfies the query's object-level predicates."""
+    if spec.object_class is not None and detection.object_class != spec.object_class:
+        return False
+    box = detection.box
+    if spec.min_area is not None and box.area <= spec.min_area:
+        return False
+    if spec.max_area is not None and box.area >= spec.max_area:
+        return False
+    for constraint in spec.spatial_constraints:
+        extent = {
+            "xmin": box.x_min,
+            "xmax": box.x_max,
+            "ymin": box.y_min,
+            "ymax": box.y_max,
+        }[constraint.axis]
+        if not _OP_FUNCS[constraint.op](extent, constraint.value):
+            return False
+    for predicate in spec.udf_predicates:
+        udf = udf_registry.get(predicate.udf_name)
+        value = udf.object_fn(detection)
+        if not _OP_FUNCS[predicate.op](value, predicate.value):
+            return False
+    return True
+
+
+class FilterCascade(PhysicalOperator):
+    """Infer and apply the cheapest-first frame-filter pipeline (Section 8.1).
+
+    Calibrates the applicable filter classes (temporal, spatial, content,
+    label) against the labeled set with no-false-negative thresholds, so the
+    cascade can only discard frames that would not have matched — selection
+    plans verify every survivor with the detector, keeping the paper's
+    "false negatives only" error accounting.
+    """
+
+    name = "FilterCascade"
+
+    def __init__(
+        self,
+        spec: SelectionQuerySpec,
+        enabled_filter_classes: set[str] | None,
+    ) -> None:
+        self.spec = spec
+        self.enabled_filter_classes = enabled_filter_classes
+
+    def describe(self) -> str:
+        enabled = (
+            ", ".join(sorted(self.enabled_filter_classes))
+            if self.enabled_filter_classes is not None
+            else "all"
+        )
+        return f"FilterCascade(classes={enabled})"
+
+    def build(
+        self, context: ExecutionContext, ledger: RuntimeLedger
+    ) -> SelectionPlan:
+        """Infer the calibrated filter pipeline for this query and video."""
+        if self.enabled_filter_classes is not None and not self.enabled_filter_classes:
+            return SelectionPlan()
+        labeled = context.labeled_set
+        if labeled is None:
+            # No labeled set: only query-derived (temporal/spatial) filters can
+            # be inferred, and only when explicitly enabled.
+            return SelectionPlan()
+        inputs = self._inference_inputs(context)
+        training_ledger = ledger if context.config.include_training_time else None
+        return infer_selection_plan(
+            spec=self.spec,
+            unseen_video=context.video,
+            inputs=inputs,
+            ledger=training_ledger,
+            training_config=context.config.training,
+            enabled_filter_classes=self.enabled_filter_classes,
+            model_type=context.config.specialized_model_type,
+        )
+
+    def _inference_inputs(self, context: ExecutionContext) -> FilterInferenceInputs:
+        labeled = context.require_labeled_set()
+        object_class = self.spec.object_class
+        if object_class is not None:
+            train_presence = labeled.train_presence(object_class)
+            heldout_presence = labeled.heldout_presence(object_class)
+        else:
+            train_presence = np.ones(labeled.train_video.num_frames, dtype=bool)
+            heldout_presence = np.ones(labeled.heldout_video.num_frames, dtype=bool)
+        heldout_positive_mask = self._heldout_positive_mask(context)
+        return FilterInferenceInputs(
+            train_video=labeled.train_video,
+            heldout_video=labeled.heldout_video,
+            train_features=labeled.train_features,
+            heldout_features=labeled.heldout_features,
+            train_presence=train_presence,
+            heldout_presence=heldout_presence,
+            heldout_positive_mask=heldout_positive_mask,
+        )
+
+    def _heldout_positive_mask(self, context: ExecutionContext) -> np.ndarray:
+        """Held-out frames whose recorded detections satisfy the full predicate."""
+        labeled = context.require_labeled_set()
+        recorded = labeled.heldout_recorded
+        mask = np.zeros(recorded.num_frames, dtype=bool)
+        for frame_index in range(recorded.num_frames):
+            result = recorded.result(frame_index)
+            mask[frame_index] = any(
+                detection_matches(det, self.spec, context.udf_registry)
+                for det in result.detections
+            )
+        return mask

@@ -1,0 +1,89 @@
+"""Full-scan operator: exhaustive detection over every frame."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+
+import numpy as np
+
+from repro.core.context import ExecutionContext
+from repro.core.events import ExecutionControl, ExecutionEvent, Progress
+from repro.detection.base import DetectionResult
+from repro.metrics.runtime import ExecutionLedger
+from repro.optimizer.operators.base import PhysicalOperator
+
+
+class FullScan(PhysicalOperator):
+    """Run the object detector over every frame, in control-sized batches.
+
+    The always-available, always-correct baseline stage: used directly by the
+    exact plan, by aggregates without an error tolerance, and by
+    ``COUNT(DISTINCT trackid)``.  Batches shrink to the control's remaining
+    detector budget and the scan checks stop conditions at every boundary, so
+    truncated scans still hand back a well-formed prefix.
+    """
+
+    name = "FullScan"
+
+    def stream_detections(
+        self,
+        context: ExecutionContext,
+        control: ExecutionControl,
+        ledger: ExecutionLedger,
+    ) -> Generator[ExecutionEvent, None, list[DetectionResult]]:
+        """Scan frames in order, returning every frame's detection result."""
+        num_frames = context.video.num_frames
+        results: list[DetectionResult] = []
+        while len(results) < num_frames and not control.should_stop(ledger):
+            stop_at = min(num_frames, len(results) + control.batch_allowance(ledger))
+            results.extend(
+                context.detect_batch(np.arange(len(results), stop_at), ledger)
+            )
+            yield Progress(
+                phase="detection_scan",
+                frames_scanned=ledger.frames_decoded,
+                detector_calls=ledger.detector_calls,
+                total_frames=num_frames,
+            )
+        return results
+
+    def stream_counts(
+        self,
+        context: ExecutionContext,
+        control: ExecutionControl,
+        ledger: ExecutionLedger,
+        object_class: str,
+        emit: Callable[[float, int], ExecutionEvent],
+    ) -> Generator[ExecutionEvent, None, tuple[np.ndarray, int]]:
+        """Scan frames in order, accumulating one class's per-frame counts.
+
+        ``emit(running_mean, scanned)`` builds the per-chunk estimate event
+        (the aggregate plan supplies its unit conversion), keeping the exact
+        event cadence of the historical in-plan loop: one ``Progress`` and one
+        estimate event per chunk.
+        """
+        num_frames = context.video.num_frames
+        count_chunks: list[np.ndarray] = []
+        scanned = 0
+        running_sum = 0.0
+        while scanned < num_frames and not control.should_stop(ledger):
+            stop_at = min(num_frames, scanned + control.batch_allowance(ledger))
+            chunk = context.detect_counts_batch(
+                np.arange(scanned, stop_at), object_class, ledger
+            )
+            count_chunks.append(chunk)
+            running_sum += float(chunk.sum())
+            scanned = stop_at
+            yield Progress(
+                phase="detection_scan",
+                frames_scanned=ledger.frames_decoded,
+                detector_calls=ledger.detector_calls,
+                total_frames=num_frames,
+            )
+            yield emit(running_sum / scanned, scanned)
+        counts = (
+            np.concatenate(count_chunks)
+            if count_chunks
+            else np.empty(0, dtype=np.float64)
+        )
+        return counts, scanned

@@ -1,0 +1,63 @@
+"""Track-aggregation operator: identity resolution and record materialisation."""
+
+from __future__ import annotations
+
+from repro.detection.base import DetectionResult
+from repro.frameql.schema import FrameRecord
+from repro.optimizer.operators.base import PhysicalOperator
+from repro.tracking.iou_tracker import IoUTracker
+from repro.tracking.track import ResolvedTrack
+
+
+class TrackAggregator(PhysicalOperator):
+    """Resolve track identities over detection results with the IoU tracker.
+
+    The shared tail stage of every record-producing plan: exact scans and
+    selections resolve tracks before materialising FrameQL records, and
+    ``COUNT(DISTINCT trackid)`` reduces the resolved tracks to a count.
+    Plans that subsample frames pass a looser IoU threshold and a larger gap,
+    since objects move further between processed frames.
+    """
+
+    name = "TrackAggregator"
+
+    def __init__(self, iou_threshold: float = 0.7, max_gap: int = 1) -> None:
+        self.iou_threshold = iou_threshold
+        self.max_gap = max_gap
+
+    def describe(self) -> str:
+        return f"TrackAggregator(iou={self.iou_threshold}, gap={self.max_gap})"
+
+    def resolve(self, results: list[DetectionResult]) -> list[ResolvedTrack]:
+        """Resolve track identities over per-frame detection results."""
+        tracker = IoUTracker(iou_threshold=self.iou_threshold, max_gap=self.max_gap)
+        return tracker.resolve(results)
+
+    def distinct_count(
+        self, results: list[DetectionResult], object_class: str | None
+    ) -> float:
+        """``COUNT(DISTINCT trackid)``: resolved tracks, optionally one class."""
+        tracks = self.resolve(results)
+        if object_class is not None:
+            tracks = [t for t in tracks if t.object_class == object_class]
+        return float(len(tracks))
+
+    def materialize(self, tracks: list[ResolvedTrack]) -> list[FrameRecord]:
+        """Materialise one FrameQL record per tracked detection."""
+        records: list[FrameRecord] = []
+        for track in tracks:
+            for det in track.detections:
+                records.append(
+                    FrameRecord(
+                        timestamp=det.timestamp,
+                        frame_index=det.frame_index,
+                        object_class=det.object_class,
+                        mask=det.box,
+                        trackid=track.track_id,
+                        features=det.features,
+                        confidence=det.confidence,
+                        color=det.color,
+                        color_name=det.color_name,
+                    )
+                )
+        return records

@@ -1,84 +1,25 @@
-"""Rule-based plan selection (Section 5).
+"""Compatibility wrapper preserving the historical rule-based surface.
 
-The optimizer maps each analyzed query class to its physical plan.  Because
-every specialized NN and filter runs orders of magnitude faster than object
-detection (a 100,000 fps filter "would need to filter 0.003% of the frames to
-be effective"), rules rather than a cost model are sufficient: the plan
-structure follows from the query class and the statistical decisions are made
-inside the plans from held-out data.
+Planning now flows through the :class:`~repro.optimizer.cost.CostBasedOptimizer`
+(Section 5): logical plans, enumerated physical candidates, a statistics
+catalog and a cost model.  ``RuleBasedOptimizer`` is kept because the paper's
+original argument — filters and specialized NNs are orders of magnitude
+cheaper than detection, so the plan structure follows from the query class —
+is exactly what the cost-based optimizer reproduces when it has no statistics:
+without a catalog the default candidate per query class *is* the old
+rule-based mapping, and the adaptive-default preference keeps that mapping
+under realistic statistics too.
 """
 
 from __future__ import annotations
 
-import warnings
-
-from repro.api.hints import QueryHints, coerce_hints, require_hints
-from repro.errors import PlanningError, UnknownUDFError
-from repro.frameql.analyzer import (
-    AggregateQuerySpec,
-    ExactQuerySpec,
-    QuerySpec,
-    ScrubbingQuerySpec,
-    SelectionQuerySpec,
-)
-from repro.optimizer.aggregates import AggregateQueryPlan
-from repro.optimizer.base import PhysicalPlan
-from repro.optimizer.exact import ExactQueryPlan
-from repro.optimizer.scrubbing import ScrubbingQueryPlan
-from repro.optimizer.selection import SelectionQueryPlan
-from repro.udf.registry import UDFRegistry
+from repro.optimizer.cost import CostBasedOptimizer
 
 
-class RuleBasedOptimizer:
-    """Chooses a physical plan for an analyzed FrameQL query."""
+class RuleBasedOptimizer(CostBasedOptimizer):
+    """The historical optimizer name: cost-based planning, rule-based defaults.
 
-    def __init__(self, udf_registry: UDFRegistry) -> None:
-        self.udf_registry = udf_registry
-
-    def plan(
-        self,
-        spec: QuerySpec,
-        hints: QueryHints | None = None,
-        scrubbing_indexed: bool | None = None,
-        selection_filter_classes: set[str] | None = None,
-    ) -> PhysicalPlan:
-        """Build the physical plan for ``spec``.
-
-        Parameters
-        ----------
-        spec:
-            Analyzed query specification.
-        hints:
-            Typed execution hints (see :class:`~repro.api.hints.QueryHints`).
-        scrubbing_indexed, selection_filter_classes:
-            Deprecated loose forms of the corresponding hint fields; use
-            ``hints`` instead.
-        """
-        require_hints(hints)
-        if scrubbing_indexed is not None or selection_filter_classes is not None:
-            warnings.warn(
-                "the scrubbing_indexed / selection_filter_classes keyword "
-                "arguments are deprecated; pass hints=QueryHints(...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            hints = coerce_hints(hints, scrubbing_indexed, selection_filter_classes)
-        hints = hints or QueryHints()
-        self._validate_udfs(spec)
-        if isinstance(spec, AggregateQuerySpec):
-            return AggregateQueryPlan(spec, hints=hints)
-        if isinstance(spec, ScrubbingQuerySpec):
-            return ScrubbingQueryPlan(spec, hints=hints)
-        if isinstance(spec, SelectionQuerySpec):
-            return SelectionQueryPlan(spec, hints=hints)
-        if isinstance(spec, ExactQuerySpec):
-            return ExactQueryPlan(spec, hints=hints)
-        raise PlanningError(f"no plan rule for query spec of type {type(spec).__name__}")
-
-    def _validate_udfs(self, spec: QuerySpec) -> None:
-        predicates = getattr(spec, "udf_predicates", [])
-        for predicate in predicates:
-            if predicate.udf_name not in self.udf_registry:
-                raise UnknownUDFError(
-                    f"query uses unregistered UDF {predicate.udf_name!r}"
-                )
+    Construct with just a UDF registry for the classic behaviour (no
+    statistics catalog, so every query gets its query-class default plan), or
+    pass ``catalog``/``config`` to opt into cost-based selection.
+    """

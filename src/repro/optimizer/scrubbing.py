@@ -1,11 +1,13 @@
 """Physical plan for cardinality-limited scrubbing queries (Section 7).
 
-The plan trains a multi-head count-specialized NN on the labeled set (one head
-per queried class, for class-imbalance reasons), scores every unseen frame
-with the sum of per-class ``P(count >= N)`` confidences, and runs the full
-detector down the ranking until the requested number of verified frames is
-found.  When there are no instances of the query in the training set, the plan
-defaults to an exhaustive sequential scan, as the paper prescribes.
+The plan composes :class:`~repro.optimizer.operators.ImportanceOrderedScan`
+(a multi-head count-specialized NN ranking every unseen frame by the sum of
+per-class ``P(count >= N)`` confidences) with
+:class:`~repro.optimizer.operators.DetectorVerifier` (full-detector
+verification down the ranking until the requested number of verified frames
+is found).  When there are no instances of the event in the training set the
+plan defaults to an exhaustive sequential scan, as the paper prescribes; the
+cost-based optimizer can also force that strategy outright via ``strategy``.
 
 The ``indexed`` flag reproduces the "BlazeIt (indexed)" variant of Figure 6:
 the specialized NN is assumed to have been trained and evaluated ahead of time
@@ -15,7 +17,9 @@ inference cost is charged to this query.
 
 from __future__ import annotations
 
-from collections.abc import Generator, Iterator
+import math
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -26,15 +30,25 @@ from repro.core.events import (
     ExecutionControl,
     ExecutionEvent,
     Progress,
-    ScrubbingHit,
 )
 from repro.core.results import OperatorNode, ScrubbingQueryResult
 from repro.errors import PlanningError
 from repro.frameql.analyzer import ScrubbingQuerySpec
 from repro.metrics.runtime import ExecutionLedger
-from repro.optimizer.base import PhysicalPlan
-from repro.scrubbing.importance import ScrubbingResult, ScrubState
-from repro.specialization.multiclass import MultiClassCountModel
+from repro.optimizer.base import CostEstimate, PhysicalPlan
+from repro.optimizer.operators import DetectorVerifier, ImportanceOrderedScan
+from repro.scrubbing.importance import ScrubbingResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.catalog.statistics import VideoStatistics
+
+#: Multiplier on ``limit / event_rate`` when bounding verification work: the
+#: ranking concentrates positives near the front, so random-order cost is
+#: already generous; the slack covers ranking noise and gap rejections.
+_VERIFY_SLACK = 3.0
+
+#: Floor on the ranked-verification estimate, in multiples of the limit.
+_VERIFY_FLOOR = 8
 
 
 class ScrubbingQueryPlan(PhysicalPlan):
@@ -45,43 +59,130 @@ class ScrubbingQueryPlan(PhysicalPlan):
         spec: ScrubbingQuerySpec,
         indexed: bool | None = None,
         hints: QueryHints | None = None,
+        strategy: str | None = None,
     ) -> None:
         if not spec.min_counts:
             raise PlanningError("scrubbing queries need at least one count predicate")
         if spec.limit < 1:
             raise PlanningError(f"LIMIT must be >= 1, got {spec.limit}")
+        if strategy not in (None, "importance", "exhaustive"):
+            raise PlanningError(
+                f"unknown scrubbing strategy {strategy!r}; "
+                "expected 'importance' or 'exhaustive'"
+            )
         self.spec = spec
         self.hints = require_hints(hints) or QueryHints()
         # The explicit ``indexed`` argument (historical API, still the second
         # positional parameter) wins over hints.
         self.indexed = self.hints.scrubbing_indexed if indexed is None else indexed
+        #: Forced strategy; ``None`` ranks when the training day has
+        #: instances of the event and falls back to the exhaustive scan
+        #: otherwise (the paper's rule).
+        self.strategy = strategy
+        self._ranking = ImportanceOrderedScan(spec.min_counts, indexed=self.indexed)
+        self._verifier = DetectorVerifier(spec.min_counts, gap=spec.gap)
 
     def describe(self) -> str:
         predicate = " AND ".join(
             f"{cls}>={count}" for cls, count in sorted(self.spec.min_counts.items())
         )
         suffix = " (indexed)" if self.indexed else ""
+        if self.strategy is not None:
+            suffix += f" (strategy={self.strategy})"
         return f"ScrubbingQueryPlan({predicate}, limit={self.spec.limit}){suffix}"
 
-    def operator_tree(self) -> OperatorNode:
+    def operator_tree(
+        self,
+        num_frames: int | None = None,
+        stats: VideoStatistics | None = None,
+    ) -> OperatorNode:
         predicate = " AND ".join(
             f"{cls}>={count}" for cls, count in sorted(self.spec.min_counts.items())
         )
-        ranking_detail = "pre-indexed" if self.indexed else "trained per query"
+        calls: int | None = None
+        verify_seconds: float | None = None
+        ranking_calls: int | None = None
+        ranking_seconds: float | None = None
+        if num_frames is not None and stats is not None:
+            calls = self.estimate_detector_calls(num_frames, stats)
+            verify_seconds = stats.detector_seconds(calls)
+            ranking_calls = 0
+            if not self.indexed:
+                ranking_seconds = (
+                    stats.specialized_training_seconds()
+                    + stats.specialized_inference_seconds(num_frames)
+                )
+        verifier_node = OperatorNode(
+            "DetectorVerifier",
+            detail=(
+                "sequential scan"
+                if self.strategy == "exhaustive"
+                else "down the ranking"
+            ),
+            estimated_detector_calls=calls,
+            estimated_seconds=verify_seconds,
+        )
+        if self.strategy == "exhaustive":
+            children: tuple[OperatorNode, ...] = (verifier_node,)
+        else:
+            children = (
+                OperatorNode(
+                    "ImportanceOrderedScan",
+                    detail="pre-indexed" if self.indexed else "trained per query",
+                    estimated_detector_calls=ranking_calls,
+                    estimated_seconds=ranking_seconds,
+                ),
+                verifier_node,
+            )
         return OperatorNode(
             "ScrubbingQueryPlan",
             detail=f"{predicate}, limit={self.spec.limit}, gap={self.spec.gap}",
-            children=(
-                OperatorNode("MultiClassNNRanking", detail=ranking_detail),
-                OperatorNode("DetectorVerification", detail="down the ranking"),
-            ),
+            children=children,
         )
 
-    def estimate_detector_calls(self, num_frames: int) -> int:
-        # The ranking concentrates positives near the front, so verification
-        # typically touches a small multiple of the requested clip count; the
-        # exhaustive fallback (no training instances) scans everything.
-        return min(num_frames, self.spec.limit * 100)
+    def estimate_detector_calls(
+        self, num_frames: int, stats: VideoStatistics | None = None
+    ) -> int:
+        if stats is None:
+            # Without statistics the only certain bound is the full video
+            # (ranked verification plus the exhaustive fallback sweep never
+            # re-charge a frame, so together they touch each frame once).
+            return num_frames
+        rate = stats.event_rate(self.spec.min_counts)
+        if self.strategy != "exhaustive" and stats.training_event_count(
+            self.spec.min_counts
+        ) <= 0:
+            # The plan will fall back to the exhaustive sequential scan.
+            return num_frames
+        if rate <= 0.0:
+            return num_frames
+        # Frames examined before the limit-th event at held-out rate ``rate``,
+        # with slack; the ranked scan concentrates positives near the front,
+        # so the same figure bounds it comfortably.  A GAP constraint forces
+        # every hit into a different stretch of the video — (limit-1)*gap
+        # frames must be crossed regardless of the event rate, and on bursty
+        # videos the empty stretches between bursts are charged — so the gap
+        # budget is added on top.
+        expected = math.ceil(self.spec.limit / rate * _VERIFY_SLACK)
+        bound = max(self.spec.limit * _VERIFY_FLOOR, expected)
+        bound += (self.spec.limit - 1) * self.spec.gap
+        return min(num_frames, bound)
+
+    def estimate_cost(
+        self, num_frames: int, stats: VideoStatistics | None = None
+    ) -> CostEstimate:
+        base = super().estimate_cost(num_frames, stats)
+        if stats is None or self.strategy == "exhaustive" or self.indexed:
+            return base
+        if stats.training_event_count(self.spec.min_counts) <= 0:
+            # No training instances: the ranking never trains at runtime.
+            return base
+        return CostEstimate(
+            detector_calls=base.detector_calls,
+            detector_seconds=base.detector_seconds,
+            training_seconds=stats.specialized_training_seconds(),
+            inference_seconds=stats.specialized_inference_seconds(num_frames),
+        )
 
     # -- execution ----------------------------------------------------------------
 
@@ -94,16 +195,23 @@ class ScrubbingQueryPlan(PhysicalPlan):
         has_training_instances = (
             labeled is not None and labeled.training_instances(self.spec.min_counts) > 0
         )
+        use_importance = (
+            has_training_instances
+            if self.strategy is None
+            else self.strategy == "importance"
+        )
         result = ScrubbingResult()
-        if not has_training_instances:
+        if not use_importance:
             method = "exhaustive"
             description = (
                 "no training instances of the event: sequential detection scan"
+                if self.strategy is None
+                else "forced exhaustive sequential detection scan"
             )
             yield Progress(
                 phase="detection_scan", total_frames=context.video.num_frames
             )
-            yield from self._verify_candidates(
+            yield from self._verifier.stream(
                 context, control, ledger, np.arange(context.video.num_frames),
                 limit, result,
             )
@@ -116,8 +224,8 @@ class ScrubbingQueryPlan(PhysicalPlan):
             yield Progress(
                 phase="importance_ranking", total_frames=context.video.num_frames
             )
-            order = self._importance_order(context, ledger)
-            yield from self._verify_candidates(
+            order = self._ranking.order(context, ledger)
+            yield from self._verifier.stream(
                 context, control, ledger, order, limit, result
             )
             if not result.satisfied and control.stop_reason is None:
@@ -137,7 +245,7 @@ class ScrubbingQueryPlan(PhysicalPlan):
                         detector_calls=ledger.detector_calls,
                         total_frames=context.video.num_frames,
                     )
-                    yield from self._verify_candidates(
+                    yield from self._verifier.stream(
                         context, control, ledger, remaining, limit, result
                     )
         if result.satisfied and limit < self.spec.limit:
@@ -160,99 +268,3 @@ class ScrubbingQueryPlan(PhysicalPlan):
             ),
             stop_reason=control.stop_reason,
         )
-
-    def _verify_candidates(
-        self,
-        context: ExecutionContext,
-        control: ExecutionControl,
-        ledger: ExecutionLedger,
-        candidate_order: np.ndarray,
-        limit: int,
-        result: ScrubbingResult,
-    ) -> Generator[ExecutionEvent, None, None]:
-        """Verify candidates in ranked order, one detector batch per chunk.
-
-        Chunks of eligible candidates (not yet accepted, gap-respecting) are
-        assembled up to the control's budget-trimmed batch allowance and
-        verified with a single :meth:`~repro.core.context.ExecutionContext.
-        detect_batch` call.  Acceptance decisions are then replayed in rank
-        order through the same :class:`~repro.scrubbing.importance.ScrubState`
-        bookkeeping the scalar walk uses, so the returned frames are
-        identical for every batch size: an acceptance inside a chunk can
-        invalidate a later in-chunk candidate (its prefetched detection is
-        simply discarded — the documented chunking overshoot), never admit
-        one the scalar path would have rejected.
-        """
-        min_counts = self.spec.min_counts
-        state = ScrubState(result, limit=limit, gap=self.spec.gap)
-        candidates = np.asarray(candidate_order, dtype=np.int64)
-        position = 0
-        while position < candidates.size and not state.satisfied:
-            if control.should_stop(ledger):
-                return
-            # Chunks are trimmed to the remaining hit budget as well as the
-            # detector budget: a run with a tighter LIMIT can never spend
-            # more detector calls than one with a looser LIMIT, and each
-            # chunk can waste at most (remaining limit - 1) prefetched
-            # detections.
-            allowance = min(control.batch_allowance(ledger), limit - state.hits)
-            chunk: list[int] = []
-            while position < candidates.size and len(chunk) < allowance:
-                frame = int(candidates[position])
-                position += 1
-                if state.eligible(frame):
-                    chunk.append(frame)
-            if not chunk:
-                continue
-            chunk_results = context.detect_batch(chunk, ledger)
-            for frame, detection in zip(chunk, chunk_results):
-                if state.satisfied:
-                    break
-                if not state.eligible(frame):
-                    continue
-                verified = state.examine(
-                    frame,
-                    all(
-                        detection.count(object_class) >= min_count
-                        for object_class, min_count in min_counts.items()
-                    ),
-                )
-                if verified:
-                    yield ScrubbingHit(
-                        frame_index=frame,
-                        timestamp=context.video.timestamp_of(frame),
-                        hits_so_far=state.hits,
-                        limit=limit,
-                    )
-            yield Progress(
-                phase="verification",
-                frames_scanned=ledger.frames_decoded,
-                detector_calls=ledger.detector_calls,
-                total_frames=context.video.num_frames,
-            )
-
-    def _importance_order(
-        self, context: ExecutionContext, ledger: ExecutionLedger
-    ) -> np.ndarray:
-        """Frames ranked by specialized-NN conjunction confidence, best first."""
-        labeled = context.require_labeled_set()
-        training_ledger = (
-            ledger if (context.config.include_training_time and not self.indexed) else None
-        )
-        model = MultiClassCountModel(
-            object_classes=sorted(self.spec.min_counts),
-            model_type=context.config.specialized_model_type,
-            training_config=context.config.training,
-            seed=context.config.seed,
-        )
-        counts_per_class = {
-            object_class: labeled.train_counts(object_class)
-            for object_class in self.spec.min_counts
-        }
-        model.fit(labeled.train_features, counts_per_class, training_ledger)
-
-        inference_ledger = None if self.indexed else ledger
-        scores = model.score_conjunction(
-            context.test_features(), self.spec.min_counts, inference_ledger
-        )
-        return np.argsort(-np.asarray(scores, dtype=np.float64), kind="stable")

@@ -1,10 +1,12 @@
 """Physical plan for content-based selection queries (Section 8).
 
-The plan infers filters from the query and the labeled set, applies them to
-discard irrelevant frames, runs the object detector on the survivors (at a
-cost reduced by any spatial crop), evaluates the object-level predicates
-(class, UDFs, area, spatial position), resolves track identities, applies the
-per-track duration constraint and returns the matching FrameQL records.
+The plan composes :class:`~repro.optimizer.operators.FilterCascade` (filters
+inferred from the query and the labeled set, applied to discard irrelevant
+frames) with detector verification over the survivors (at a cost reduced by
+any spatial crop), object-level predicate evaluation (class, UDFs, area,
+spatial position), :class:`~repro.optimizer.operators.TrackAggregator`
+identity resolution, the per-track duration constraint and FrameQL record
+materialisation.
 
 Because every candidate frame is verified by the detector, the plan can only
 produce false negatives (a frame wrongly discarded by a filter), never false
@@ -15,6 +17,7 @@ from __future__ import annotations
 
 import math
 from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,54 +31,24 @@ from repro.core.events import (
     SelectionWindow,
 )
 from repro.core.results import OperatorNode, SelectionResult
-from repro.detection.base import Detection, DetectionResult
+from repro.detection.base import DetectionResult
 from repro.errors import PlanningError
 from repro.frameql.analyzer import SelectionQuerySpec
 from repro.frameql.schema import FrameRecord
-from repro.metrics.runtime import ExecutionLedger, RuntimeLedger
-from repro.optimizer.base import PhysicalPlan
+from repro.metrics.runtime import ExecutionLedger
+from repro.optimizer.base import CostEstimate, PhysicalPlan
+from repro.optimizer.operators import (
+    FilterCascade,
+    TrackAggregator,
+    detection_matches,
+)
 from repro.selection.filters import TemporalFilter
-from repro.selection.inference import FilterInferenceInputs, infer_selection_plan
 from repro.selection.plan import SelectionPlan
-from repro.tracking.iou_tracker import IoUTracker
-from repro.udf.registry import UDFRegistry
 
-_OP_FUNCS = {
-    "=": lambda a, b: a == b,
-    "!=": lambda a, b: a != b,
-    "<": lambda a, b: a < b,
-    "<=": lambda a, b: a <= b,
-    ">": lambda a, b: a > b,
-    ">=": lambda a, b: a >= b,
-}
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.catalog.statistics import VideoStatistics
 
-
-def detection_matches(
-    detection: Detection, spec: SelectionQuerySpec, udf_registry: UDFRegistry
-) -> bool:
-    """Whether one detection satisfies the query's object-level predicates."""
-    if spec.object_class is not None and detection.object_class != spec.object_class:
-        return False
-    box = detection.box
-    if spec.min_area is not None and box.area <= spec.min_area:
-        return False
-    if spec.max_area is not None and box.area >= spec.max_area:
-        return False
-    for constraint in spec.spatial_constraints:
-        extent = {
-            "xmin": box.x_min,
-            "xmax": box.x_max,
-            "ymin": box.y_min,
-            "ymax": box.y_max,
-        }[constraint.axis]
-        if not _OP_FUNCS[constraint.op](extent, constraint.value):
-            return False
-    for predicate in spec.udf_predicates:
-        udf = udf_registry.get(predicate.udf_name)
-        value = udf.object_fn(detection)
-        if not _OP_FUNCS[predicate.op](value, predicate.value):
-            return False
-    return True
+__all__ = ["SelectionQueryPlan", "detection_matches"]
 
 
 class SelectionQueryPlan(PhysicalPlan):
@@ -101,6 +74,7 @@ class SelectionQueryPlan(PhysicalPlan):
             self.enabled_filter_classes = self.hints.enabled_filter_classes
         else:
             self.enabled_filter_classes = enabled_filter_classes
+        self._cascade = FilterCascade(spec, self.enabled_filter_classes)
 
     def describe(self) -> str:
         enabled = (
@@ -114,34 +88,114 @@ class SelectionQueryPlan(PhysicalPlan):
             f"filters={enabled})"
         )
 
-    def operator_tree(self) -> OperatorNode:
+    def _filters_disabled(self) -> bool:
+        return (
+            self.enabled_filter_classes is not None
+            and not self.enabled_filter_classes
+        )
+
+    def operator_tree(
+        self,
+        num_frames: int | None = None,
+        stats: VideoStatistics | None = None,
+    ) -> OperatorNode:
         spec = self.spec
         enabled = (
             ", ".join(sorted(self.enabled_filter_classes))
             if self.enabled_filter_classes is not None
             else "all"
         )
+        calls: int | None = None
+        verify_seconds: float | None = None
+        cascade_calls: int | None = None
+        cascade_seconds: float | None = None
+        if num_frames is not None and stats is not None:
+            calls = self.estimate_detector_calls(num_frames, stats)
+            verify_seconds = stats.detector_seconds(calls)
+            cascade_calls = 0
+            cascade_seconds = stats.filter_seconds(
+                num_frames
+            ) + stats.specialized_inference_seconds(num_frames)
+        children: tuple[OperatorNode, ...] = ()
+        if not self._filters_disabled():
+            children += (
+                OperatorNode(
+                    "FilterCascade",
+                    detail=f"classes={enabled}",
+                    estimated_detector_calls=cascade_calls,
+                    estimated_seconds=cascade_seconds,
+                ),
+            )
+        children += (
+            OperatorNode(
+                "DetectorVerifier",
+                detail="surviving frames only",
+                estimated_detector_calls=calls,
+                estimated_seconds=verify_seconds,
+            ),
+            OperatorNode(
+                "PredicateEvaluation",
+                detail=f"udfs={[p.udf_name for p in spec.udf_predicates]}",
+            ),
+            OperatorNode("TrackAggregator", detail="IoU tracker"),
+        )
         return OperatorNode(
             "SelectionQueryPlan",
             detail=f"class={spec.object_class}",
-            children=(
-                OperatorNode("InferredFilterPipeline", detail=f"classes={enabled}"),
-                OperatorNode("DetectorVerification", detail="surviving frames only"),
-                OperatorNode(
-                    "PredicateEvaluation",
-                    detail=f"udfs={[p.udf_name for p in spec.udf_predicates]}",
-                ),
-                OperatorNode("TrackResolution", detail="IoU tracker"),
-            ),
+            children=children,
         )
 
-    def estimate_detector_calls(self, num_frames: int) -> int:
-        if self.enabled_filter_classes is not None and not self.enabled_filter_classes:
-            return num_frames
-        # Inferred filters typically discard the large majority of frames; a
-        # 10% survival rate is the explanatory stand-in for the data-dependent
-        # pass rates chosen from the held-out day at execution time.
-        return max(1, num_frames // 10)
+    def _pruning_enabled(self) -> bool:
+        """Whether any frame-discarding filter class may be inferred.
+
+        Only content and label filters prune frames (spatial scales cost,
+        temporal only prunes under a track-duration constraint); a
+        filter-class restriction that excludes both leaves every frame to be
+        verified.
+        """
+        enabled = self.enabled_filter_classes
+        if enabled is None:
+            return True
+        return bool({"label", "content"} & enabled)
+
+    def estimate_detector_calls(
+        self, num_frames: int, stats: VideoStatistics | None = None
+    ) -> int:
+        # Survivors are verified exactly once, so the population is the only
+        # *bound* that always holds: the inferred filters' no-false-negative
+        # thresholds are calibrated at execution time, and their pass rate on
+        # a rare or hard-to-model class can be almost anything.  The
+        # survival-based reduction is an expectation used for candidate
+        # pricing (:meth:`estimate_cost`), not a bound.
+        return num_frames
+
+    def estimate_cost(
+        self, num_frames: int, stats: VideoStatistics | None = None
+    ) -> CostEstimate:
+        base = super().estimate_cost(num_frames, stats)
+        if stats is None or self._filters_disabled():
+            return base
+        if self._pruning_enabled():
+            survival = stats.selection_survival(self.spec.object_class)
+            expected_calls = min(num_frames, math.ceil(num_frames * survival))
+        else:
+            expected_calls = num_frames
+        # The cascade runs cheap filters over every frame; a label filter
+        # additionally trains a presence model and scores every frame.
+        enabled = self.enabled_filter_classes
+        trainable = (
+            (enabled is None or "label" in enabled)
+            and stats.class_stats(self.spec.object_class) is not None
+        )
+        return CostEstimate(
+            detector_calls=expected_calls,
+            detector_seconds=stats.detector_seconds(expected_calls),
+            training_seconds=stats.specialized_training_seconds() if trainable else 0.0,
+            inference_seconds=(
+                stats.specialized_inference_seconds(num_frames) if trainable else 0.0
+            ),
+            filter_seconds=stats.filter_seconds(num_frames),
+        )
 
     # -- execution --------------------------------------------------------------------
 
@@ -152,7 +206,7 @@ class SelectionQueryPlan(PhysicalPlan):
         yield Progress(
             phase="filter_inference", total_frames=context.video.num_frames
         )
-        plan = self._build_filter_plan(context, ledger)
+        plan = self._cascade.build(context, ledger)
 
         all_frames = np.arange(context.video.num_frames, dtype=np.int64)
         surviving = plan.apply(context.video, all_frames, ledger)
@@ -267,63 +321,6 @@ class SelectionQueryPlan(PhysicalPlan):
                 windows.append((frame, frame))
         return windows
 
-    # -- filter inference ----------------------------------------------------------------
-
-    def _build_filter_plan(
-        self, context: ExecutionContext, ledger: RuntimeLedger
-    ) -> SelectionPlan:
-        if self.enabled_filter_classes is not None and not self.enabled_filter_classes:
-            return SelectionPlan()
-        labeled = context.labeled_set
-        if labeled is None:
-            # No labeled set: only query-derived (temporal/spatial) filters can
-            # be inferred, and only when explicitly enabled.
-            return SelectionPlan()
-        inputs = self._inference_inputs(context)
-        training_ledger = ledger if context.config.include_training_time else None
-        return infer_selection_plan(
-            spec=self.spec,
-            unseen_video=context.video,
-            inputs=inputs,
-            ledger=training_ledger,
-            training_config=context.config.training,
-            enabled_filter_classes=self.enabled_filter_classes,
-            model_type=context.config.specialized_model_type,
-        )
-
-    def _inference_inputs(self, context: ExecutionContext) -> FilterInferenceInputs:
-        labeled = context.require_labeled_set()
-        object_class = self.spec.object_class
-        if object_class is not None:
-            train_presence = labeled.train_presence(object_class)
-            heldout_presence = labeled.heldout_presence(object_class)
-        else:
-            train_presence = np.ones(labeled.train_video.num_frames, dtype=bool)
-            heldout_presence = np.ones(labeled.heldout_video.num_frames, dtype=bool)
-        heldout_positive_mask = self._heldout_positive_mask(context)
-        return FilterInferenceInputs(
-            train_video=labeled.train_video,
-            heldout_video=labeled.heldout_video,
-            train_features=labeled.train_features,
-            heldout_features=labeled.heldout_features,
-            train_presence=train_presence,
-            heldout_presence=heldout_presence,
-            heldout_positive_mask=heldout_positive_mask,
-        )
-
-    def _heldout_positive_mask(self, context: ExecutionContext) -> np.ndarray:
-        """Held-out frames whose recorded detections satisfy the full predicate."""
-        labeled = context.require_labeled_set()
-        recorded = labeled.heldout_recorded
-        mask = np.zeros(recorded.num_frames, dtype=bool)
-        for frame_index in range(recorded.num_frames):
-            result = recorded.result(frame_index)
-            mask[frame_index] = any(
-                detection_matches(det, self.spec, context.udf_registry)
-                for det in result.detections
-            )
-        return mask
-
     # -- predicate evaluation -----------------------------------------------------------------
 
     def _subsample_step(self, plan: SelectionPlan) -> int:
@@ -345,8 +342,10 @@ class SelectionQueryPlan(PhysicalPlan):
         # threshold is used when frames were subsampled, since objects move
         # further between processed frames.
         iou_threshold = 0.7 if step == 1 else 0.3
-        tracker = IoUTracker(iou_threshold=iou_threshold, max_gap=max(1, step))
-        tracks = tracker.resolve(frame_results)
+        aggregator = TrackAggregator(
+            iou_threshold=iou_threshold, max_gap=max(1, step)
+        )
+        tracks = aggregator.resolve(frame_results)
 
         min_detections = 1
         if spec.min_track_frames is not None:

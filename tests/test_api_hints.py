@@ -1,13 +1,12 @@
 """Tests for typed query hints: validation, propagation into plans, and the
-deprecation shim over the historical loose keyword arguments."""
+``force_plan`` escape hatch over the cost-based optimizer."""
 
 import warnings
 
 import pytest
 
 from repro.api import QueryHints
-from repro.api.hints import NO_HINTS, coerce_hints
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PlanningError
 from repro.optimizer.scrubbing import ScrubbingQueryPlan
 from repro.optimizer.selection import SelectionQueryPlan
 
@@ -23,6 +22,7 @@ class TestQueryHintsValidation:
         hints = QueryHints()
         assert hints.scrubbing_indexed is False
         assert hints.selection_filter_classes is None
+        assert hints.force_plan is None
         assert hints.describe() == "none"
 
     def test_filter_classes_normalized_to_frozenset(self):
@@ -38,18 +38,27 @@ class TestQueryHintsValidation:
         with pytest.raises(ConfigurationError):
             QueryHints(selection_filter_classes="label")
 
+    def test_empty_force_plan_rejected(self):
+        with pytest.raises(ConfigurationError, match="force_plan"):
+            QueryHints(force_plan="")
+        with pytest.raises(ConfigurationError, match="force_plan"):
+            QueryHints(force_plan=True)
+
     def test_hashable_for_cache_keys(self):
-        a = QueryHints(selection_filter_classes={"label"})
-        b = QueryHints(selection_filter_classes={"label"})
+        a = QueryHints(selection_filter_classes={"label"}, force_plan="filtered")
+        b = QueryHints(selection_filter_classes={"label"}, force_plan="filtered")
         assert a == b
         assert hash(a) == hash(b)
 
     def test_describe_mentions_active_hints(self):
         text = QueryHints(
-            scrubbing_indexed=True, selection_filter_classes={"label"}
+            scrubbing_indexed=True,
+            selection_filter_classes={"label"},
+            force_plan="importance",
         ).describe()
         assert "scrubbing_indexed" in text
         assert "label" in text
+        assert "force_plan=importance" in text
 
     def test_positional_bool_rejected_with_clear_error(self, tiny_engine):
         """Legacy positional calls (second arg used to be scrubbing_indexed)."""
@@ -61,11 +70,17 @@ class TestQueryHintsValidation:
         with pytest.raises(TypeError, match="QueryHints"):
             tiny_engine.session().prepare(SCRUB_QUERY, hints=True)
 
-    def test_coerce_hints_legacy_overrides(self):
-        merged = coerce_hints(NO_HINTS, True, {"spatial"})
-        assert merged.scrubbing_indexed is True
-        assert merged.selection_filter_classes == frozenset({"spatial"})
-        assert coerce_hints(None) is NO_HINTS
+    def test_legacy_keyword_arguments_removed(self, tiny_engine):
+        """The deprecated kwarg shims are gone, not silently ignored."""
+        with pytest.raises(TypeError):
+            tiny_engine.query(SCRUB_QUERY, scrubbing_indexed=True)
+        with pytest.raises(TypeError):
+            tiny_engine.query(SELECT_QUERY, selection_filter_classes={"label"})
+        with pytest.raises(TypeError):
+            tiny_engine.plan(SCRUB_QUERY, scrubbing_indexed=True)
+        spec = tiny_engine.analyze(SELECT_QUERY)
+        with pytest.raises(TypeError):
+            tiny_engine.optimizer.plan(spec, selection_filter_classes={"label"})
 
 
 class TestHintPropagation:
@@ -101,37 +116,44 @@ class TestHintPropagation:
         )
         assert "label" in explanation.hints_applied
 
-
-class TestDeprecationShim:
-    def test_engine_query_legacy_kwargs_warn(self, tiny_engine):
-        with pytest.warns(DeprecationWarning, match="QueryHints"):
-            tiny_engine.query(SCRUB_QUERY, scrubbing_indexed=True)
-        with pytest.warns(DeprecationWarning, match="QueryHints"):
-            tiny_engine.query(SELECT_QUERY, selection_filter_classes={"label"})
-
-    def test_engine_plan_legacy_kwargs_warn_and_propagate(self, tiny_engine):
-        with pytest.warns(DeprecationWarning):
-            _, plan = tiny_engine.plan(SCRUB_QUERY, scrubbing_indexed=True)
-        assert plan.indexed is True
-
-    def test_optimizer_plan_legacy_kwargs_warn(self, tiny_engine):
-        spec = tiny_engine.analyze(SELECT_QUERY)
-        with pytest.warns(DeprecationWarning):
-            plan = tiny_engine.optimizer.plan(spec, selection_filter_classes={"label"})
-        assert plan.enabled_filter_classes == {"label"}
-
-    def test_legacy_and_typed_paths_agree(self, tiny_engine):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            legacy = tiny_engine.query(SELECT_QUERY, selection_filter_classes=set())
-        typed = tiny_engine.query(
-            SELECT_QUERY, hints=QueryHints(selection_filter_classes=frozenset())
-        )
-        assert legacy.method == typed.method == "exhaustive"
-
     def test_modern_paths_do_not_warn(self, tiny_engine):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             tiny_engine.query(SCRUB_QUERY)
             tiny_engine.plan(SCRUB_QUERY, hints=QueryHints(scrubbing_indexed=True))
             tiny_engine.session().execute(SCRUB_QUERY)
+
+
+class TestForcePlan:
+    def test_force_plan_selects_named_candidate(self, tiny_engine):
+        _, plan = tiny_engine.plan(
+            SCRUB_QUERY, hints=QueryHints(force_plan="exhaustive")
+        )
+        assert isinstance(plan, ScrubbingQueryPlan)
+        assert plan.strategy == "exhaustive"
+
+    def test_force_plan_unknown_candidate_raises(self, tiny_engine):
+        with pytest.raises(PlanningError, match="force_plan"):
+            tiny_engine.plan(SCRUB_QUERY, hints=QueryHints(force_plan="warp-drive"))
+
+    def test_forced_exhaustive_scrubbing_matches_fallback_semantics(self, tiny_engine):
+        forced = tiny_engine.query(
+            SCRUB_QUERY, hints=QueryHints(force_plan="exhaustive")
+        )
+        assert forced.method == "exhaustive"
+        counts = tiny_engine._recorded["tiny"].counts("car")
+        assert all(counts[f] >= 2 for f in forced.frames)
+
+    def test_forced_selection_exhaustive(self, tiny_engine):
+        result = tiny_engine.query(
+            SELECT_QUERY, hints=QueryHints(force_plan="exhaustive")
+        )
+        assert result.method == "exhaustive"
+
+    def test_force_plan_visible_in_explanation(self, tiny_engine):
+        explanation = tiny_engine.session().explain(
+            SCRUB_QUERY, hints=QueryHints(force_plan="exhaustive")
+        )
+        assert "force_plan=exhaustive" in explanation.hints_applied
+        chosen = [c for c in explanation.candidates if c.chosen]
+        assert [c.name for c in chosen] == ["exhaustive"]

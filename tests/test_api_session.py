@@ -126,7 +126,7 @@ class TestPreparedQuery:
         # The one-line str() form matches the historical engine.explain().
         assert str(explanation) == tiny_engine.explain(AGG_QUERY)
         assert explanation.estimated_detector_calls > 0
-        assert "TrainSpecializedNN" in explanation.operators.flatten()
+        assert "SpecializedInference" in explanation.operators.flatten()
         assert "estimated detector calls" in explanation.render()
 
 

@@ -98,19 +98,27 @@ class TestQueryExecution:
         assert a.detection_calls == b.detection_calls
 
     def test_selection_filter_class_override(self, tiny_engine):
+        from repro.api import QueryHints
+
         text = "SELECT * FROM tiny WHERE class = 'bus' AND redness(content) >= 17.5"
-        label_only = tiny_engine.query(text, selection_filter_classes={"label"})
+        label_only = tiny_engine.query(
+            text, hints=QueryHints(selection_filter_classes={"label"})
+        )
         assert isinstance(label_only, SelectionResult)
-        none = tiny_engine.query(text, selection_filter_classes=set())
+        none = tiny_engine.query(
+            text, hints=QueryHints(selection_filter_classes=frozenset())
+        )
         assert none.method == "exhaustive"
 
     def test_scrubbing_indexed_flag(self, tiny_engine):
+        from repro.api import QueryHints
+
         text = (
             "SELECT timestamp FROM tiny GROUP BY timestamp "
             "HAVING SUM(class='car') >= 2 LIMIT 3"
         )
         normal = tiny_engine.query(text)
-        indexed = tiny_engine.query(text, scrubbing_indexed=True)
+        indexed = tiny_engine.query(text, hints=QueryHints(scrubbing_indexed=True))
         assert indexed.runtime_seconds <= normal.runtime_seconds
 
 

@@ -1,0 +1,102 @@
+"""Tests for the logical plan layer built from analyzed query specs."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.frameql.analyzer import QueryKind, analyze
+from repro.frameql.parser import parse
+from repro.optimizer.logical import LogicalPlan, build_logical_plan
+
+
+def _logical(text: str) -> LogicalPlan:
+    return build_logical_plan(analyze(parse(text)))
+
+
+class TestLogicalShapes:
+    def test_aggregate(self):
+        plan = _logical(
+            "SELECT FCOUNT(*) FROM v WHERE class='car' ERROR WITHIN 0.1"
+        )
+        assert plan.kind is QueryKind.AGGREGATE
+        assert plan.video == "v"
+        assert plan.approximate is True
+        assert plan.required_classes == frozenset({"car"})
+        assert plan.root.flatten() == [
+            "LogicalAggregate",
+            "LogicalClassCount",
+            "LogicalScan",
+        ]
+
+    def test_aggregate_without_tolerance_is_not_approximate(self):
+        plan = _logical("SELECT FCOUNT(*) FROM v WHERE class='car'")
+        assert plan.approximate is False
+
+    def test_count_distinct_is_not_approximate(self):
+        plan = _logical(
+            "SELECT COUNT(DISTINCT trackid) FROM v WHERE class='car'"
+        )
+        assert plan.approximate is False
+
+    def test_scrubbing(self):
+        plan = _logical(
+            "SELECT timestamp FROM v GROUP BY timestamp "
+            "HAVING SUM(class='car') >= 2 AND SUM(class='bus') >= 1 LIMIT 5 GAP 30"
+        )
+        assert plan.kind is QueryKind.SCRUBBING
+        assert plan.required_classes == frozenset({"car", "bus"})
+        assert plan.root.flatten() == [
+            "LogicalLimit",
+            "LogicalEventFilter",
+            "LogicalScan",
+        ]
+        assert "limit=5" in plan.root.detail
+        assert "count(bus)>=1" in plan.root.children[0].detail
+
+    def test_selection(self):
+        plan = _logical(
+            "SELECT * FROM v WHERE class='bus' AND redness(content) >= 17.5"
+        )
+        assert plan.kind is QueryKind.SELECTION
+        assert plan.required_classes == frozenset({"bus"})
+        assert plan.root.flatten() == ["LogicalSelect", "LogicalScan"]
+        assert "class=bus" in plan.root.detail
+        assert "redness(content)>=17.5" in plan.root.detail
+
+    def test_selection_with_track_constraint(self):
+        plan = _logical(
+            "SELECT timestamp FROM v WHERE class='car' "
+            "GROUP BY trackid HAVING COUNT(*) > 15"
+        )
+        assert plan.root.flatten() == [
+            "LogicalTrackConstraint",
+            "LogicalSelect",
+            "LogicalScan",
+        ]
+
+    def test_exact(self):
+        plan = _logical("SELECT * FROM v")
+        assert plan.kind is QueryKind.EXACT
+        assert plan.required_classes == frozenset()
+        assert plan.root.flatten() == ["LogicalMaterialize", "LogicalScan"]
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(PlanningError):
+            build_logical_plan(object())  # type: ignore[arg-type]
+
+
+class TestLogicalRendering:
+    def test_render_and_describe(self):
+        plan = _logical(
+            "SELECT FCOUNT(*) FROM taipei WHERE class='car' ERROR WITHIN 0.1"
+        )
+        rendered = plan.render()
+        assert "LogicalAggregate(fcount(car), error<=0.1 @ 0.95)" in rendered
+        assert "LogicalScan(video=taipei)" in rendered
+        assert "kind=aggregate" in plan.describe()
+        assert "classes=car" in plan.describe()
+
+    def test_optimizer_exposes_logical_plan(self, tiny_engine):
+        spec = tiny_engine.analyze("SELECT * FROM tiny")
+        logical = tiny_engine.optimizer.logical_plan(spec)
+        assert logical.kind is QueryKind.EXACT
+        assert logical.video == "tiny"

@@ -1,0 +1,141 @@
+"""Tests for the statistics catalog computed from labeled sets."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import ClassStatistics, StatisticsCatalog, VideoStatistics
+
+
+@pytest.fixture(scope="module")
+def tiny_stats(tiny_engine) -> VideoStatistics:
+    stats = tiny_engine.catalog.get("tiny")
+    assert stats is not None
+    return stats
+
+
+class TestCatalogRegistration:
+    def test_engine_registers_stats_with_labeled_set(self, tiny_engine):
+        assert "tiny" in tiny_engine.catalog
+        assert tiny_engine.catalog.names() == ["tiny"]
+
+    def test_no_labeled_set_no_stats(self, tiny_video, detector, engine_config):
+        from repro.core.engine import BlazeIt
+
+        engine = BlazeIt(detector=detector, config=engine_config)
+        engine.register_video("bare", test_video=tiny_video)
+        assert engine.catalog.get("bare") is None
+
+    def test_catalog_replaces_on_reregistration(self, tiny_stats):
+        catalog = StatisticsCatalog()
+        catalog.register(tiny_stats)
+        catalog.register(tiny_stats)
+        assert len(catalog) == 1
+
+    def test_attach_labeled_set_requires_registered_video(
+        self, tiny_labeled_set, detector, engine_config
+    ):
+        from repro.core.engine import BlazeIt
+        from repro.errors import UnknownVideoError
+
+        engine = BlazeIt(detector=detector, config=engine_config)
+        with pytest.raises(UnknownVideoError):
+            engine.attach_labeled_set("ghost", tiny_labeled_set)
+
+    def test_attach_labeled_set_registers_statistics(
+        self, tiny_video, tiny_labeled_set, detector, engine_config
+    ):
+        from repro.core.engine import BlazeIt
+
+        engine = BlazeIt(detector=detector, config=engine_config)
+        engine.register_video("tiny", test_video=tiny_video)
+        engine.attach_labeled_set("tiny", tiny_labeled_set)
+        stats = engine.catalog.get("tiny")
+        assert stats is not None
+        assert stats.num_frames == tiny_video.num_frames
+
+
+class TestVideoStatistics:
+    def test_frame_counts(self, tiny_stats, tiny_video):
+        assert tiny_stats.num_frames == tiny_video.num_frames
+        assert tiny_stats.train_frames == 400
+        assert tiny_stats.heldout_frames == 400
+
+    def test_detector_cost_from_configured_detector(self, tiny_stats, detector):
+        assert tiny_stats.detector_seconds_per_call == pytest.approx(
+            detector.cost.seconds_per_call
+        )
+        assert tiny_stats.detector_seconds(3) == pytest.approx(
+            3 * detector.cost.seconds_per_call
+        )
+
+    def test_observed_classes_covered(self, tiny_stats):
+        assert set(tiny_stats.classes) == {"car", "bus"}
+        for stats in tiny_stats.classes.values():
+            assert isinstance(stats, ClassStatistics)
+
+    def test_class_frequencies_match_labeled_set(self, tiny_stats, tiny_labeled_set):
+        for name in ("car", "bus"):
+            heldout = tiny_labeled_set.heldout_counts(name)
+            stats = tiny_stats.class_stats(name)
+            assert stats.presence_rate == pytest.approx(float((heldout > 0).mean()))
+            assert stats.mean_count == pytest.approx(float(heldout.mean()))
+            assert stats.count_std == pytest.approx(float(heldout.std(ddof=1)))
+            assert stats.training_positives == tiny_labeled_set.training_positives(name)
+
+    def test_value_range_mirrors_plan_fallbacks(self, tiny_stats):
+        car = tiny_stats.class_stats("car")
+        assert tiny_stats.value_range("car") == float(car.max_count + 1)
+        # Unseen classes have a labeled maximum of zero, so K = 1, exactly
+        # what the aggregate plan computes at execution time.
+        assert tiny_stats.value_range("bear") == 1.0
+        assert tiny_stats.count_std("bear") == 0.0
+        assert tiny_stats.class_stats(None) is None
+
+    def test_event_rate_matches_recorded_conjunction(
+        self, tiny_stats, tiny_labeled_set
+    ):
+        rate = tiny_stats.event_rate({"car": 2})
+        expected = tiny_labeled_set.heldout_recorded.frames_satisfying(
+            {"car": 2}
+        ).size / 400
+        assert rate == pytest.approx(expected)
+        assert tiny_stats.event_rate({"bear": 1}) == 0.0
+        assert tiny_stats.event_rate({}) == 0.0
+
+    def test_training_event_count_matches_plan_gate(
+        self, tiny_stats, tiny_labeled_set
+    ):
+        assert tiny_stats.training_event_count(
+            {"car": 2}
+        ) == tiny_labeled_set.training_instances({"car": 2})
+        assert tiny_stats.training_event_count({"bear": 1}) == 0
+
+    def test_selection_survival_bounded(self, tiny_stats):
+        for name in ("car", "bus"):
+            survival = tiny_stats.selection_survival(name)
+            assert tiny_stats.class_stats(name).presence_rate <= survival <= 1.0
+        # A class without statistics gives no trainable filter.
+        assert tiny_stats.selection_survival("bear") == 1.0
+        assert tiny_stats.selection_survival(None) == 1.0
+
+    def test_training_cost_matches_trainer_accounting(
+        self, tiny_stats, engine_config
+    ):
+        from repro.metrics.runtime import StandardCosts
+
+        expected = (
+            400
+            * engine_config.training.epochs
+            * StandardCosts.SPECIALIZED_NN_TRAIN.seconds_per_call
+        )
+        assert tiny_stats.specialized_training_seconds() == pytest.approx(expected)
+
+    def test_training_charge_actually_within_estimate(self, tiny_engine):
+        """The catalog's training price matches what a plan really charges."""
+        result = tiny_engine.query(
+            "SELECT FCOUNT(*) FROM tiny WHERE class='car' ERROR WITHIN 0.1",
+            rng=np.random.default_rng(0),
+        )
+        charged = result.ledger.seconds_for("specialized_nn_train")
+        estimated = tiny_engine.catalog.get("tiny").specialized_training_seconds()
+        assert charged == pytest.approx(estimated)
