@@ -1,0 +1,265 @@
+"""Parallel execution harness: sharded prefetch speedup and shared-cache reuse.
+
+Two claims of the parallel sharded execution engine are gated here:
+
+1. **Wall-clock speedup.**  The perf-suite workloads (the four query classes
+   over a fixed-seed scenario) run once sequentially and once at 4 workers,
+   against a detector that carries a simulated per-frame inference latency —
+   the ``time.sleep`` stands in for the GPU/RPC latency a real detector has,
+   which is exactly the resource the shard workers overlap (the pure-Python
+   simulated detector alone is GIL-bound and would show no thread speedup).
+   The scan-bound workloads must come out >= 2x faster, with results verified
+   bit-for-bit identical to the sequential run.
+
+2. **Shared-cache detector reuse.**  The same query run cold and then warm
+   through a shared cross-query cache must pay >= 5x fewer detector calls on
+   the warm run (it pays zero: every frame is served from the cache).
+
+Results are written to ``BENCH_parallel.json`` at the repo root.
+
+Run standalone (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--quick] [--frames N]
+
+Exits non-zero when a speedup or cache assertion fails, or when a parallel
+result deviates from the sequential one — which is what the CI perf smoke
+job gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.core.config import BlazeItConfig
+from repro.core.engine import BlazeIt
+from repro.detection.simulated import SimulatedDetector
+from repro.parallel.cache import SharedDetectionCache
+from repro.video.scenarios import generate_scenario
+
+from reporting import print_table
+
+SCENARIO = "rialto"
+WORKERS = 4
+
+#: Queries over the scenario's primary class; ``assert_speedup`` marks the
+#: scan-bound workloads the >= 2x gate applies to (the LIMIT query is
+#: latency-bound — it stops after a handful of hits — so it is reported
+#: without a gate).
+WORKLOADS = [
+    ("aggregate_scan", "SELECT FCOUNT(*) FROM v WHERE class = '{cls}'", True),
+    ("selection", "SELECT * FROM v WHERE class = '{cls}'", True),
+    ("exact", "SELECT * FROM v", True),
+    (
+        "scrubbing",
+        "SELECT timestamp FROM v GROUP BY timestamp "
+        "HAVING COUNT(class = '{cls}') >= 1 LIMIT 10 GAP 30",
+        False,
+    ),
+]
+
+MIN_SPEEDUP = 2.0
+MIN_CACHE_REDUCTION = 5.0
+
+
+class PacedDetector(SimulatedDetector):
+    """Mask R-CNN simulation with a simulated per-frame inference latency.
+
+    The sleep models the time a real detector spends on the accelerator per
+    frame — wall-clock the driver can overlap across shard workers, unlike
+    the GIL-bound Python arithmetic of the noise model.
+    """
+
+    def __init__(self, seconds_per_frame: float) -> None:
+        base = SimulatedDetector.mask_rcnn()
+        super().__init__(
+            name=base.name,
+            cost=base.cost,
+            noise=base.noise,
+            confidence_threshold=base.confidence_threshold,
+            supported=base._supported,
+            seed=base.seed,
+        )
+        self.seconds_per_frame = seconds_per_frame
+
+    def detect(self, video, frame_index, ledger=None):
+        time.sleep(self.seconds_per_frame)
+        return super().detect(video, frame_index, ledger)
+
+    def _detect_batch(self, video, frame_indices, ledger=None):
+        time.sleep(self.seconds_per_frame * len(frame_indices))
+        return super()._detect_batch(video, frame_indices, ledger)
+
+
+def build_engine(
+    num_frames: int,
+    seconds_per_frame: float,
+    shared_cache: SharedDetectionCache | None = None,
+) -> BlazeIt:
+    engine = BlazeIt(
+        detector=PacedDetector(seconds_per_frame),
+        config=BlazeItConfig(seed=0),
+        shared_cache=shared_cache,
+    )
+    engine.register_video("v", test_video=generate_scenario(SCENARIO, "test", num_frames))
+    return engine
+
+
+def fingerprint(result) -> tuple:
+    out: tuple = (result.kind, result.method, result.detection_calls)
+    if hasattr(result, "value"):
+        out += (result.value,)
+    if hasattr(result, "frames"):
+        out += (tuple(result.frames), result.satisfied)
+    if hasattr(result, "matched_frames"):
+        out += (tuple(result.matched_frames),)
+    if hasattr(result, "records"):
+        out += (tuple((r.frame_index, r.object_class, r.trackid) for r in result.records),)
+    return out
+
+
+def primary_class(num_frames: int) -> str:
+    video = generate_scenario(SCENARIO, "test", min(num_frames, 64))
+    return video.object_class_names[0]
+
+
+def timed_execution(engine: BlazeIt, query: str, parallelism: int):
+    with engine.session() as session:
+        prepared = session.prepare(query)
+        started = time.perf_counter()
+        result = prepared.execute(
+            rng=np.random.default_rng(1234), parallelism=parallelism
+        )
+        return time.perf_counter() - started, result
+
+
+def run_speedup_suite(num_frames: int, seconds_per_frame: float) -> list[dict]:
+    cls = primary_class(num_frames)
+    entries = []
+    for name, template, assert_speedup in WORKLOADS:
+        query = template.format(cls=cls)
+        engine = build_engine(num_frames, seconds_per_frame)
+        sequential_seconds, sequential = timed_execution(engine, query, parallelism=1)
+        parallel_seconds, parallel = timed_execution(engine, query, parallelism=WORKERS)
+        entries.append(
+            {
+                "workload": name,
+                "frames": num_frames,
+                "workers": WORKERS,
+                "sequential_seconds": sequential_seconds,
+                "parallel_seconds": parallel_seconds,
+                "speedup": sequential_seconds / parallel_seconds,
+                "identical": fingerprint(sequential) == fingerprint(parallel),
+                "detector_calls": parallel.execution_ledger.detector_calls,
+                "gated": assert_speedup,
+            }
+        )
+    return entries
+
+
+def run_cache_suite(num_frames: int, seconds_per_frame: float) -> dict:
+    cls = primary_class(num_frames)
+    query = f"SELECT FCOUNT(*) FROM v WHERE class = '{cls}'"
+    cache = SharedDetectionCache(capacity_bytes=512 << 20)
+    engine = build_engine(num_frames, seconds_per_frame, shared_cache=cache)
+    cold_seconds, cold = timed_execution(engine, query, parallelism=WORKERS)
+    warm_seconds, warm = timed_execution(engine, query, parallelism=WORKERS)
+    cold_calls = cold.execution_ledger.detector_calls
+    warm_calls = warm.execution_ledger.detector_calls
+    return {
+        "frames": num_frames,
+        "cold_detector_calls": cold_calls,
+        "warm_detector_calls": warm_calls,
+        "warm_shared_cache_hits": warm.execution_ledger.shared_cache_hits,
+        "call_reduction": cold_calls / max(1, warm_calls),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "values_equal": cold.value == warm.value,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument("--frames", type=int, default=None)
+    args = parser.parse_args()
+    num_frames = args.frames or (800 if args.quick else 2400)
+    seconds_per_frame = 0.0005 if args.quick else 0.001
+
+    speedups = run_speedup_suite(num_frames, seconds_per_frame)
+    cache = run_cache_suite(num_frames, seconds_per_frame)
+
+    print_table(
+        f"Parallel sharded execution ({WORKERS} workers, {num_frames} frames)",
+        ["workload", "seq s", "par s", "speedup", "identical", "gated"],
+        [
+            [
+                e["workload"],
+                e["sequential_seconds"],
+                e["parallel_seconds"],
+                e["speedup"],
+                e["identical"],
+                e["gated"],
+            ]
+            for e in speedups
+        ],
+    )
+    print_table(
+        "Shared cross-query detection cache (cold vs warm)",
+        ["cold calls", "warm calls", "reduction", "cold s", "warm s"],
+        [
+            [
+                cache["cold_detector_calls"],
+                cache["warm_detector_calls"],
+                cache["call_reduction"],
+                cache["cold_seconds"],
+                cache["warm_seconds"],
+            ]
+        ],
+    )
+
+    report = {
+        "scenario": SCENARIO,
+        "workers": WORKERS,
+        "frames": num_frames,
+        "seconds_per_frame": seconds_per_frame,
+        "speedup_suite": speedups,
+        "shared_cache": cache,
+    }
+    (REPO_ROOT / "BENCH_parallel.json").write_text(json.dumps(report, indent=2))
+
+    failures = []
+    for entry in speedups:
+        if not entry["identical"]:
+            failures.append(f"{entry['workload']}: parallel result != sequential")
+        if entry["gated"] and entry["speedup"] < MIN_SPEEDUP:
+            failures.append(
+                f"{entry['workload']}: speedup {entry['speedup']:.2f}x "
+                f"< {MIN_SPEEDUP}x at {WORKERS} workers"
+            )
+    if not cache["values_equal"]:
+        failures.append("shared cache: warm value != cold value")
+    if cache["warm_detector_calls"] * MIN_CACHE_REDUCTION > cache["cold_detector_calls"]:
+        failures.append(
+            f"shared cache: only {cache['call_reduction']:.1f}x fewer detector "
+            f"calls on the warm run (need >= {MIN_CACHE_REDUCTION}x)"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

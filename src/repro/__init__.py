@@ -60,6 +60,7 @@ from repro.api import (
     ScrubbingHit,
     SelectionWindow,
     SessionStats,
+    ShardProgress,
     StopConditions,
     area,
     class_is,
@@ -94,6 +95,7 @@ from repro.errors import (
 from repro.frameql.analyzer import analyze
 from repro.frameql.parser import parse
 from repro.metrics.runtime import ExecutionLedger, RuntimeLedger, StandardCosts
+from repro.parallel.cache import SharedDetectionCache
 from repro.video.scenarios import generate_scenario, list_scenarios
 from repro.video.synthetic import SyntheticVideo
 
@@ -118,6 +120,8 @@ __all__ = [
     "ExecutionLedger",
     "Progress",
     "EstimateUpdate",
+    "ShardProgress",
+    "SharedDetectionCache",
     "ScrubbingHit",
     "SelectionWindow",
     "Completed",

@@ -56,6 +56,7 @@ from repro.core.events import (
     Progress,
     ScrubbingHit,
     SelectionWindow,
+    ShardProgress,
 )
 from repro.core.results import OperatorNode, PlanExplanation
 from repro.metrics.runtime import ExecutionLedger
@@ -79,6 +80,7 @@ __all__ = [
     "EstimateUpdate",
     "ScrubbingHit",
     "SelectionWindow",
+    "ShardProgress",
     "Completed",
     "PlanExplanation",
     "OperatorNode",

@@ -61,6 +61,15 @@ class QueryHints:
         how eagerly early-stop conditions are honoured (see the README's
         "Performance" notes).  An explicit ``batch_size=`` argument to
         ``stream()`` overrides it per execution.
+    parallelism:
+        Worker count for the parallel sharded execution engine: the video is
+        partitioned into up to this many contiguous shards, each prefetched
+        by its own worker thread while the plan streams on the driver.
+        ``None`` (the default) falls back to the engine configuration's
+        ``parallelism``; ``1`` forces the classic single-threaded path.
+        Results — ledger accounting included — are bit-for-bit identical at
+        every setting under a fixed RNG stream; parallelism only changes
+        wall-clock time.
     force_plan:
         Bypass cost-based selection and pick the named physical candidate
         outright (the escape hatch for benchmarks and expert users).
@@ -77,6 +86,7 @@ class QueryHints:
     selection_filter_classes: frozenset[str] | None = None
     stop_conditions: StopConditions | None = None
     batch_size: int | None = None
+    parallelism: int | None = None
     force_plan: str | None = None
 
     def __post_init__(self) -> None:
@@ -93,6 +103,13 @@ class QueryHints:
             raise ConfigurationError(
                 f"batch_size must be a positive integer or None, got "
                 f"{self.batch_size!r}"
+            )
+        if self.parallelism is not None and (
+            not isinstance(self.parallelism, int) or self.parallelism < 1
+        ):
+            raise ConfigurationError(
+                f"parallelism must be a positive integer or None, got "
+                f"{self.parallelism!r}"
             )
         if self.force_plan is not None and (
             not isinstance(self.force_plan, str) or not self.force_plan
@@ -138,6 +155,8 @@ class QueryHints:
             parts.append(f"stop({self.stop_conditions.describe()})")
         if self.batch_size is not None:
             parts.append(f"batch_size={self.batch_size}")
+        if self.parallelism is not None:
+            parts.append(f"parallelism={self.parallelism}")
         if self.force_plan is not None:
             parts.append(f"force_plan={self.force_plan}")
         return ", ".join(parts) if parts else "none"

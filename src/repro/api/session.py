@@ -40,7 +40,7 @@ from repro.core.events import (
     ExecutionStream,
 )
 from repro.core.results import PlanExplanation, QueryResult
-from repro.errors import QueryParameterError
+from repro.errors import ConfigurationError, QueryParameterError
 from repro.frameql.analyzer import (
     AggregateQuerySpec,
     QuerySpec,
@@ -193,6 +193,7 @@ class PreparedQuery:
         rng: np.random.Generator | None = None,
         stop: StopConditions | None = None,
         batch_size: int | None = None,
+        parallelism: int | None = None,
         **params: Any,
     ) -> ExecutionStream:
         """Run the prepared plan as a lazy stream of typed execution events.
@@ -208,12 +209,31 @@ class PreparedQuery:
         requests cooperative cancellation, and runtime parameters re-bind
         exactly as with :meth:`execute`.
 
+        ``parallelism`` routes execution through the parallel sharded engine
+        (falling back to the hints' ``parallelism``, then the engine
+        configuration): the video is partitioned into shards, one prefetch
+        worker per shard, with :class:`~repro.core.events.ShardProgress`
+        events interleaved into the stream.  Results are bit-for-bit
+        identical at every parallelism under a fixed RNG stream.
+
         The plan does no work until the stream is iterated; interleaving two
         live streams of the same prepared query is not supported (they share
-        the analyzed spec and the context's RNG binding).
+        the analyzed spec and, sequentially, the context's RNG binding).
         """
         self._session.stats.streams += 1
-        return self._open_stream(rng, stop, batch_size, params)
+        return self._open_stream(rng, stop, batch_size, params, parallelism)
+
+    def _effective_parallelism(self, parallelism: int | None) -> int:
+        if parallelism is not None:
+            if not isinstance(parallelism, int) or parallelism < 1:
+                raise ConfigurationError(
+                    f"parallelism must be a positive integer or None, got "
+                    f"{parallelism!r}"
+                )
+            return parallelism
+        if self.hints.parallelism is not None:
+            return self.hints.parallelism
+        return self._session.engine.config.parallelism
 
     def _open_stream(
         self,
@@ -221,12 +241,17 @@ class PreparedQuery:
         stop: StopConditions | None,
         batch_size: int | None,
         params: Mapping[str, Any],
+        parallelism: int | None = None,
     ) -> ExecutionStream:
         context = self._session._context_for(self.spec.video)
         # The RNG stream is drawn now (so spawn order follows creation order)
         # but bound only while iterating: executions that run between pulls
         # of a lazy stream share the context and must not contaminate it.
-        bound_rng = rng if rng is not None else self._session._next_rng()
+        if rng is not None:
+            bound_rng, seed_sequence = rng, None
+        else:
+            seed_sequence = self._session._next_seed_sequence()
+            bound_rng = np.random.default_rng(seed_sequence)
         if batch_size is None:
             batch_size = (
                 self.hints.batch_size
@@ -237,18 +262,45 @@ class PreparedQuery:
             stop=stop if stop is not None else self.hints.stop_conditions,
             batch_size=batch_size,
         )
+        workers = self._effective_parallelism(parallelism)
 
         def events() -> Iterator[ExecutionEvent]:
+            from repro.parallel.plan import parallel_events
+
             self._session.stats.executions += 1
             with self._bound(params):
-                plan_events = self.plan.run(context, control)
-                while True:
-                    context.bind_rng(bound_rng)
-                    try:
-                        event = next(plan_events)
-                    except StopIteration:
-                        return
-                    yield event
+                if workers > 1:
+                    # Parallel executions get a private context clone: the
+                    # prefetcher and the RNG stream are bound once, so the
+                    # session's cached context stays clean for other streams.
+                    execution_context = context.execution_clone(
+                        bound_rng, seed_sequence
+                    )
+                    plan_events: Iterator[ExecutionEvent] = parallel_events(
+                        self.plan,
+                        execution_context,
+                        control,
+                        parallelism=workers,
+                        stats=self._session.engine.catalog.get(self.spec.video),
+                    )
+                else:
+                    plan_events = self.plan.run(context, control)
+                try:
+                    while True:
+                        if workers <= 1:
+                            context.bind_rng(bound_rng)
+                        try:
+                            event = next(plan_events)
+                        except StopIteration:
+                            return
+                        yield event
+                finally:
+                    # Propagate close() promptly to the plan generator — and,
+                    # under parallel execution, to the in-flight shard
+                    # workers, which are joined before close returns.
+                    closer = getattr(plan_events, "close", None)
+                    if closer is not None:
+                        closer()
 
         return ExecutionStream(events(), control)
 
@@ -256,6 +308,7 @@ class PreparedQuery:
         self,
         rng: np.random.Generator | None = None,
         stop: StopConditions | None = None,
+        parallelism: int | None = None,
         **params: Any,
     ) -> QueryResult:
         """Run the prepared plan to completion by draining its event stream.
@@ -265,7 +318,7 @@ class PreparedQuery:
         Each call draws a fresh RNG stream from the session (unless ``rng``
         is given), so repeated approximate executions sample independently.
         """
-        return self._open_stream(rng, stop, None, params).drain()
+        return self._open_stream(rng, stop, None, params, parallelism).drain()
 
     def execute_many(
         self, param_sets: Iterable[Mapping[str, Any]]
@@ -320,9 +373,17 @@ class QuerySession:
 
     # -- internal plumbing ---------------------------------------------------------
 
+    def _next_seed_sequence(self) -> np.random.SeedSequence:
+        """A fresh child seed sequence for one query execution.
+
+        The parallel engine spawns one grandchild per shard from it, keyed by
+        shard id, so shard-local randomness is reproducible and independent.
+        """
+        return self._seed_sequence.spawn(1)[0]
+
     def _next_rng(self) -> np.random.Generator:
         """A fresh, independent RNG stream for one query execution."""
-        return np.random.default_rng(self._seed_sequence.spawn(1)[0])
+        return np.random.default_rng(self._next_seed_sequence())
 
     def _context_for(self, video: str) -> ExecutionContext:
         """The cached execution context for a video (built on first use)."""
@@ -395,6 +456,7 @@ class QuerySession:
         rng: np.random.Generator | None = None,
         stop: StopConditions | None = None,
         batch_size: int | None = None,
+        parallelism: int | None = None,
         **params: Any,
     ) -> ExecutionStream:
         """Prepare (with caching) and stream a query's execution events.
@@ -403,11 +465,14 @@ class QuerySession:
         :class:`~repro.core.events.ExecutionStream` of typed events
         (``Progress``, ``EstimateUpdate``, ``ScrubbingHit``,
         ``SelectionWindow``, terminal ``Completed``), supporting early
-        termination via ``stop=StopConditions(...)`` and cooperative
-        cancellation via ``stream.cancel()``.
+        termination via ``stop=StopConditions(...)``, cooperative
+        cancellation via ``stream.cancel()``, and parallel sharded execution
+        via ``parallelism=`` (falling back to the hints, then the engine
+        configuration).
         """
         return self._prepared_for(query, hints).stream(
-            rng=rng, stop=stop, batch_size=batch_size, **params
+            rng=rng, stop=stop, batch_size=batch_size, parallelism=parallelism,
+            **params
         )
 
     def _prepared_for(

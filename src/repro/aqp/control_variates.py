@@ -129,6 +129,7 @@ def control_variate_stream(
     config: AdaptiveSamplingConfig | None = None,
     fixed_coefficient: float | None = None,
     should_stop: StopPredicate | None = None,
+    announce: Callable[[np.ndarray], None] | None = None,
 ) -> Iterator[ControlVariateRound]:
     """Control-variate estimation as a stream of per-round updates.
 
@@ -136,7 +137,9 @@ def control_variate_stream(
     it): identical sampling order, RNG stream and termination rule, but
     yielding the variance-reduced running estimate and CI half-width after
     every round.  ``should_stop`` is an external termination predicate
-    checked after the built-in rules each round.
+    checked after the built-in rules each round; ``announce`` receives the
+    sampling order when drawn (the parallel prefetch hook, exactly as in
+    :func:`repro.aqp.sampling.adaptive_sample_stream`).
     """
     auxiliary_values = np.asarray(auxiliary_values, dtype=np.float64)
     population_size = auxiliary_values.shape[0]
@@ -155,6 +158,8 @@ def control_variate_stream(
     batch = max(config.min_batch, int(initial * config.growth_fraction))
 
     permutation = rng.permutation(population_size)
+    if announce is not None:
+        announce(permutation[:max_samples])
     taken = initial
     m_values = np.asarray(sample_fn(permutation[:taken]), dtype=np.float64)
     rounds = 1

@@ -138,6 +138,7 @@ def adaptive_sample_stream(
     rng: np.random.Generator | None = None,
     config: AdaptiveSamplingConfig | None = None,
     should_stop: StopPredicate | None = None,
+    announce: Callable[[np.ndarray], None] | None = None,
 ) -> Iterator[SamplingRound]:
     """Adaptive sampling as a stream: one :class:`SamplingRound` per round.
 
@@ -147,6 +148,11 @@ def adaptive_sample_stream(
     watch the interval shrink.  ``should_stop`` is an external termination
     predicate checked after the built-in rules each round; when it fires the
     loop finalises early with ``converged`` reflecting only the CLT bound.
+
+    ``announce`` receives the full sampling order (the permutation prefix
+    the loop could ever consume) the moment it is drawn — the shard-aware
+    hook that lets parallel executors prefetch ``sample_fn``'s detector work
+    ahead of the rounds without changing a single draw.
     """
     if population_size < 1:
         raise ValueError(f"population_size must be >= 1, got {population_size}")
@@ -163,6 +169,8 @@ def adaptive_sample_stream(
 
     # Sampling without replacement: a random permutation consumed prefix-first.
     permutation = rng.permutation(population_size)
+    if announce is not None:
+        announce(permutation[:max_samples])
     taken = initial
     values = np.asarray(sample_fn(permutation[:taken]), dtype=np.float64)
     rounds = 1

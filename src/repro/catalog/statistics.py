@@ -16,12 +16,15 @@ statistics are).
 
 from __future__ import annotations
 
+import json
 from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.metrics.runtime import StandardCosts
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -199,6 +202,62 @@ class VideoStatistics:
             mask &= counts >= min_count
         return int(mask.sum())
 
+    def _heldout_window(self, start: int, end: int) -> tuple[int, int]:
+        """Map a test-day frame range onto the held-out day's timeline.
+
+        Shards partition the *test* video, whose statistics we only know by
+        proxy: the held-out day covers the same scene over (possibly) a
+        different frame count, so positions are scaled proportionally.  The
+        window is widened outward (floor/ceil) and never empty.
+        """
+        if self.num_frames <= 0 or self.heldout_frames <= 0:
+            return 0, 0
+        scale = self.heldout_frames / self.num_frames
+        lo = max(0, int(np.floor(start * scale)))
+        hi = min(self.heldout_frames, int(np.ceil(end * scale)))
+        if hi <= lo:
+            hi = min(self.heldout_frames, lo + 1)
+        return lo, hi
+
+    def range_event_rate(self, min_counts: Mapping[str, int], start: int, end: int) -> float:
+        """Held-out event rate of a count conjunction within one frame range.
+
+        The per-shard analogue of :meth:`event_rate`, used by the video
+        sharder to order shards by estimated hit density and to mark
+        statically-cold shards prunable.  Estimates steer scheduling only —
+        a pruned shard is still scanned if the query turns out to need it.
+        """
+        if not min_counts:
+            return 0.0
+        lo, hi = self._heldout_window(start, end)
+        if hi <= lo:
+            return 0.0
+        mask = np.ones(hi - lo, dtype=bool)
+        for object_class, min_count in min_counts.items():
+            counts = self._heldout_counts.get(object_class)
+            if counts is None:
+                return 0.0
+            mask &= counts[lo:hi] >= min_count
+        return float(mask.mean())
+
+    def range_presence_rate(self, object_class: str | None, start: int, end: int) -> float:
+        """Held-out presence rate of one class within one frame range.
+
+        Like :meth:`range_event_rate` but for single-class predicates
+        (aggregates and selections).  A class the labeled set never observed
+        yields 0.0 only when other classes *were* observed — with an empty
+        catalog entry everything stays unpruned.
+        """
+        if object_class is None:
+            return 1.0
+        lo, hi = self._heldout_window(start, end)
+        if hi <= lo:
+            return 0.0
+        counts = self._heldout_counts.get(object_class)
+        if counts is None:
+            return 0.0 if self._heldout_counts else 1.0
+        return float((counts[lo:hi] > 0).mean())
+
     def selection_survival(self, object_class: str | None) -> float:
         """Estimated fraction of frames surviving an inferred filter cascade.
 
@@ -212,6 +271,74 @@ class VideoStatistics:
             return 1.0
         return float(
             min(1.0, stats.presence_rate * _SURVIVAL_SLACK + _SURVIVAL_FLOOR)
+        )
+
+    # -- persistence ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form, per-class count arrays included.
+
+        The count arrays are what shard pruning and conjunction event rates
+        are computed from, so persisting them keeps every catalog capability
+        intact across processes.
+        """
+        return {
+            "video": self.video,
+            "num_frames": self.num_frames,
+            "train_frames": self.train_frames,
+            "heldout_frames": self.heldout_frames,
+            "detector_seconds_per_call": self.detector_seconds_per_call,
+            "training_epochs": self.training_epochs,
+            "classes": {
+                name: {
+                    "training_positives": stats.training_positives,
+                    "presence_rate": stats.presence_rate,
+                    "mean_count": stats.mean_count,
+                    "count_std": stats.count_std,
+                    "max_count": stats.max_count,
+                }
+                for name, stats in self.classes.items()
+            },
+            "train_counts": {
+                name: np.asarray(counts, dtype=np.int64).tolist()
+                for name, counts in self._train_counts.items()
+            },
+            "heldout_counts": {
+                name: np.asarray(counts, dtype=np.int64).tolist()
+                for name, counts in self._heldout_counts.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> VideoStatistics:
+        """Inverse of :meth:`to_dict`."""
+        classes = {
+            name: ClassStatistics(
+                object_class=name,
+                training_positives=int(entry["training_positives"]),
+                presence_rate=float(entry["presence_rate"]),
+                mean_count=float(entry["mean_count"]),
+                count_std=float(entry["count_std"]),
+                max_count=int(entry["max_count"]),
+            )
+            for name, entry in payload["classes"].items()
+        }
+        return cls(
+            video=str(payload["video"]),
+            num_frames=int(payload["num_frames"]),
+            train_frames=int(payload["train_frames"]),
+            heldout_frames=int(payload["heldout_frames"]),
+            detector_seconds_per_call=float(payload["detector_seconds_per_call"]),
+            training_epochs=int(payload["training_epochs"]),
+            classes=classes,
+            _train_counts={
+                name: np.asarray(counts, dtype=np.int64)
+                for name, counts in payload["train_counts"].items()
+            },
+            _heldout_counts={
+                name: np.asarray(counts, dtype=np.int64)
+                for name, counts in payload["heldout_counts"].items()
+            },
         )
 
     # -- cost conversions ----------------------------------------------------------------
@@ -277,6 +404,37 @@ class StatisticsCatalog:
     def names(self) -> list[str]:
         """Names of all videos with registered statistics."""
         return sorted(self._stats)
+
+    # -- persistence ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write every video's statistics (count arrays included) to JSON.
+
+        The saved file round-trips through :meth:`load`, so shard pruning
+        and cost estimates survive across sessions without re-running the
+        detector over the labeled days.
+        """
+        payload = {
+            "format": "statistics-catalog/v1",
+            "videos": [self._stats[name].to_dict() for name in self.names()],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> StatisticsCatalog:
+        """Rebuild a catalog saved by :meth:`save`.
+
+        The result can be handed straight to ``BlazeIt(catalog=...)``;
+        registering a video with a labeled set later still refreshes its
+        entry.
+        """
+        raw = json.loads(Path(path).read_text())
+        if raw.get("format") != "statistics-catalog/v1":
+            raise ConfigurationError(f"{path} is not a statistics-catalog file")
+        catalog = cls()
+        for entry in raw["videos"]:
+            catalog.register(VideoStatistics.from_dict(entry))
+        return catalog
 
     def __contains__(self, video: str) -> bool:
         return video in self._stats

@@ -61,6 +61,20 @@ class BlazeItConfig:
         batch calls fall back to the scalar per-frame reference path —
         bit-for-bit identical results, used by the perf-regression bench and
         the scalar/batched equivalence tests.
+    parallelism:
+        Default worker count for the parallel sharded execution engine: every
+        query streamed or executed through a session partitions its video
+        into up to this many shards, each prefetched by its own worker
+        thread (``QueryHints.parallelism`` overrides per query).  ``1`` — the
+        default — runs the classic single-threaded path.  Results (ledger
+        accounting included) are bit-for-bit identical at every setting
+        under a fixed RNG stream.
+    shared_cache_bytes:
+        Byte budget of the process-wide shared detection cache consulted
+        before the detector is called (and before the ledger is charged), so
+        repeated queries over hot videos skip detector work entirely.  ``0``
+        — the default — disables the cache, keeping every execution's
+        accounting independent of history.
     seed:
         Seed for all randomised decisions made by the engine.
     """
@@ -74,6 +88,8 @@ class BlazeItConfig:
     specialized_model_type: str = "softmax"
     specialized_hidden_size: int = 32
     batched_execution: bool = True
+    parallelism: int = 1
+    shared_cache_bytes: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -99,4 +115,13 @@ class BlazeItConfig:
             raise ConfigurationError(
                 f"min_training_positives must be non-negative, got "
                 f"{self.min_training_positives}"
+            )
+        if self.parallelism < 1:
+            raise ConfigurationError(
+                f"parallelism must be >= 1, got {self.parallelism}"
+            )
+        if self.shared_cache_bytes < 0:
+            raise ConfigurationError(
+                f"shared_cache_bytes must be non-negative, got "
+                f"{self.shared_cache_bytes}"
             )

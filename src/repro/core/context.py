@@ -19,7 +19,9 @@ recording.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -35,6 +37,10 @@ from repro.metrics.runtime import ExecutionLedger, OperatorCost, RuntimeLedger
 from repro.udf.registry import UDFRegistry
 from repro.video.synthetic import SyntheticVideo
 
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a runtime cycle)
+    from repro.parallel.cache import SharedDetectionCache
+    from repro.parallel.executor import DetectionPrefetcher
+
 
 @dataclass
 class ExecutionContext:
@@ -49,7 +55,18 @@ class ExecutionContext:
     rng: np.random.Generator = field(
         default_factory=lambda: np.random.default_rng(0)
     )
+    #: Seed sequence this context's RNG stream was spawned from; the parallel
+    #: engine spawns one child per shard from it (keyed by shard id), so
+    #: shard-local randomness is reproducible and independent.
+    seed_sequence: np.random.SeedSequence | None = field(default=None, repr=False)
+    #: Process-wide cross-query detection cache (``None`` when disabled):
+    #: consulted before the detector is called and before any charge is made.
+    shared_cache: "SharedDetectionCache | None" = field(default=None, repr=False)
+    #: Namespace of this context's frames in the shared cache (video name
+    #: plus detector identity, built by the engine).
+    cache_key: str = ""
     _features_cache: np.ndarray | None = field(default=None, repr=False)
+    _prefetcher: "DetectionPrefetcher | None" = field(default=None, repr=False)
 
     def bind_rng(self, rng: np.random.Generator) -> ExecutionContext:
         """Attach the RNG stream for the next execution and return ``self``.
@@ -59,6 +76,59 @@ class ExecutionContext:
         """
         self.rng = rng
         return self
+
+    # -- parallel execution hooks ------------------------------------------------------
+
+    def execution_clone(
+        self,
+        rng: np.random.Generator,
+        seed_sequence: np.random.SeedSequence | None = None,
+    ) -> ExecutionContext:
+        """A private copy of this context for one (parallel) execution.
+
+        Shares every per-video asset — video, detector, recording, labeled
+        set, shared cache and the feature matrix if already computed — but
+        owns its RNG binding, so a parallel execution can never contaminate
+        the session's cached context while its stream is live.
+        """
+        return dataclasses.replace(
+            self, rng=rng, seed_sequence=seed_sequence, _prefetcher=None
+        )
+
+    def shard_context(self, rng: np.random.Generator) -> ExecutionContext:
+        """The context one shard worker computes detections in.
+
+        Workers share the read-only assets (video, detector, recording,
+        shared cache) but never the driver's RNG, prefetcher or feature
+        cache; their detection work is uncharged — the driver charges on
+        consumption.
+        """
+        return dataclasses.replace(
+            self,
+            rng=rng,
+            seed_sequence=None,
+            _prefetcher=None,
+            _features_cache=None,
+        )
+
+    def with_prefetcher(self, prefetcher: "DetectionPrefetcher") -> ExecutionContext:
+        """Attach a detection prefetcher (driver side of parallel execution)."""
+        self._prefetcher = prefetcher
+        return self
+
+    def announce_access_plan(
+        self, frame_order: np.ndarray, monotone: bool = False
+    ) -> None:
+        """Declare the frame order this execution is about to verify.
+
+        A no-op on sequential executions; under parallel execution this is
+        the signal that starts the shard workers prefetching (see
+        :meth:`repro.parallel.executor.DetectionPrefetcher.announce`).
+        Plans call it exactly when their candidate order becomes known — a
+        scan range, a sampling permutation, an importance ranking.
+        """
+        if self._prefetcher is not None:
+            self._prefetcher.announce(frame_order, monotone=monotone)
 
     # -- detector access -----------------------------------------------------------
 
@@ -74,7 +144,9 @@ class ExecutionContext:
         cropped the frame.  When ``ledger`` is an
         :class:`~repro.metrics.runtime.ExecutionLedger`, detections computed
         earlier in the same execution are served from its per-frame cache
-        without re-calling (or re-charging) the detector.
+        without re-calling (or re-charging) the detector; frames present in
+        the process-wide shared cache are likewise served — and seeded into
+        the execution cache — without any charge.
         """
         execution_ledger = ledger if isinstance(ledger, ExecutionLedger) else None
         if execution_ledger is not None:
@@ -82,14 +154,20 @@ class ExecutionContext:
             if cached is not None:
                 execution_ledger.record_cache_hit()
                 return cached
+        if self.shared_cache is not None:
+            shared = self.shared_cache.get(self.cache_key, frame_index)
+            if shared is not None:
+                if execution_ledger is not None:
+                    execution_ledger.stash_detection(frame_index, shared)
+                    execution_ledger.record_cache_hit()
+                return shared
         if ledger is not None:
             ledger.charge(self._scaled_cost(cost_scale))
-        if self.recorded is not None:
-            result = self.recorded.result(frame_index)
-        else:
-            result = self.detector.detect(self.video, frame_index)
+        result = self._compute_detection(frame_index)
         if execution_ledger is not None:
             execution_ledger.record_detection(frame_index, result)
+        if self.shared_cache is not None:
+            self.shared_cache.put(self.cache_key, frame_index, result)
         return result
 
     def detect_batch(
@@ -103,11 +181,13 @@ class ExecutionContext:
         The batched counterpart of :meth:`detect`, with identical results and
         identical per-frame accounting: the indices are partitioned into
         cache hits (served from the :class:`ExecutionLedger` detection cache
-        and counted as hits) and misses, the misses are computed in one
+        and counted as hits), shared-cache hits (seeded into the execution
+        cache free of charge) and misses; the misses are computed in one
         vectorized :meth:`~repro.detection.base.ObjectDetector.detect_many`
-        call (or read from the recording), and the ledger is charged with a
-        single ``charge(cost, count=misses)``.  Repeated frames within the
-        batch are computed once; under an execution ledger the repeats are
+        call (or read from the recording, or taken from the parallel
+        prefetch pipeline), and the ledger is charged with a single
+        ``charge(cost, count=misses)``.  Repeated frames within the batch
+        are computed once; under an execution ledger the repeats are
         accounted as cache hits, exactly as a sequential ``detect`` loop
         would (the shared semantics live in
         :func:`~repro.detection.base.resolve_detection_batch`).  With
@@ -120,15 +200,74 @@ class ExecutionContext:
                 self.detect(int(i), ledger, cost_scale=cost_scale) for i in indices
             ]
         execution_ledger = ledger if isinstance(ledger, ExecutionLedger) else None
+        if execution_ledger is not None and self.shared_cache is not None:
+            self._seed_shared_hits(indices, execution_ledger)
 
         def compute_misses(miss_frames: list[int]) -> list[DetectionResult]:
+            shared: dict[int, DetectionResult] = {}
+            if execution_ledger is None and self.shared_cache is not None:
+                # With no execution ledger there is no per-execution cache to
+                # seed, so shared hits are resolved (uncharged) right here.
+                shared = self.shared_cache.get_many(self.cache_key, miss_frames)
+            charged = [f for f in miss_frames if f not in shared]
             if ledger is not None:
-                ledger.charge(self._scaled_cost(cost_scale), len(miss_frames))
-            if self.recorded is not None:
-                return [self.recorded.result(i) for i in miss_frames]
-            return self.detector.detect_many(self.video, miss_frames)
+                ledger.charge(self._scaled_cost(cost_scale), len(charged))
+            computed = dict(zip(charged, self._compute_batch(charged)))
+            if self.shared_cache is not None and computed:
+                self.shared_cache.put_many(self.cache_key, computed)
+            computed.update(shared)
+            return [computed[f] for f in miss_frames]
 
         return resolve_detection_batch(indices, execution_ledger, compute_misses)
+
+    def _seed_shared_hits(
+        self, indices: np.ndarray, execution_ledger: ExecutionLedger
+    ) -> None:
+        """Stash shared-cache hits into the execution cache before resolving.
+
+        The resolver then serves them as ordinary (free) cache hits, keeping
+        the scalar and batched accounting identical.
+        """
+        assert self.shared_cache is not None
+        unseen = [
+            int(f)
+            for f in dict.fromkeys(int(i) for i in indices)
+            if execution_ledger.cached_detection(int(f)) is None
+        ]
+        if not unseen:
+            return
+        for frame_index, result in self.shared_cache.get_many(
+            self.cache_key, unseen
+        ).items():
+            execution_ledger.stash_detection(frame_index, result)
+
+    def _compute_detection(self, frame_index: int) -> DetectionResult:
+        """Produce one frame's detections: prefetch, recording, or detector."""
+        if self._prefetcher is not None:
+            prefetched = self._prefetcher.take(frame_index)
+            if prefetched is not None:
+                return prefetched
+        if self.recorded is not None:
+            return self.recorded.result(frame_index)
+        return self.detector.detect(self.video, frame_index)
+
+    def _compute_batch(self, miss_frames: list[int]) -> list[DetectionResult]:
+        """Batch counterpart of :meth:`_compute_detection` (same sources)."""
+        if not miss_frames:
+            return []
+        prefetched: dict[int, DetectionResult] = {}
+        if self._prefetcher is not None:
+            prefetched = self._prefetcher.take_many(miss_frames)
+        remaining = [f for f in miss_frames if f not in prefetched]
+        if remaining:
+            if self.recorded is not None:
+                computed = {f: self.recorded.result(f) for f in remaining}
+            else:
+                computed = dict(
+                    zip(remaining, self.detector.detect_many(self.video, remaining))
+                )
+            prefetched.update(computed)
+        return [prefetched[f] for f in miss_frames]
 
     def _scaled_cost(self, cost_scale: float) -> OperatorCost:
         """The detector's per-call cost, reduced by a spatial-crop scale."""

@@ -38,6 +38,7 @@ from repro.catalog.statistics import StatisticsCatalog
 from repro.core.config import BlazeItConfig
 from repro.core.events import ExecutionStream, StopConditions
 from repro.core.context import ExecutionContext
+from repro.parallel.cache import SharedDetectionCache, get_process_cache
 from repro.core.labeled_set import LabeledSet
 from repro.core.recorded import RecordedDetections
 from repro.core.results import PlanExplanation, QueryResult
@@ -66,18 +67,32 @@ class BlazeIt:
         detector: ObjectDetector | None = None,
         config: BlazeItConfig | None = None,
         udf_registry: UDFRegistry | None = None,
+        catalog: StatisticsCatalog | None = None,
+        shared_cache: SharedDetectionCache | None = None,
     ) -> None:
         self.config = config or BlazeItConfig()
         self.default_detector = detector or SimulatedDetector.mask_rcnn()
         self.udf_registry = udf_registry or default_udf_registry()
         self.store = VideoStore()
-        self.catalog = StatisticsCatalog()
+        # A preloaded catalog (``StatisticsCatalog.load``) lets shard pruning
+        # and cost estimates survive across processes; registering videos
+        # with labeled sets still refreshes the affected entries.
+        self.catalog = catalog if catalog is not None else StatisticsCatalog()
         self.optimizer = CostBasedOptimizer(
             self.udf_registry, catalog=self.catalog, config=self.config
         )
         self._detectors: dict[str, ObjectDetector] = {}
         self._labeled_sets: dict[str, LabeledSet] = {}
         self._recorded: dict[str, RecordedDetections] = {}
+        # The shared cross-query detection cache: an explicit instance wins
+        # (tests, dedicated serving tiers); otherwise the config's byte
+        # budget selects the process-wide cache, and 0 disables caching.
+        if shared_cache is not None:
+            self._shared_cache: SharedDetectionCache | None = shared_cache
+        elif self.config.shared_cache_bytes > 0:
+            self._shared_cache = get_process_cache(self.config.shared_cache_bytes)
+        else:
+            self._shared_cache = None
         # Root of the engine's randomness: sessions and query executions spawn
         # independent child streams, so repeated approximate queries draw
         # different samples while a fixed seed keeps whole runs reproducible.
@@ -244,6 +259,30 @@ class BlazeIt:
         """Structured explanation of the chosen plan."""
         return self.session().explain(query_text, hints=hints)
 
+    def shared_cache(self) -> SharedDetectionCache | None:
+        """The engine's shared cross-query detection cache (``None`` if off)."""
+        return self._shared_cache
+
+    def _cache_key_for(self, video_name: str) -> str:
+        """Namespace of one video's frames in the shared detection cache.
+
+        Folds in the detector's identity (name, seed, threshold when
+        present), so the same video queried under two detectors never shares
+        entries.
+        """
+        detector = self.detector_for(video_name)
+        video = self.store.get(video_name)
+        return "|".join(
+            str(part)
+            for part in (
+                video_name,
+                video.spec.seed,
+                detector.name,
+                getattr(detector, "seed", ""),
+                getattr(detector, "confidence_threshold", ""),
+            )
+        )
+
     def execution_context(self, video_name: str) -> ExecutionContext:
         """Build the execution context for a registered video.
 
@@ -255,6 +294,7 @@ class BlazeIt:
                 f"video {video_name!r} is not registered "
                 f"(available: {', '.join(self.videos()) or '<none>'})"
             )
+        seed_sequence = self._spawn_seed_sequence()
         return ExecutionContext(
             video=self.store.get(video_name),
             detector=self.detector_for(video_name),
@@ -262,7 +302,10 @@ class BlazeIt:
             config=self.config,
             labeled_set=self._labeled_sets.get(video_name),
             recorded=self._recorded.get(video_name),
-            rng=np.random.default_rng(self._spawn_seed_sequence()),
+            rng=np.random.default_rng(seed_sequence),
+            seed_sequence=seed_sequence,
+            shared_cache=self._shared_cache,
+            cache_key=self._cache_key_for(video_name),
         )
 
     def query(

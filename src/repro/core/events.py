@@ -28,17 +28,19 @@ from dataclasses import dataclass
 from repro.core.results import QueryResult
 from repro.errors import ConfigurationError, ExecutionError
 from repro.metrics.runtime import ExecutionLedger
-from repro.stopping import NO_STOP, StopConditions
+from repro.stopping import NO_STOP, CancellationToken, StopConditions
 
 __all__ = [
     "ExecutionEvent",
     "Progress",
+    "ShardProgress",
     "EstimateUpdate",
     "ScrubbingHit",
     "SelectionWindow",
     "Completed",
     "StopConditions",
     "NO_STOP",
+    "CancellationToken",
     "DEFAULT_BATCH_SIZE",
     "ExecutionControl",
     "ExecutionStream",
@@ -72,6 +74,25 @@ class Progress(ExecutionEvent):
     frames_scanned: int = 0
     detector_calls: int = 0
     total_frames: int | None = None
+
+
+@dataclass(frozen=True)
+class ShardProgress(ExecutionEvent):
+    """Progress of one shard worker under parallel execution.
+
+    Emitted by the parallel stream merger (interleaved with the driving
+    plan's own events, in worker-arrival order) so consumers can watch the
+    per-shard prefetch pipeline advance.  Informational only: shard progress
+    never carries result data and is excluded from the execution ledger's
+    event counters, keeping parallel and sequential ledgers comparable.
+    """
+
+    shard: int
+    start_frame: int
+    end_frame: int
+    frames_computed: int
+    shard_frames: int
+    done: bool = False
 
 
 @dataclass(frozen=True)
@@ -138,23 +159,29 @@ class ExecutionControl:
     """
 
     def __init__(
-        self, stop: StopConditions | None = None, batch_size: int = DEFAULT_BATCH_SIZE
+        self,
+        stop: StopConditions | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        cancellation: CancellationToken | None = None,
     ) -> None:
         if batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
         self.stop = stop if stop is not None else NO_STOP
         self.batch_size = batch_size
         self.stop_reason: str | None = None
-        self._cancelled = False
+        # A thread-safe token rather than a bare flag: under parallel
+        # execution the same token is watched by every shard worker, so one
+        # cancel (or a LIMIT satisfied across shards) stops them all.
+        self.cancellation = cancellation if cancellation is not None else CancellationToken()
 
     def cancel(self) -> None:
         """Request cooperative cancellation (honoured at the next batch boundary)."""
-        self._cancelled = True
+        self.cancellation.set()
 
     @property
     def cancelled(self) -> bool:
         """Whether cancellation has been requested."""
-        return self._cancelled
+        return self.cancellation.is_set()
 
     # -- condition queries (plans call these at batch boundaries) ------------------
 
@@ -186,7 +213,7 @@ class ExecutionControl:
         self, ledger: ExecutionLedger, half_width: float | None = None
     ) -> bool:
         """Check every applicable condition, recording the first that fires."""
-        if self._cancelled:
+        if self.cancelled:
             self.note_stop("cancelled")
             return True
         if self.out_of_budget(ledger):

@@ -19,6 +19,7 @@ Only *relative* runtimes (speedup factors, crossover points) are meaningful.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -79,26 +80,37 @@ class RuntimeLedger:
     take" in the reproduction.  Operators call :meth:`charge` once per frame
     they process; benchmark harnesses read :attr:`total_seconds` and
     :meth:`breakdown`.
+
+    Mutation is thread-safe: :meth:`charge` / :meth:`charge_seconds` (and the
+    detection-cache mutators of :class:`ExecutionLedger`) hold a per-ledger
+    lock, so concurrent shard workers charging one shared ledger never lose
+    counts.  Reads are plain attribute access — take a :meth:`snapshot` when
+    a consistent multi-field view is needed while writers are live.
     """
 
     charges: dict[str, float] = field(default_factory=dict)
     calls: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def charge(self, cost: OperatorCost, count: int = 1) -> float:
         """Charge ``count`` invocations of ``cost`` and return the seconds added."""
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         seconds = cost.seconds_per_call * count
-        self.charges[cost.name] = self.charges.get(cost.name, 0.0) + seconds
-        self.calls[cost.name] = self.calls.get(cost.name, 0) + count
+        with self._lock:
+            self.charges[cost.name] = self.charges.get(cost.name, 0.0) + seconds
+            self.calls[cost.name] = self.calls.get(cost.name, 0) + count
         return seconds
 
     def charge_seconds(self, name: str, seconds: float) -> float:
         """Charge an arbitrary number of simulated seconds to an operator."""
         if seconds < 0:
             raise ValueError(f"seconds must be non-negative, got {seconds}")
-        self.charges[name] = self.charges.get(name, 0.0) + seconds
-        self.calls[name] = self.calls.get(name, 0) + 1
+        with self._lock:
+            self.charges[name] = self.charges.get(name, 0.0) + seconds
+            self.calls[name] = self.calls.get(name, 0) + 1
         return seconds
 
     @property
@@ -119,22 +131,25 @@ class RuntimeLedger:
         return dict(self.charges)
 
     def merge(self, other: "RuntimeLedger") -> None:
-        """Fold another ledger's charges into this one."""
-        for name, seconds in other.charges.items():
-            self.charges[name] = self.charges.get(name, 0.0) + seconds
-        for name, count in other.calls.items():
-            self.calls[name] = self.calls.get(name, 0) + count
+        """Fold another (quiescent) ledger's charges into this one."""
+        with self._lock:
+            for name, seconds in other.charges.items():
+                self.charges[name] = self.charges.get(name, 0.0) + seconds
+            for name, count in other.calls.items():
+                self.calls[name] = self.calls.get(name, 0) + count
 
     def reset(self) -> None:
         """Discard all accumulated charges."""
-        self.charges.clear()
-        self.calls.clear()
+        with self._lock:
+            self.charges.clear()
+            self.calls.clear()
 
     def snapshot(self) -> "RuntimeLedger":
         """Return an independent copy of the current state."""
         copy = RuntimeLedger()
-        copy.charges = dict(self.charges)
-        copy.calls = dict(self.calls)
+        with self._lock:
+            copy.charges = dict(self.charges)
+            copy.calls = dict(self.calls)
         return copy
 
 
@@ -159,8 +174,13 @@ class ExecutionLedger(RuntimeLedger):
     detector_calls: int = 0
     #: Distinct frames decoded (one per charged detection).
     frames_decoded: int = 0
-    #: Detections served from the per-execution cache instead of the detector.
+    #: Detections served from the per-execution cache instead of the detector
+    #: (including frames first seeded into it from the shared cross-query
+    #: cache, which are additionally counted in ``shared_cache_hits``).
     detection_cache_hits: int = 0
+    #: Detections seeded from the process-wide shared cross-query cache —
+    #: frames this execution never paid a detector call for.
+    shared_cache_hits: int = 0
     #: Incremental (non-terminal) events emitted over the streaming protocol.
     batches_emitted: int = 0
     #: All events emitted, including the terminal ``Completed``.
@@ -182,14 +202,27 @@ class ExecutionLedger(RuntimeLedger):
 
     def record_detection(self, frame_index: int, result: "DetectionResult") -> None:
         """Note one charged detector invocation and cache its output."""
-        if frame_index not in self._detections:
-            self.frames_decoded += 1
-        self._detections[frame_index] = result
-        self.detector_calls += 1
+        with self._lock:
+            if frame_index not in self._detections:
+                self.frames_decoded += 1
+            self._detections[frame_index] = result
+            self.detector_calls += 1
 
     def record_cache_hit(self) -> None:
         """Note one detection served from the cache (nothing charged)."""
-        self.detection_cache_hits += 1
+        with self._lock:
+            self.detection_cache_hits += 1
+
+    def stash_detection(self, frame_index: int, result: "DetectionResult") -> None:
+        """Seed the per-execution cache with a detection computed elsewhere.
+
+        Used when the shared cross-query cache serves a frame: the detection
+        enters this execution's cache (so later repeats dedupe normally) but
+        no detector call, decode, or charge is recorded.
+        """
+        with self._lock:
+            self._detections.setdefault(frame_index, result)
+            self.shared_cache_hits += 1
 
     def release_cache(self) -> None:
         """Drop the per-frame detection cache, keeping every counter.
@@ -198,29 +231,34 @@ class ExecutionLedger(RuntimeLedger):
         intra-execution dedupe, and results should not pin one
         ``DetectionResult`` per decoded frame for their whole lifetime.
         """
-        self._detections.clear()
+        with self._lock:
+            self._detections.clear()
 
     def merge(self, other: RuntimeLedger) -> None:
         """Fold another ledger's charges — and execution counters — into this one."""
         super().merge(other)
         if isinstance(other, ExecutionLedger):
-            self.detector_calls += other.detector_calls
-            self.frames_decoded += other.frames_decoded
-            self.detection_cache_hits += other.detection_cache_hits
-            self.batches_emitted += other.batches_emitted
-            self.events_emitted += other.events_emitted
-            self.wall_seconds += other.wall_seconds
+            with self._lock:
+                self.detector_calls += other.detector_calls
+                self.frames_decoded += other.frames_decoded
+                self.detection_cache_hits += other.detection_cache_hits
+                self.shared_cache_hits += other.shared_cache_hits
+                self.batches_emitted += other.batches_emitted
+                self.events_emitted += other.events_emitted
+                self.wall_seconds += other.wall_seconds
 
     def snapshot(self) -> "ExecutionLedger":
         """Return an independent copy, execution counters and cache included."""
         copy = ExecutionLedger()
-        copy.charges = dict(self.charges)
-        copy.calls = dict(self.calls)
-        copy.detector_calls = self.detector_calls
-        copy.frames_decoded = self.frames_decoded
-        copy.detection_cache_hits = self.detection_cache_hits
-        copy.batches_emitted = self.batches_emitted
-        copy.events_emitted = self.events_emitted
-        copy.wall_seconds = self.wall_seconds
-        copy._detections = dict(self._detections)
+        with self._lock:
+            copy.charges = dict(self.charges)
+            copy.calls = dict(self.calls)
+            copy.detector_calls = self.detector_calls
+            copy.frames_decoded = self.frames_decoded
+            copy.detection_cache_hits = self.detection_cache_hits
+            copy.shared_cache_hits = self.shared_cache_hits
+            copy.batches_emitted = self.batches_emitted
+            copy.events_emitted = self.events_emitted
+            copy.wall_seconds = self.wall_seconds
+            copy._detections = dict(self._detections)
         return copy

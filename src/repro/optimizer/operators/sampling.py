@@ -69,6 +69,10 @@ class RandomSampler(PhysicalOperator):
             should_stop=lambda taken, hw: control.should_stop(
                 ledger, half_width=hw * scale
             ),
+            # Shard-aware entry: the permutation is the detector workload;
+            # parallel shard workers prefetch it while the rounds replay the
+            # identical sequential estimator.
+            announce=context.announce_access_plan,
         ):
             yield EstimateUpdate(
                 estimate=finalize_aggregate(spec, round_.estimate, num_frames),
@@ -145,6 +149,7 @@ class ControlVariateSampler(PhysicalOperator):
             should_stop=lambda taken, hw: control.should_stop(
                 ledger, half_width=hw * scale
             ),
+            announce=context.announce_access_plan,
         ):
             yield EstimateUpdate(
                 estimate=finalize_aggregate(spec, round_.estimate, num_frames),

@@ -33,6 +33,10 @@ class FullScan(PhysicalOperator):
     ) -> Generator[ExecutionEvent, None, list[DetectionResult]]:
         """Scan frames in order, returning every frame's detection result."""
         num_frames = context.video.num_frames
+        # Shard-aware entry: under parallel execution this starts one
+        # prefetch worker per shard; the scan consumes shards front-to-back,
+        # so the speculation window is lifted (monotone access).
+        context.announce_access_plan(np.arange(num_frames), monotone=True)
         results: list[DetectionResult] = []
         while len(results) < num_frames and not control.should_stop(ledger):
             stop_at = min(num_frames, len(results) + control.batch_allowance(ledger))
@@ -63,6 +67,7 @@ class FullScan(PhysicalOperator):
         estimate event per chunk.
         """
         num_frames = context.video.num_frames
+        context.announce_access_plan(np.arange(num_frames), monotone=True)
         count_chunks: list[np.ndarray] = []
         scanned = 0
         running_sum = 0.0

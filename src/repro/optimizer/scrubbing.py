@@ -211,6 +211,11 @@ class ScrubbingQueryPlan(PhysicalPlan):
             yield Progress(
                 phase="detection_scan", total_frames=context.video.num_frames
             )
+            # Shard-aware entry: the exhaustive walk visits frames in
+            # ascending order, so shard workers prefetch their ranges while
+            # the verifier consumes front-to-back (bounded speculation keeps
+            # overshoot small when the LIMIT fires early).
+            context.announce_access_plan(np.arange(context.video.num_frames))
             yield from self._verifier.stream(
                 context, control, ledger, np.arange(context.video.num_frames),
                 limit, result,
@@ -225,6 +230,11 @@ class ScrubbingQueryPlan(PhysicalPlan):
                 phase="importance_ranking", total_frames=context.video.num_frames
             )
             order = self._ranking.order(context, ledger)
+            # Shard-aware entry: each shard worker verifies its frames in
+            # ranking-restricted order — exactly the subsequence the global
+            # gap/limit walk will consume from it — so the hit set (and its
+            # order) is identical to the sequential walk at any parallelism.
+            context.announce_access_plan(order)
             yield from self._verifier.stream(
                 context, control, ledger, order, limit, result
             )

@@ -210,6 +210,9 @@ class SelectionQueryPlan(PhysicalPlan):
 
         all_frames = np.arange(context.video.num_frames, dtype=np.int64)
         surviving = plan.apply(context.video, all_frames, ledger)
+        # Shard-aware entry: the filter survivors are the exact detector
+        # workload, verified in ascending frame order across the shards.
+        context.announce_access_plan(surviving, monotone=True)
         yield Progress(
             phase="filter_pipeline",
             frames_scanned=ledger.frames_decoded,

@@ -1,0 +1,311 @@
+"""Process-wide shared detection cache for cross-query reuse.
+
+The multi-user serving scenario runs many queries over the same hot videos;
+without sharing, every execution re-pays the detector for frames a previous
+query already decoded.  :class:`SharedDetectionCache` is a thread-safe LRU
+keyed by ``(video key, frame index)`` with a byte budget, consulted by
+:meth:`repro.core.context.ExecutionContext.detect` / ``detect_batch`` *before*
+the ledger is charged — a hit costs the execution nothing and is counted in
+``ExecutionLedger.shared_cache_hits``.
+
+The cache is deliberately opt-in (``BlazeItConfig.shared_cache_bytes``,
+0 disables): with it enabled, the ledger accounting of repeated queries is no
+longer independent of execution history, which is exactly the point — but
+also exactly what the deterministic benchmarks must not silently inherit.
+
+Optional JSON persistence (:meth:`save` / :meth:`load`) lets a warm cache
+survive process restarts, so shard pruning *and* detector reuse both carry
+across serving sessions.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.detection.base import Detection, DetectionResult
+from repro.errors import ConfigurationError
+
+#: Default byte budget used by :func:`get_process_cache` when an engine
+#: enables the shared cache without configuring a size.
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+#: Fixed per-entry overhead (result object, dict slot, key) in the byte
+#: estimate; detections add their own footprint on top.
+_RESULT_OVERHEAD = 160
+_DETECTION_OVERHEAD = 200
+
+
+def _detection_bytes(detection: Detection) -> int:
+    size = _DETECTION_OVERHEAD
+    if detection.features is not None:
+        size += int(np.asarray(detection.features).nbytes)
+    return size
+
+
+def estimate_result_bytes(result: DetectionResult) -> int:
+    """Rough in-memory footprint of one frame's detections, for the budget."""
+    return _RESULT_OVERHEAD + sum(_detection_bytes(d) for d in result.detections)
+
+
+def _detection_to_json(detection: Detection) -> dict:
+    return {
+        "object_class": detection.object_class,
+        "box": [
+            detection.box.x_min,
+            detection.box.y_min,
+            detection.box.x_max,
+            detection.box.y_max,
+        ],
+        "confidence": detection.confidence,
+        "features": (
+            None
+            if detection.features is None
+            else np.asarray(detection.features, dtype=np.float64).tolist()
+        ),
+        "color": None if detection.color is None else list(detection.color),
+        "color_name": detection.color_name,
+    }
+
+
+def _detection_from_json(
+    payload: dict, frame_index: int, timestamp: float
+) -> Detection:
+    from repro.video.geometry import BoundingBox
+
+    return Detection(
+        frame_index=frame_index,
+        timestamp=timestamp,
+        object_class=payload["object_class"],
+        box=BoundingBox(*payload["box"]),
+        confidence=payload["confidence"],
+        features=(
+            None
+            if payload["features"] is None
+            else np.asarray(payload["features"], dtype=np.float64)
+        ),
+        color=None if payload["color"] is None else tuple(payload["color"]),
+        color_name=payload["color_name"],
+    )
+
+
+def result_to_json(result: DetectionResult) -> dict:
+    """JSON-serialisable form of one frame's detections."""
+    return {
+        "frame_index": result.frame_index,
+        "timestamp": result.timestamp,
+        "detections": [_detection_to_json(d) for d in result.detections],
+    }
+
+
+def result_from_json(payload: dict) -> DetectionResult:
+    """Inverse of :func:`result_to_json`."""
+    frame_index = int(payload["frame_index"])
+    timestamp = float(payload["timestamp"])
+    return DetectionResult(
+        frame_index=frame_index,
+        timestamp=timestamp,
+        detections=[
+            _detection_from_json(d, frame_index, timestamp)
+            for d in payload["detections"]
+        ],
+    )
+
+
+@dataclass
+class SharedCacheStats:
+    """Counters exposing how much detector work the shared cache absorbed."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    current_bytes: int = 0
+    entries: int = 0
+
+    def snapshot(self) -> "SharedCacheStats":
+        return SharedCacheStats(**vars(self))
+
+
+@dataclass
+class _Entry:
+    result: DetectionResult
+    nbytes: int = field(default=0)
+
+
+class SharedDetectionCache:
+    """Thread-safe LRU of detection results with a byte budget.
+
+    Keys are ``(video_key, frame_index)``; the video key (built by the engine
+    from the video name plus its detector's identity) namespaces entries so
+    two videos — or one video under two detectors — never collide.  ``get``
+    refreshes recency, ``put`` evicts least-recently-used entries until the
+    budget holds.  All operations take the cache lock, so concurrent shard
+    workers and concurrent sessions can share one process-wide instance.
+    """
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        if capacity_bytes < 1:
+            raise ConfigurationError(
+                f"capacity_bytes must be >= 1, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[tuple[str, int], _Entry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = SharedCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- core operations ------------------------------------------------------------
+
+    def get(self, video_key: str, frame_index: int) -> DetectionResult | None:
+        """The cached detections for a frame, refreshing recency; None on miss."""
+        key = (video_key, int(frame_index))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.result
+
+    def get_many(
+        self, video_key: str, frame_indices: list[int]
+    ) -> dict[int, DetectionResult]:
+        """Cached detections for a batch of frames (only the hits), one lock hold."""
+        out: dict[int, DetectionResult] = {}
+        with self._lock:
+            for frame_index in frame_indices:
+                key = (video_key, int(frame_index))
+                entry = self._entries.get(key)
+                if entry is None:
+                    self.stats.misses += 1
+                    continue
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                out[int(frame_index)] = entry.result
+        return out
+
+    def put(self, video_key: str, frame_index: int, result: DetectionResult) -> None:
+        """Insert (or refresh) one frame's detections, evicting to budget."""
+        self.put_many(video_key, {int(frame_index): result})
+
+    def put_many(
+        self, video_key: str, results: dict[int, DetectionResult]
+    ) -> None:
+        """Insert a batch of detections under one lock hold."""
+        with self._lock:
+            for frame_index, result in results.items():
+                key = (video_key, int(frame_index))
+                existing = self._entries.pop(key, None)
+                if existing is not None:
+                    self.stats.current_bytes -= existing.nbytes
+                nbytes = estimate_result_bytes(result)
+                if nbytes > self.capacity_bytes:
+                    continue  # a single oversized frame can never fit
+                self._entries[key] = _Entry(result=result, nbytes=nbytes)
+                self.stats.current_bytes += nbytes
+                self.stats.insertions += 1
+            while self.stats.current_bytes > self.capacity_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self.stats.current_bytes -= evicted.nbytes
+                self.stats.evictions += 1
+            self.stats.entries = len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters other than ``current_bytes`` are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self.stats.current_bytes = 0
+            self.stats.entries = 0
+
+    def resize(self, capacity_bytes: int) -> None:
+        """Change the byte budget, evicting immediately if it shrank."""
+        if capacity_bytes < 1:
+            raise ConfigurationError(
+                f"capacity_bytes must be >= 1, got {capacity_bytes}"
+            )
+        with self._lock:
+            self.capacity_bytes = capacity_bytes
+            while self.stats.current_bytes > self.capacity_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self.stats.current_bytes -= evicted.nbytes
+                self.stats.evictions += 1
+            self.stats.entries = len(self._entries)
+
+    # -- persistence ----------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Serialise every entry (LRU order preserved) to a JSON file."""
+        with self._lock:
+            payload = {
+                "format": "shared-detection-cache/v1",
+                "capacity_bytes": self.capacity_bytes,
+                "entries": [
+                    {"video_key": key[0], **result_to_json(entry.result)}
+                    for key, entry in self._entries.items()
+                ],
+            }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(
+        cls, path: str | Path, capacity_bytes: int | None = None
+    ) -> "SharedDetectionCache":
+        """Rebuild a cache from :meth:`save` output (oldest entries first)."""
+        payload = json.loads(Path(path).read_text())
+        if payload.get("format") != "shared-detection-cache/v1":
+            raise ConfigurationError(
+                f"{path} is not a shared-detection-cache file"
+            )
+        cache = cls(
+            capacity_bytes=(
+                capacity_bytes
+                if capacity_bytes is not None
+                else int(payload["capacity_bytes"])
+            )
+        )
+        for entry in payload["entries"]:
+            cache.put(entry["video_key"], int(entry["frame_index"]), result_from_json(entry))
+        return cache
+
+
+# -- process-wide singleton ---------------------------------------------------------
+
+_process_cache: SharedDetectionCache | None = None
+_process_cache_lock = threading.Lock()
+
+
+def get_process_cache(capacity_bytes: int | None = None) -> SharedDetectionCache:
+    """The process-wide shared cache, created (or grown) on first use.
+
+    Every engine with ``shared_cache_bytes > 0`` shares this instance, which
+    is what makes the cache cross-*query* and cross-*session*: a frame
+    decoded by one user's query serves every later query over the same video.
+    A larger requested capacity grows the cache; a smaller one leaves it
+    untouched (shrinking a serving cache under someone else's feet would be
+    surprising).
+    """
+    global _process_cache
+    with _process_cache_lock:
+        if _process_cache is None:
+            _process_cache = SharedDetectionCache(
+                capacity_bytes=capacity_bytes or DEFAULT_CACHE_BYTES
+            )
+        elif capacity_bytes is not None and capacity_bytes > _process_cache.capacity_bytes:
+            _process_cache.resize(capacity_bytes)
+        return _process_cache
+
+
+def reset_process_cache() -> None:
+    """Drop the process-wide cache (tests and long-running servers)."""
+    global _process_cache
+    with _process_cache_lock:
+        _process_cache = None

@@ -1,0 +1,294 @@
+"""Shard worker pool: speculative, ordered detection prefetch.
+
+:class:`DetectionPrefetcher` is the execution half of the parallel engine.
+The driving plan runs unchanged on the driver thread; when it announces the
+frame order it is about to verify (a scan range, a sampling permutation, an
+importance ranking), the prefetcher splits that order across the shards of a
+:class:`~repro.parallel.shards.ShardPlan` and starts one worker thread per
+shard.  Each worker owns its own :class:`~repro.core.context.ExecutionContext`
+(spawned RNG stream keyed by shard id) and computes detections for its
+shard's frames *in the announced order*, feeding a bounded per-shard queue.
+
+The driver consumes through :meth:`take`: because the plan visits each
+shard's frames in exactly the order the worker produces them, a take either
+pops the next queued results (skipping frames the plan decided not to
+verify — their speculative detections are discarded) or blocks briefly until
+the worker catches up.  Charging stays entirely on the driver side: workers
+never touch the execution ledger, so the simulated-cost accounting of a
+parallel run is bit-for-bit the sequential one, and speculative overshoot
+costs wall-clock only.
+
+Cancellation is cooperative and prompt: workers watch both the execution's
+:class:`~repro.stopping.CancellationToken` (a LIMIT satisfied across shards,
+a cancelled stream) and the prefetcher's own shutdown token (stream closed,
+execution completed), checking between detection chunks.  :meth:`shutdown`
+joins every worker, so once it returns no further detector call can happen.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.events import ShardProgress
+from repro.parallel.shards import Shard, ShardPlan
+from repro.stopping import CancellationToken
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.context import ExecutionContext
+    from repro.detection.base import DetectionResult
+
+#: Default bound (in chunks) on how far one worker may run ahead of the
+#: driver's consumption when the access order is not announced as monotone.
+DEFAULT_WINDOW_CHUNKS = 8
+
+#: Poll interval for cancel-aware blocking queue operations.
+_POLL_SECONDS = 0.05
+
+_DONE = object()  # per-shard end-of-worklist sentinel
+
+
+@dataclass
+class _ShardState:
+    """Driver- and worker-side bookkeeping for one shard."""
+
+    shard: Shard
+    context: "ExecutionContext"
+    frames: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    position_of: dict[int, int] = field(default_factory=dict)
+    chunks: "queue.Queue" = field(default_factory=queue.Queue)
+    buffer: "dict[int, DetectionResult]" = field(default_factory=dict)
+    consumed: int = 0  # positions < consumed have been taken or passed
+    started: bool = False
+    finished: bool = False  # driver saw the worklist sentinel
+    thread: threading.Thread | None = None
+
+
+class DetectionPrefetcher:
+    """Per-shard speculative detection pipeline behind ``ExecutionContext``.
+
+    Built by the parallel stream driver with one worker context per shard
+    (see :func:`repro.parallel.plan.parallel_events`); attached to the
+    driver's context so plan code needs no parallel-specific branches — the
+    announce/take protocol hides entirely behind ``detect``/``detect_batch``.
+    """
+
+    def __init__(
+        self,
+        shard_plan: ShardPlan,
+        worker_contexts: Callable[[Shard], "ExecutionContext"],
+        external_cancel: CancellationToken,
+        chunk_size: int,
+        window_chunks: int = DEFAULT_WINDOW_CHUNKS,
+    ) -> None:
+        self.shard_plan = shard_plan
+        self.chunk_size = max(1, chunk_size)
+        self.window_chunks = max(1, window_chunks)
+        self._external_cancel = external_cancel
+        self._shutdown = CancellationToken()
+        self._states = {
+            shard.shard_id: _ShardState(shard=shard, context=worker_contexts(shard))
+            for shard in shard_plan.shards
+        }
+        self._announced = False
+        self._start_lock = threading.Lock()
+        self.progress_events: "queue.SimpleQueue[ShardProgress]" = queue.SimpleQueue()
+        #: Frames computed speculatively by workers (consumed or not); the
+        #: difference to the driver's charged calls is the speculation cost.
+        self.frames_prefetched = 0
+        self._prefetched_lock = threading.Lock()
+
+    # -- driver-side protocol -------------------------------------------------------
+
+    def announce(
+        self, frame_order: np.ndarray | Iterable[int], monotone: bool = False
+    ) -> None:
+        """Declare the frame order the plan is about to verify.
+
+        Only the first announcement takes effect (a plan's later phases —
+        e.g. a scrubbing fallback sweep — revisit frames already planned);
+        frames outside the announced order are simply computed inline by the
+        caller.  ``monotone`` promises the driver consumes shards strictly
+        front-to-back (full scans), which lifts the speculation window so
+        trailing shards can prefetch their whole range.
+        """
+        if self._announced or self._cancelled():
+            return
+        self._announced = True
+        order = np.asarray(
+            frame_order if isinstance(frame_order, np.ndarray) else list(frame_order),
+            dtype=np.int64,
+        )
+        shard_ids = self.shard_plan.owners_of(order)
+        maxsize = 0 if monotone else self.window_chunks
+        for shard_id, state in self._states.items():
+            frames = order[shard_ids == shard_id]
+            state.frames = frames
+            state.position_of = {int(f): i for i, f in enumerate(frames)}
+            state.chunks = queue.Queue(maxsize=maxsize)
+        # Eager workers in density order (NeedleTail scheduling): pruned
+        # shards wait for an actual request for one of their frames.
+        for shard in self.shard_plan.scheduling_order():
+            if not shard.pruned:
+                self._start_worker(self._states[shard.shard_id])
+
+    def take(self, frame_index: int) -> "DetectionResult | None":
+        """The prefetched detection for a frame, or ``None`` to compute inline.
+
+        Blocks while the owning worker is still ahead of this frame; returns
+        ``None`` when the frame was never announced, was already passed, or
+        the pipeline is shutting down — callers fall back to a direct
+        detector call, so a ``None`` is always safe.
+        """
+        if not self._announced:
+            return None
+        state = self._states[self.shard_plan.owner_of(int(frame_index)).shard_id]
+        position = state.position_of.get(int(frame_index))
+        if position is None or position < state.consumed:
+            return None
+        if not state.started:
+            self._start_worker(state)
+        while True:
+            result = state.buffer.get(int(frame_index))
+            if result is not None:
+                state.consumed = position + 1
+                self._purge_passed(state)
+                return result
+            if state.finished or self._cancelled():
+                return None
+            try:
+                item = state.chunks.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                continue
+            if item is _DONE:
+                state.finished = True
+                continue
+            frames, results = item
+            for f, r in zip(frames, results):
+                if state.position_of[int(f)] >= state.consumed:
+                    state.buffer[int(f)] = r
+
+    def take_many(
+        self, frame_indices: Iterable[int]
+    ) -> "dict[int, DetectionResult]":
+        """Prefetched detections for a batch (hits only), in driver order."""
+        out: "dict[int, DetectionResult]" = {}
+        if not self._announced:
+            return out
+        for frame_index in frame_indices:
+            result = self.take(int(frame_index))
+            if result is not None:
+                out[int(frame_index)] = result
+        return out
+
+    def shutdown(self) -> None:
+        """Stop every worker and join them; no detector call can follow."""
+        self._shutdown.set()
+        for state in self._states.values():
+            if state.thread is not None:
+                state.thread.join()
+                state.thread = None
+
+    # -- worker side ----------------------------------------------------------------
+
+    def _cancelled(self) -> bool:
+        return self._shutdown.is_set() or self._external_cancel.is_set()
+
+    def _start_worker(self, state: _ShardState) -> None:
+        with self._start_lock:
+            if state.started:
+                return
+            state.started = True
+            if state.frames.size == 0 or self._cancelled():
+                state.finished = True
+                return
+            state.thread = threading.Thread(
+                target=self._run_worker,
+                args=(state,),
+                name=f"repro-shard-{state.shard.shard_id}",
+                daemon=True,
+            )
+            state.thread.start()
+
+    def _run_worker(self, state: _ShardState) -> None:
+        context = state.context
+        shard = state.shard
+        frames = state.frames
+        computed = 0
+        try:
+            while computed < frames.size and not self._cancelled():
+                chunk = frames[computed : computed + self.chunk_size]
+                results = self._compute_chunk(context, chunk)
+                if not self._put(state, (chunk, results)):
+                    return
+                computed += len(chunk)
+                with self._prefetched_lock:
+                    self.frames_prefetched += len(chunk)
+                self.progress_events.put(
+                    ShardProgress(
+                        shard=shard.shard_id,
+                        start_frame=shard.start,
+                        end_frame=shard.end,
+                        frames_computed=computed,
+                        shard_frames=int(frames.size),
+                        done=computed >= frames.size,
+                    )
+                )
+        finally:
+            # Always terminate the stream — a worker that dies on a detector
+            # or recording error must not leave the driver polling forever.
+            # take() then returns None for the shard's remaining frames and
+            # the driver computes them inline, reproducing (and surfacing)
+            # the error on its own thread with normal charging.
+            self._put(state, _DONE)
+
+    def _compute_chunk(
+        self, context: "ExecutionContext", chunk: np.ndarray
+    ) -> "list[DetectionResult]":
+        """Uncharged detection for one chunk.
+
+        Workers *read* the shared cross-query cache (frames a previous query
+        already paid for cost nothing to prefetch) but never write it: only
+        the driver populates the cache, on consumption, so an execution's
+        own speculative work can never masquerade as a cross-query hit and
+        distort its charged accounting.
+        """
+        frames = [int(f) for f in chunk]
+        hits: "dict[int, DetectionResult]" = {}
+        if context.shared_cache is not None:
+            hits = context.shared_cache.get_many(context.cache_key, frames)
+        misses = [f for f in frames if f not in hits]
+        if misses:
+            if context.recorded is not None:
+                fresh = {f: context.recorded.result(f) for f in misses}
+            else:
+                fresh = dict(
+                    zip(misses, context.detector.detect_many(context.video, misses))
+                )
+            hits.update(fresh)
+        return [hits[f] for f in frames]
+
+    def _put(self, state: _ShardState, item: object) -> bool:
+        while not self._cancelled():
+            try:
+                state.chunks.put(item, timeout=_POLL_SECONDS)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _purge_passed(self, state: _ShardState) -> None:
+        if not state.buffer:
+            return
+        passed = [
+            f for f in state.buffer if state.position_of[f] < state.consumed
+        ]
+        for f in passed:
+            del state.buffer[f]

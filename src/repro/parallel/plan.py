@@ -1,0 +1,161 @@
+"""Parallel stream driver: shard the video, prefetch, merge event streams.
+
+:func:`parallel_events` is what :meth:`repro.api.session.PreparedQuery.stream`
+routes through when the effective parallelism exceeds one.  It leaves the
+physical plan's logic untouched — the plan streams on the driver thread with
+its usual control and ledger — and surrounds it with the sharded prefetch
+pipeline:
+
+1. a :class:`~repro.parallel.shards.VideoSharder` partitions the video using
+   the statistics catalog's per-shard event rates for the query's classes
+   (pruned shards start lazily, dense shards first);
+2. a :class:`~repro.parallel.executor.DetectionPrefetcher` runs one worker
+   per shard, each in its own execution context with an RNG stream spawned
+   from the execution's seed sequence keyed by shard id;
+3. a :class:`StreamMerger` interleaves the workers'
+   :class:`~repro.core.events.ShardProgress` events with the plan's own
+   stream, shuts the pool down the moment the terminal ``Completed`` event
+   appears (a LIMIT satisfied across shards stops every worker), and
+   propagates ``close()`` to in-flight workers promptly.
+
+Because all charging happens on the driver as it consumes prefetched
+detections, a parallel execution's result — estimate, records, hit set and
+ledger counts — is bit-for-bit the sequential one under the same RNG stream;
+speculative work a worker computed but the plan never consumed costs
+wall-clock only.
+"""
+
+from __future__ import annotations
+
+import queue
+from collections.abc import Iterator, Mapping
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.events import Completed, ExecutionControl, ExecutionEvent
+from repro.errors import ConfigurationError
+from repro.frameql.analyzer import (
+    AggregateQuerySpec,
+    ScrubbingQuerySpec,
+    SelectionQuerySpec,
+)
+from repro.parallel.executor import DEFAULT_WINDOW_CHUNKS, DetectionPrefetcher
+from repro.parallel.shards import Shard, ShardPlan, VideoSharder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.catalog.statistics import VideoStatistics
+    from repro.core.context import ExecutionContext
+    from repro.optimizer.base import PhysicalPlan
+
+
+def query_profile(
+    plan: "PhysicalPlan",
+) -> tuple[Mapping[str, int] | None, str | None]:
+    """The (min_counts, object_class) the sharder estimates densities for."""
+    spec = getattr(plan, "spec", None)
+    if isinstance(spec, ScrubbingQuerySpec):
+        return spec.min_counts, None
+    if isinstance(spec, (AggregateQuerySpec, SelectionQuerySpec)):
+        return None, spec.object_class
+    return None, None
+
+
+class StreamMerger:
+    """Interleave a plan's event stream with its shard workers' progress.
+
+    Iterating yields the plan's events in order, with any
+    :class:`~repro.core.events.ShardProgress` the workers produced since the
+    last plan event injected first (worker-arrival order).  The terminal
+    ``Completed`` stays terminal: the pool is shut down and its last progress
+    drained *before* it is yielded.  Closing the merger closes the plan's
+    generator and joins every worker, so no detector call survives a
+    ``close()``.
+    """
+
+    def __init__(
+        self, inner: Iterator[ExecutionEvent], prefetcher: DetectionPrefetcher
+    ) -> None:
+        self._inner = inner
+        self._prefetcher = prefetcher
+
+    def events(self) -> Iterator[ExecutionEvent]:
+        prefetcher = self._prefetcher
+        try:
+            for event in self._inner:
+                if isinstance(event, Completed):
+                    # The LIMIT/CI/budget decision has been made across all
+                    # shards: stop the workers before handing out the result.
+                    prefetcher.shutdown()
+                yield from self._drain_progress()
+                yield event
+        finally:
+            closer = getattr(self._inner, "close", None)
+            if closer is not None:
+                closer()
+            prefetcher.shutdown()
+
+    def _drain_progress(self) -> Iterator[ExecutionEvent]:
+        progress = self._prefetcher.progress_events
+        while True:
+            try:
+                yield progress.get_nowait()
+            except queue.Empty:
+                return
+
+
+def parallel_events(
+    plan: "PhysicalPlan",
+    context: "ExecutionContext",
+    control: ExecutionControl,
+    parallelism: int,
+    stats: "VideoStatistics | None" = None,
+    window_chunks: int = DEFAULT_WINDOW_CHUNKS,
+) -> Iterator[ExecutionEvent]:
+    """Run ``plan`` with sharded parallel prefetch; yields the merged stream.
+
+    ``context`` must be private to this execution (the session clones its
+    cached per-video context): the prefetcher is attached to it and the RNG
+    stream must not be rebound mid-flight.
+    """
+    if parallelism < 2:
+        raise ConfigurationError(
+            f"parallel_events needs parallelism >= 2, got {parallelism}"
+        )
+    min_counts, object_class = query_profile(plan)
+    sharder = VideoSharder()
+    shard_plan = sharder.shard(
+        num_frames=context.video.num_frames,
+        parallelism=parallelism,
+        stats=stats,
+        min_counts=min_counts,
+        object_class=object_class,
+    )
+    seed_sequence = context.seed_sequence
+    if seed_sequence is None:
+        seed_sequence = np.random.SeedSequence(context.config.seed)
+    children = seed_sequence.spawn(len(shard_plan.shards))
+
+    def worker_context(shard: Shard) -> "ExecutionContext":
+        return context.shard_context(
+            rng=np.random.default_rng(children[shard.shard_id])
+        )
+
+    prefetcher = DetectionPrefetcher(
+        shard_plan=shard_plan,
+        worker_contexts=worker_context,
+        external_cancel=control.cancellation,
+        chunk_size=control.batch_size,
+        window_chunks=window_chunks,
+    )
+    driver_context = context.with_prefetcher(prefetcher)
+    merger = StreamMerger(plan.run(driver_context, control), prefetcher)
+    return merger.events()
+
+
+__all__ = [
+    "StreamMerger",
+    "parallel_events",
+    "query_profile",
+    "ShardPlan",
+]

@@ -5,13 +5,50 @@ the query-hint layer (:mod:`repro.api.hints`) and the streaming execution
 protocol (:mod:`repro.core.events`), which sit on opposite sides of the
 core/api package boundary.  Defining it here keeps both imports acyclic.
 The canonical public import paths are ``repro.api`` and ``repro.core.events``.
+
+:class:`CancellationToken` lives here for the same reason: it is the
+thread-safe cancellation primitive shared by the per-execution
+:class:`~repro.core.events.ExecutionControl` and the parallel shard executor
+(:mod:`repro.parallel`), whose worker threads must observe a cancel request
+(a ``LIMIT`` satisfied across shards, a closed stream) promptly without
+importing either package.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+
+
+class CancellationToken:
+    """A thread-safe, set-once cooperative cancellation flag.
+
+    One token is shared by everything participating in one query execution:
+    the :class:`~repro.core.events.ExecutionControl` the plan checks at batch
+    boundaries, and — under parallel execution — every shard worker thread,
+    which checks it between detection chunks.  Setting the token is
+    irreversible; a cancelled execution always finalises a well-formed
+    partial result.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def set(self) -> None:
+        """Request cancellation (idempotent, safe from any thread)."""
+        self._event.set()
+
+    def is_set(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the token is set, or the timeout elapses."""
+        return self._event.wait(timeout)
 
 
 @dataclass(frozen=True)

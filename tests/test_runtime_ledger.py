@@ -102,3 +102,71 @@ class TestRuntimeLedger:
         ledger = RuntimeLedger()
         assert ledger.call_count("nope") == 0
         assert ledger.seconds_for("nope") == 0.0
+
+
+class TestLedgerThreadSafety:
+    """Concurrency stress: no charge or cache mutation may ever be lost.
+
+    Shard workers and the parallel driver can touch one ledger concurrently;
+    ``charge``/``charge_seconds`` and the detection-cache mutators hold the
+    per-ledger lock, so the totals below must be exact, not approximate.
+    """
+
+    THREADS = 8
+    ITERATIONS = 2_000
+
+    def test_concurrent_charges_lose_no_counts(self):
+        import threading
+
+        ledger = RuntimeLedger()
+
+        def hammer():
+            for _ in range(self.ITERATIONS):
+                ledger.charge(StandardCosts.MASK_RCNN)
+                ledger.charge_seconds("custom", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = self.THREADS * self.ITERATIONS
+        assert ledger.call_count("mask_rcnn") == expected
+        assert ledger.call_count("custom") == expected
+        assert ledger.seconds_for("mask_rcnn") == pytest.approx(
+            expected * StandardCosts.MASK_RCNN.seconds_per_call
+        )
+
+    def test_concurrent_detection_cache_mutation_is_exact(self):
+        import threading
+
+        from repro.detection.base import DetectionResult
+        from repro.metrics.runtime import ExecutionLedger
+
+        ledger = ExecutionLedger()
+
+        def hammer(worker_id: int):
+            base = worker_id * self.ITERATIONS
+            for i in range(self.ITERATIONS):
+                frame = base + i
+                ledger.record_detection(
+                    frame, DetectionResult(frame_index=frame, timestamp=0.0)
+                )
+                ledger.record_cache_hit()
+                ledger.stash_detection(
+                    frame, DetectionResult(frame_index=frame, timestamp=0.0)
+                )
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = self.THREADS * self.ITERATIONS
+        assert ledger.detector_calls == expected
+        assert ledger.frames_decoded == expected
+        assert ledger.detection_cache_hits == expected
+        assert ledger.shared_cache_hits == expected
+        assert len(ledger.seen_frames) == expected

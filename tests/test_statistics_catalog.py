@@ -139,3 +139,83 @@ class TestVideoStatistics:
         charged = result.ledger.seconds_for("specialized_nn_train")
         estimated = tiny_engine.catalog.get("tiny").specialized_training_seconds()
         assert charged == pytest.approx(estimated)
+
+
+class TestRangeStatistics:
+    """Per-shard (frame-range) rates driving the video sharder."""
+
+    def test_whole_range_matches_global_rates(self, tiny_stats):
+        whole = tiny_stats.range_event_rate({"car": 1}, 0, tiny_stats.num_frames)
+        assert whole == pytest.approx(tiny_stats.event_rate({"car": 1}))
+        presence = tiny_stats.range_presence_rate("car", 0, tiny_stats.num_frames)
+        assert presence == pytest.approx(tiny_stats.class_stats("car").presence_rate)
+
+    def test_ranges_partition_the_event_mass(self, tiny_stats):
+        n = tiny_stats.num_frames
+        halves = [
+            tiny_stats.range_event_rate({"car": 1}, 0, n // 2),
+            tiny_stats.range_event_rate({"car": 1}, n // 2, n),
+        ]
+        total = tiny_stats.event_rate({"car": 1})
+        assert sum(halves) / 2 == pytest.approx(total, abs=1e-9)
+
+    def test_unknown_class_rates(self, tiny_stats):
+        assert tiny_stats.range_event_rate({"bear": 1}, 0, 100) == 0.0
+        assert tiny_stats.range_presence_rate("bear", 0, 100) == 0.0
+        assert tiny_stats.range_presence_rate(None, 0, 100) == 1.0
+
+    def test_tiny_ranges_never_empty(self, tiny_stats):
+        # A single-frame shard still maps to at least one held-out frame.
+        rate = tiny_stats.range_presence_rate("car", 0, 1)
+        assert rate in (0.0, 1.0)
+
+
+class TestCatalogPersistence:
+    def test_save_load_roundtrip(self, tiny_engine, tiny_stats, tmp_path):
+        path = tmp_path / "catalog.json"
+        tiny_engine.catalog.save(path)
+        loaded = StatisticsCatalog.load(path)
+        assert loaded.names() == ["tiny"]
+        restored = loaded.get("tiny")
+        assert restored.num_frames == tiny_stats.num_frames
+        assert restored.heldout_frames == tiny_stats.heldout_frames
+        assert set(restored.classes) == set(tiny_stats.classes)
+        for name in tiny_stats.classes:
+            assert restored.classes[name] == tiny_stats.classes[name]
+        # The derived quantities the optimizer and sharder consume survive.
+        assert restored.event_rate({"car": 1}) == tiny_stats.event_rate({"car": 1})
+        assert restored.training_event_count({"car": 1}) == tiny_stats.training_event_count(
+            {"car": 1}
+        )
+        assert restored.range_event_rate({"car": 1}, 0, 100) == tiny_stats.range_event_rate(
+            {"car": 1}, 0, 100
+        )
+
+    def test_engine_accepts_preloaded_catalog(
+        self, tiny_engine, tiny_video, detector, engine_config, tmp_path
+    ):
+        from repro.core.engine import BlazeIt
+
+        path = tmp_path / "catalog.json"
+        tiny_engine.catalog.save(path)
+        engine = BlazeIt(
+            detector=detector,
+            config=engine_config,
+            catalog=StatisticsCatalog.load(path),
+        )
+        engine.register_video("tiny", test_video=tiny_video)
+        # Statistics are available without re-running the detector over the
+        # labeled days: the optimizer prices plans and the sharder prunes.
+        assert engine.catalog.get("tiny") is not None
+        explanation = engine.session().explain(
+            "SELECT FCOUNT(*) FROM tiny WHERE class='car' ERROR WITHIN 0.1"
+        )
+        assert explanation.candidates
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        path = tmp_path / "other.json"
+        path.write_text("{\"nope\": 1}")
+        with pytest.raises(ConfigurationError):
+            StatisticsCatalog.load(path)
