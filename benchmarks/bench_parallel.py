@@ -54,23 +54,28 @@ from reporting import print_table
 SCENARIO = "rialto"
 WORKERS = 4
 
-#: Queries over the scenario's primary class; ``assert_speedup`` marks the
-#: scan-bound workloads the >= 2x gate applies to (the LIMIT query is
-#: latency-bound — it stops after a handful of hits — so it is reported
-#: without a gate).
+#: Queries over the scenario's primary class.  ``gate`` is the assertion the
+#: CI job applies: the scan-bound workloads must come out >= 2x faster under
+#: explicit parallelism ("speedup"), while the importance-ranked scrubbing
+#: query routes its workers through session hints — which the default
+#: routing declines for ranked scans — and must therefore *not regress*
+#: ("no_regression"; it used to collapse to 0.44x when force-sharded).
 WORKLOADS = [
-    ("aggregate_scan", "SELECT FCOUNT(*) FROM v WHERE class = '{cls}'", True),
-    ("selection", "SELECT * FROM v WHERE class = '{cls}'", True),
-    ("exact", "SELECT * FROM v", True),
+    ("aggregate_scan", "SELECT FCOUNT(*) FROM v WHERE class = '{cls}'", "speedup"),
+    ("selection", "SELECT * FROM v WHERE class = '{cls}'", "speedup"),
+    ("exact", "SELECT * FROM v", "speedup"),
     (
         "scrubbing",
         "SELECT timestamp FROM v GROUP BY timestamp "
         "HAVING COUNT(class = '{cls}') >= 1 LIMIT 10 GAP 30",
-        False,
+        "no_regression",
     ),
 ]
 
 MIN_SPEEDUP = 2.0
+#: Hint-routed workloads may not run slower than sequential (small tolerance
+#: for wall-clock noise on a ~0.2s query).
+NO_REGRESSION = 0.85
 MIN_CACHE_REDUCTION = 5.0
 
 
@@ -135,12 +140,24 @@ def primary_class(num_frames: int) -> str:
     return video.object_class_names[0]
 
 
-def timed_execution(engine: BlazeIt, query: str, parallelism: int):
-    with engine.session() as session:
+def timed_execution(
+    engine: BlazeIt, query: str, parallelism: int, hint_routed: bool = False
+):
+    """Run one query, returning (wall seconds, result).
+
+    ``hint_routed`` passes the worker count through session hints — the
+    production default path, where plans may decline sharding — instead of
+    the explicit per-call argument, which is always honoured as given.
+    """
+    from repro import QueryHints
+
+    hints = QueryHints(parallelism=parallelism) if hint_routed else None
+    with engine.session(hints=hints) as session:
         prepared = session.prepare(query)
         started = time.perf_counter()
         result = prepared.execute(
-            rng=np.random.default_rng(1234), parallelism=parallelism
+            rng=np.random.default_rng(1234),
+            parallelism=None if hint_routed else parallelism,
         )
         return time.perf_counter() - started, result
 
@@ -148,22 +165,26 @@ def timed_execution(engine: BlazeIt, query: str, parallelism: int):
 def run_speedup_suite(num_frames: int, seconds_per_frame: float) -> list[dict]:
     cls = primary_class(num_frames)
     entries = []
-    for name, template, assert_speedup in WORKLOADS:
+    for name, template, gate in WORKLOADS:
         query = template.format(cls=cls)
+        hint_routed = gate == "no_regression"
         engine = build_engine(num_frames, seconds_per_frame)
         sequential_seconds, sequential = timed_execution(engine, query, parallelism=1)
-        parallel_seconds, parallel = timed_execution(engine, query, parallelism=WORKERS)
+        parallel_seconds, parallel = timed_execution(
+            engine, query, parallelism=WORKERS, hint_routed=hint_routed
+        )
         entries.append(
             {
                 "workload": name,
                 "frames": num_frames,
                 "workers": WORKERS,
+                "hint_routed": hint_routed,
                 "sequential_seconds": sequential_seconds,
                 "parallel_seconds": parallel_seconds,
                 "speedup": sequential_seconds / parallel_seconds,
                 "identical": fingerprint(sequential) == fingerprint(parallel),
                 "detector_calls": parallel.execution_ledger.detector_calls,
-                "gated": assert_speedup,
+                "gated": gate,
             }
         )
     return entries
@@ -244,10 +265,15 @@ def main() -> int:
     for entry in speedups:
         if not entry["identical"]:
             failures.append(f"{entry['workload']}: parallel result != sequential")
-        if entry["gated"] and entry["speedup"] < MIN_SPEEDUP:
+        if entry["gated"] == "speedup" and entry["speedup"] < MIN_SPEEDUP:
             failures.append(
                 f"{entry['workload']}: speedup {entry['speedup']:.2f}x "
                 f"< {MIN_SPEEDUP}x at {WORKERS} workers"
+            )
+        if entry["gated"] == "no_regression" and entry["speedup"] < NO_REGRESSION:
+            failures.append(
+                f"{entry['workload']}: hint-routed parallelism regressed to "
+                f"{entry['speedup']:.2f}x (routing should have declined sharding)"
             )
     if not cache["values_equal"]:
         failures.append("shared cache: warm value != cold value")

@@ -133,6 +133,40 @@ def main() -> None:
           f"({warm_ledger.shared_cache_hits} served from the shared cache)")
     print(f"values identical    : {cold.value == warm.value}")
 
+    # 6. The query service: the same engine served over HTTP + SSE.  A
+    #    tenant opens a session, streams a query's execution events over the
+    #    wire, and the result is byte-identical to in-process execution
+    #    (same codecs, same RNG discipline).  In production the server runs
+    #    standalone (`python -m repro.service`); here it rides a background
+    #    thread on an ephemeral port.
+    print("\n-- Query service (streaming over the wire) ----------------------")
+    from repro.service import ServiceClient, ServiceConfig, ServiceManager
+    from repro.service.app import ServiceThread
+
+    manager = ServiceManager(engine, ServiceConfig(slots=PARALLELISM))
+    with ServiceThread(manager) as server:
+        client = ServiceClient(server.host, server.port)
+        client.create_tenant("quickstart", max_detector_calls=1_000_000)
+        session_id = client.create_session("quickstart", video="taipei")
+        submitted = client.submit(
+            session_id,
+            query="SELECT timestamp FROM taipei GROUP BY timestamp "
+                  "HAVING SUM(class='car') >= 3 LIMIT 3 GAP 30",
+            wait=False,
+        )
+        print(f"serving on          : {server.base_url}  "
+              f"(query {submitted['query_id']})")
+        hits = 0
+        for index, event in client.events(str(submitted["query_id"])):
+            if isinstance(event, ScrubbingHit):
+                hits += 1
+                print(f"SSE event {index:>4}      : hit at frame "
+                      f"{event.frame_index} @ {event.timestamp:.1f}s")
+            elif isinstance(event, Completed):
+                print(f"SSE event {index:>4}      : completed "
+                      f"({event.result.detection_calls} detector calls, "
+                      f"{hits} hits streamed)")
+
 
 if __name__ == "__main__":
     main()

@@ -263,6 +263,16 @@ class PreparedQuery:
             batch_size=batch_size,
         )
         workers = self._effective_parallelism(parallelism)
+        # Default routing (hints / engine config) defers to the plan: an
+        # importance-ordered scrub declines sharded prefetch, which is a
+        # measured regression for it.  A per-call explicit ``parallelism=``
+        # is an order, not a default, and is honoured as given.
+        if (
+            workers > 1
+            and parallelism is None
+            and not self.plan.parallel_profitable(context)
+        ):
+            workers = 1
 
         def events() -> Iterator[ExecutionEvent]:
             from repro.parallel.plan import parallel_events

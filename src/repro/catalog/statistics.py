@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.metrics.runtime import StandardCosts
+from repro.persist import atomic_write_text
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.labeled_set import LabeledSet
@@ -412,13 +413,14 @@ class StatisticsCatalog:
 
         The saved file round-trips through :meth:`load`, so shard pruning
         and cost estimates survive across sessions without re-running the
-        detector over the labeled days.
+        detector over the labeled days.  The write is atomic (temp file +
+        rename), so a process killed mid-save never corrupts the catalog.
         """
         payload = {
             "format": "statistics-catalog/v1",
             "videos": [self._stats[name].to_dict() for name in self.names()],
         }
-        Path(path).write_text(json.dumps(payload))
+        atomic_write_text(path, json.dumps(payload))
 
     @classmethod
     def load(cls, path: str | Path) -> StatisticsCatalog:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass
+from typing import ClassVar
 
 from repro.core.results import QueryResult
 from repro.errors import ConfigurationError, ExecutionError
@@ -44,13 +45,22 @@ __all__ = [
     "DEFAULT_BATCH_SIZE",
     "ExecutionControl",
     "ExecutionStream",
+    "event_wire_types",
     "timed_stream",
 ]
 
 
 @dataclass(frozen=True)
 class ExecutionEvent:
-    """Base class of every event a plan's stream can yield."""
+    """Base class of every event a plan's stream can yield.
+
+    ``wire_name`` is the event's stable type tag on the wire: the query
+    service (:mod:`repro.service.protocol`) serialises events under it, and
+    SSE consumers receive it as the ``event:`` field.  Renaming one is a
+    wire-protocol break, not a refactor.
+    """
+
+    wire_name: ClassVar[str] = "event"
 
 
 @dataclass(frozen=True)
@@ -70,6 +80,8 @@ class Progress(ExecutionEvent):
         Size of the frame population being processed, when known.
     """
 
+    wire_name: ClassVar[str] = "progress"
+
     phase: str
     frames_scanned: int = 0
     detector_calls: int = 0
@@ -86,6 +98,8 @@ class ShardProgress(ExecutionEvent):
     never carries result data and is excluded from the execution ledger's
     event counters, keeping parallel and sequential ledgers comparable.
     """
+
+    wire_name: ClassVar[str] = "shard_progress"
 
     shard: int
     start_frame: int
@@ -105,6 +119,8 @@ class EstimateUpdate(ExecutionEvent):
     level.  ``StopConditions.ci_width`` is compared in these same units.
     """
 
+    wire_name: ClassVar[str] = "estimate_update"
+
     estimate: float
     half_width: float
     samples_used: int
@@ -115,6 +131,8 @@ class EstimateUpdate(ExecutionEvent):
 class ScrubbingHit(ExecutionEvent):
     """One detector-verified frame satisfying the scrubbing predicate."""
 
+    wire_name: ClassVar[str] = "scrubbing_hit"
+
     frame_index: int
     timestamp: float
     hits_so_far: int
@@ -124,6 +142,8 @@ class ScrubbingHit(ExecutionEvent):
 @dataclass(frozen=True)
 class SelectionWindow(ExecutionEvent):
     """One contiguous window of frames matching the selection predicate."""
+
+    wire_name: ClassVar[str] = "selection_window"
 
     start_frame: int
     end_frame: int
@@ -140,8 +160,31 @@ class Completed(ExecutionEvent):
     ``"max_detector_calls"`` or ``"cancelled"``).
     """
 
+    wire_name: ClassVar[str] = "completed"
+
     result: QueryResult
     stop_reason: str | None = None
+
+
+def event_wire_types() -> dict[str, type[ExecutionEvent]]:
+    """Every concrete event class keyed by its :attr:`~ExecutionEvent.wire_name`.
+
+    The serialization hook for the wire protocol: codecs iterate this map
+    instead of hard-coding the event taxonomy, so a new event type added here
+    (with a distinct ``wire_name``) is picked up by
+    :mod:`repro.service.protocol` automatically.
+    """
+    return {
+        cls.wire_name: cls
+        for cls in (
+            Progress,
+            ShardProgress,
+            EstimateUpdate,
+            ScrubbingHit,
+            SelectionWindow,
+            Completed,
+        )
+    }
 
 
 #: Events/frames a plan processes between control checks and progress events.

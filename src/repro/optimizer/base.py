@@ -125,6 +125,19 @@ class PhysicalPlan(abc.ABC):
         """Human-readable description of the plan."""
         return type(self).__name__
 
+    def parallel_profitable(self, context: ExecutionContext) -> bool:
+        """Whether *default* parallelism routing should shard this plan.
+
+        Consulted when the effective parallelism came from hints or the
+        engine configuration rather than an explicit per-call argument: a
+        plan that knows sharded prefetch cannot pay off (e.g. an
+        importance-ordered scrubbing scan, whose ranked access order defeats
+        contiguous-shard speculation) returns ``False`` and runs on the
+        classic sequential path.  An explicit per-call ``parallelism=``
+        always wins — the caller asked for shards, they get shards.
+        """
+        return True
+
     def operator_tree(
         self,
         num_frames: int | None = None,

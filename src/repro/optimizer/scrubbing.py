@@ -41,6 +41,7 @@ from repro.scrubbing.importance import ScrubbingResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.catalog.statistics import VideoStatistics
+    from repro.core.labeled_set import LabeledSet
 
 #: Multiplier on ``limit / event_rate`` when bounding verification work: the
 #: ranking concentrates positives near the front, so random-order cost is
@@ -90,6 +91,34 @@ class ScrubbingQueryPlan(PhysicalPlan):
         if self.strategy is not None:
             suffix += f" (strategy={self.strategy})"
         return f"ScrubbingQueryPlan({predicate}, limit={self.spec.limit}){suffix}"
+
+    def uses_importance_ranking(self, labeled_set: LabeledSet | None) -> bool:
+        """Whether execution will take the importance-ranked path.
+
+        Mirrors the decision :meth:`_stream` makes: a forced strategy wins
+        outright, otherwise the ranking runs exactly when the training day
+        contains instances of the event (the paper's rule).
+        """
+        if self.strategy is not None:
+            return self.strategy == "importance"
+        return (
+            labeled_set is not None
+            and labeled_set.training_instances(self.spec.min_counts) > 0
+        )
+
+    def parallel_profitable(self, context: ExecutionContext) -> bool:
+        """Decline default parallelism: scrubbing scans stop early.
+
+        The importance-ranked path verifies a handful of frames scattered by
+        confidence, and even the exhaustive fallback stops the moment the
+        ``LIMIT`` is satisfied — either way the contiguous-shard speculative
+        prefetch is almost pure waste, measured as a 0.44x *regression* at 4
+        workers in ``BENCH_parallel.json``.  Hint- or config-routed
+        parallelism therefore falls back to the sequential path; an explicit
+        per-call ``parallelism=`` still shards (results stay bit-identical,
+        only wall-clock differs).
+        """
+        return False
 
     def operator_tree(
         self,
@@ -192,14 +221,7 @@ class ScrubbingQueryPlan(PhysicalPlan):
         ledger = ExecutionLedger()
         limit = control.effective_limit(self.spec.limit)
         labeled = context.labeled_set
-        has_training_instances = (
-            labeled is not None and labeled.training_instances(self.spec.min_counts) > 0
-        )
-        use_importance = (
-            has_training_instances
-            if self.strategy is None
-            else self.strategy == "importance"
-        )
+        use_importance = self.uses_importance_ranking(labeled)
         result = ScrubbingResult()
         if not use_importance:
             method = "exhaustive"

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.detection.base import Detection, DetectionResult
 from repro.errors import ConfigurationError
+from repro.persist import atomic_write_text
 
 #: Default byte budget used by :func:`get_process_cache` when an engine
 #: enables the shared cache without configuring a size.
@@ -243,7 +244,11 @@ class SharedDetectionCache:
     # -- persistence ----------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Serialise every entry (LRU order preserved) to a JSON file."""
+        """Serialise every entry (LRU order preserved) to a JSON file.
+
+        The write is atomic (temp file + rename): a server killed mid-save
+        leaves the previous snapshot intact, never a truncated file.
+        """
         with self._lock:
             payload = {
                 "format": "shared-detection-cache/v1",
@@ -253,7 +258,7 @@ class SharedDetectionCache:
                     for key, entry in self._entries.items()
                 ],
             }
-        Path(path).write_text(json.dumps(payload))
+        atomic_write_text(path, json.dumps(payload))
 
     @classmethod
     def load(

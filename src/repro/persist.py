@@ -1,0 +1,45 @@
+"""Crash-safe file persistence shared by every on-disk artifact.
+
+A long-running query service saves its warm state — the shared detection
+cache, the statistics catalog — while queries are still being served, and a
+killed process must never leave a truncated JSON behind: the next boot would
+fail to parse exactly the file that was supposed to make it warm.
+
+:func:`atomic_write_text` is the single home of the write-temp-then-rename
+idiom: the payload is written to a temporary file in the *same directory*
+(so the final :func:`os.replace` is an atomic rename on every platform),
+flushed and fsynced, and only then swapped into place.  A crash at any point
+leaves either the old file or the new file, never a mix, and the temporary
+file is cleaned up on failure.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temporary file lives next to the target so the final rename cannot
+    cross filesystems.  On any failure the temporary file is removed and the
+    previous contents of ``path`` (if any) are left untouched.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

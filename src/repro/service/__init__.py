@@ -1,0 +1,51 @@
+"""Multi-tenant async query service: sessions, quotas and streaming on the wire.
+
+The service layer turns one :class:`~repro.core.engine.BlazeIt` engine into
+a long-running shared server:
+
+- :mod:`repro.service.protocol` — lossless JSON codecs for execution events,
+  query results and hints (the byte-identity contract lives here);
+- :mod:`repro.service.manager` — tenants with detector-call quotas, engine
+  sessions, admission control with a bounded queue, and per-query event logs;
+- :mod:`repro.service.scheduler` — fair round-robin slot scheduler honouring
+  ``QueryHints.parallelism`` as capacity demand;
+- :mod:`repro.service.app` — stdlib-asyncio HTTP + SSE front-end;
+- :mod:`repro.service.client` — dependency-free blocking client.
+
+Start a demo server with ``python -m repro.service --scenario rialto``.
+"""
+
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.manager import (
+    AdmissionRejectedError,
+    NotFoundError,
+    QuotaExceededError,
+    ServiceConfig,
+    ServiceError,
+    ServiceManager,
+    TenantQuota,
+)
+from repro.service.protocol import (
+    event_from_json,
+    event_to_json,
+    result_fingerprint,
+    result_from_json,
+    result_to_json,
+)
+
+__all__ = [
+    "ServiceManager",
+    "ServiceConfig",
+    "TenantQuota",
+    "ServiceError",
+    "QuotaExceededError",
+    "AdmissionRejectedError",
+    "NotFoundError",
+    "ServiceClient",
+    "ServiceClientError",
+    "event_to_json",
+    "event_from_json",
+    "result_to_json",
+    "result_from_json",
+    "result_fingerprint",
+]

@@ -1,0 +1,262 @@
+"""Blocking HTTP client for the query service (stdlib ``http.client`` only).
+
+The client mirrors the in-process session API one-to-one::
+
+    with ServiceClient("127.0.0.1", 8765) as client:
+        client.create_tenant("acme", max_detector_calls=100_000)
+        session = client.create_session("acme")
+        result = client.execute(session, "SELECT FCOUNT(*) FROM v WHERE class = 'car'")
+        for index, event in client.stream(session, "SELECT * FROM v LIMIT 5"):
+            ...
+
+``execute`` returns a fully deserialized
+:class:`~repro.core.results.QueryResult` — under a fixed engine seed it is
+byte-identical (via :func:`~repro.service.protocol.result_fingerprint`) to
+what the same call sequence produces in process.  ``stream`` yields
+``(index, ExecutionEvent)`` pairs straight off the SSE wire and supports
+resuming from any index after a dropped connection.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from collections.abc import Iterator
+from typing import Any
+
+from repro.core.events import ExecutionEvent
+from repro.core.results import QueryResult
+from repro.errors import BlazeItError
+from repro.service.protocol import event_from_json, result_from_json
+
+
+class ServiceClientError(BlazeItError):
+    """An error response from the service, with its HTTP status and code."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+
+
+class ServiceClient:
+    """Thin, dependency-free client for one query service."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def __enter__(self) -> ServiceClient:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None if payload is None else json.dumps(payload)
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = json.loads(response.read() or b"{}")
+            if response.status >= 400:
+                raise ServiceClientError(
+                    response.status,
+                    str(data.get("error", "error")),
+                    str(data.get("message", "")),
+                )
+            return data
+        finally:
+            connection.close()
+
+    # -- tenants / sessions ---------------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def create_tenant(
+        self,
+        name: str,
+        max_detector_calls: int | None = None,
+        max_active_queries: int | None = None,
+    ) -> dict[str, Any]:
+        return self._request(
+            "POST",
+            "/tenants",
+            {
+                "name": name,
+                "quota": {
+                    "max_detector_calls": max_detector_calls,
+                    "max_active_queries": max_active_queries,
+                },
+            },
+        )
+
+    def create_session(
+        self,
+        tenant: str,
+        video: str | None = None,
+        hints: dict[str, Any] | None = None,
+    ) -> str:
+        payload: dict[str, Any] = {"tenant": tenant}
+        if video is not None:
+            payload["video"] = video
+        if hints is not None:
+            payload["hints"] = hints
+        return str(self._request("POST", "/sessions", payload)["session_id"])
+
+    def close_session(self, session_id: str) -> None:
+        self._request("DELETE", f"/sessions/{session_id}")
+
+    def prepare(
+        self,
+        session_id: str,
+        query: str,
+        hints: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {"query": query}
+        if hints is not None:
+            payload["hints"] = hints
+        return self._request("POST", f"/sessions/{session_id}/prepare", payload)
+
+    # -- queries -------------------------------------------------------------------
+
+    def submit(
+        self,
+        session_id: str,
+        query: str | None = None,
+        prepared_id: str | None = None,
+        hints: dict[str, Any] | None = None,
+        stop: dict[str, Any] | None = None,
+        params: dict[str, Any] | None = None,
+        wait: bool = False,
+    ) -> dict[str, Any]:
+        """Submit a query; ``wait=False`` returns as soon as it is admitted."""
+        payload: dict[str, Any] = {"session": session_id, "wait": wait}
+        if query is not None:
+            payload["query"] = query
+        if prepared_id is not None:
+            payload["prepared"] = prepared_id
+        if hints is not None:
+            payload["hints"] = hints
+        if stop is not None:
+            payload["stop"] = stop
+        if params is not None:
+            payload["params"] = params
+        return self._request("POST", "/queries", payload)
+
+    def execute(
+        self,
+        session_id: str,
+        query: str | None = None,
+        prepared_id: str | None = None,
+        hints: dict[str, Any] | None = None,
+        stop: dict[str, Any] | None = None,
+        params: dict[str, Any] | None = None,
+    ) -> QueryResult:
+        """Blocking execution over the wire; returns the deserialized result."""
+        status = self.submit(
+            session_id,
+            query=query,
+            prepared_id=prepared_id,
+            hints=hints,
+            stop=stop,
+            params=params,
+            wait=True,
+        )
+        if status.get("state") != "completed" or "result" not in status:
+            raise ServiceClientError(
+                500,
+                str(status.get("state", "unknown")),
+                status.get("error") or f"query {status.get('query_id')} did not complete",
+            )
+        return result_from_json(status["result"])
+
+    def query_status(self, query_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/queries/{query_id}")
+
+    def cancel(self, query_id: str) -> dict[str, Any]:
+        return self._request("DELETE", f"/queries/{query_id}")
+
+    # -- SSE -----------------------------------------------------------------------
+
+    def events(
+        self,
+        query_id: str,
+        start: int = 0,
+        cancel_on_disconnect: bool = True,
+        decode: bool = True,
+    ) -> Iterator[tuple[int, ExecutionEvent | dict[str, Any]]]:
+        """Stream a query's events over SSE, yielding ``(index, event)``.
+
+        Iteration ends when the server sends its terminal ``end`` marker.
+        Abandoning the iterator mid-stream closes the socket, which (unless
+        ``cancel_on_disconnect=False``) the server treats as a disconnect
+        and cancels the query; to resume a watch instead, pass the last
+        seen index + 1 as ``start`` on the next call.
+        """
+        suffix = "" if cancel_on_disconnect else "&cancel_on_disconnect=0"
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "GET", f"/queries/{query_id}/events?from={start}{suffix}"
+            )
+            response = connection.getresponse()
+            if response.status >= 400:
+                data = json.loads(response.read() or b"{}")
+                raise ServiceClientError(
+                    response.status,
+                    str(data.get("error", "error")),
+                    str(data.get("message", "")),
+                )
+            yield from self._parse_sse(response, decode)
+        finally:
+            connection.close()
+
+    def stream(
+        self, session_id: str, query: str, **submit_kwargs: Any
+    ) -> Iterator[tuple[int, ExecutionEvent | dict[str, Any]]]:
+        """Submit and stream in one call (the wire analogue of ``prepared.stream``)."""
+        status = self.submit(session_id, query=query, wait=False, **submit_kwargs)
+        return self.events(str(status["query_id"]))
+
+    def _parse_sse(
+        self, response: http.client.HTTPResponse, decode: bool
+    ) -> Iterator[tuple[int, ExecutionEvent | dict[str, Any]]]:
+        index: int | None = None
+        event_name: str | None = None
+        data_lines: list[str] = []
+        for raw in response:
+            line = raw.decode("utf-8").rstrip("\r\n")
+            if line.startswith(":"):
+                continue  # heartbeat comment
+            if line.startswith("id:"):
+                index = int(line[3:].strip())
+            elif line.startswith("event:"):
+                event_name = line[6:].strip()
+            elif line.startswith("data:"):
+                data_lines.append(line[5:].strip())
+            elif line == "":
+                if event_name == "end":
+                    return
+                if data_lines:
+                    payload = json.loads("\n".join(data_lines))
+                    assert index is not None, "server sent an event without an id"
+                    yield (
+                        index,
+                        event_from_json(payload) if decode else payload,
+                    )
+                index, event_name, data_lines = None, None, []
+
+
+__all__ = ["ServiceClient", "ServiceClientError"]

@@ -1,0 +1,169 @@
+"""Fair slot-based scheduler for concurrent query execution.
+
+The service runs many tenants' queries on one shared executor.  Capacity is
+modelled as *slots*: a query consumes ``max(1, parallelism)`` slots (its
+shard workers are real threads competing for the same cores), so a
+4-worker parallel query takes four times the capacity of a sequential one —
+this is how ``QueryHints.parallelism`` is respected as demand rather than
+ignored or trusted blindly.
+
+Fairness is round-robin across tenants: each tenant has a FIFO queue, and
+dispatch walks tenants in rotation starting after the last tenant served, so
+one tenant flooding the queue cannot starve the others.  Within a tenant,
+order is strictly FIFO.
+
+Two additional invariants:
+
+* **Per-session serialization.**  At most one query per engine session runs
+  at a time.  Sequential execution re-binds the session context's RNG on
+  every event pull, so two concurrent queries of one session would race on
+  shared state; queries from *different* sessions have disjoint contexts
+  and run freely in parallel.
+* **One drainer thread per running query.**  The callback the manager
+  provides pulls the query's event stream to its terminal state; the thread
+  exists only while the query runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.manager import QueryRecord
+
+
+class FairScheduler:
+    """Round-robin-across-tenants, FIFO-within-tenant slot scheduler."""
+
+    def __init__(
+        self, slots: int, run: Callable[[QueryRecord], None]
+    ) -> None:
+        if slots < 1:
+            raise ConfigurationError(f"scheduler needs >= 1 slot, got {slots}")
+        self._slots = slots
+        self._free = slots
+        self._run = run
+        self._lock = threading.Lock()
+        self._queues: dict[str, deque[QueryRecord]] = {}
+        self._rotation: list[str] = []
+        self._cursor = 0
+        self._busy_sessions: set[str] = set()
+        self._running: dict[str, threading.Thread] = {}
+        self._idle = threading.Condition(self._lock)
+
+    # -- introspection -------------------------------------------------------------
+
+    def queued_count(self) -> int:
+        with self._lock:
+            return sum(len(q) for q in self._queues.values())
+
+    def running_count(self) -> int:
+        with self._lock:
+            return len(self._running)
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(self, record: QueryRecord) -> None:
+        """Enqueue an admitted query and dispatch whatever now fits."""
+        with self._lock:
+            tenant = record.tenant_key
+            queue = self._queues.get(tenant)
+            if queue is None:
+                queue = self._queues[tenant] = deque()
+                self._rotation.append(tenant)
+            queue.append(record)
+            self._dispatch_locked()
+
+    def withdraw(self, record: QueryRecord) -> bool:
+        """Remove a still-queued record; ``False`` if it already started."""
+        with self._lock:
+            queue = self._queues.get(record.tenant_key)
+            if queue is not None and record in queue:
+                queue.remove(record)
+                return True
+            return False
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def _dispatch_locked(self) -> None:
+        """Start every queued query that fits, fairly.  Caller holds the lock.
+
+        Each pass walks the tenant rotation once starting after the tenant
+        served last; a tenant whose head-of-queue query cannot start (its
+        session is busy, or not enough free slots) is skipped without losing
+        its turn.  Passes repeat until one makes no progress.
+        """
+        progressed = True
+        while progressed:
+            progressed = False
+            count = len(self._rotation)
+            for step in range(count):
+                index = (self._cursor + step) % count
+                queue = self._queues.get(self._rotation[index])
+                if not queue:
+                    continue
+                record = queue[0]
+                demand = min(record.slots, self._slots)
+                if record.session_key in self._busy_sessions:
+                    continue
+                if demand > self._free:
+                    continue
+                queue.popleft()
+                self._free -= demand
+                self._busy_sessions.add(record.session_key)
+                # No modulo here: the rotation can grow before the next
+                # dispatch, and wrapping now would hand the turn back to the
+                # first tenant instead of the next one.
+                self._cursor = index + 1
+                thread = threading.Thread(
+                    target=self._drain,
+                    args=(record, demand),
+                    name=f"query-{record.query_id}",
+                    daemon=True,
+                )
+                self._running[record.query_id] = thread
+                thread.start()
+                progressed = True
+                break
+
+    def _drain(self, record: QueryRecord, demand: int) -> None:
+        try:
+            self._run(record)
+        finally:
+            with self._lock:
+                self._free += demand
+                self._busy_sessions.discard(record.session_key)
+                self._running.pop(record.query_id, None)
+                self._dispatch_locked()
+                self._idle.notify_all()
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Drop everything still queued and wait for running drainers.
+
+        The manager is expected to have cancelled running queries first;
+        this only waits for their drainers to finish and clears the queues.
+        """
+        with self._lock:
+            for queue in self._queues.values():
+                queue.clear()
+            threads = list(self._running.values())
+        for thread in threads:
+            thread.join(timeout)
+
+    def wait_idle(self, timeout: float = 30.0) -> bool:
+        """Block until nothing is queued or running (test helper)."""
+        with self._lock:
+            return self._idle.wait_for(
+                lambda: not self._running
+                and not any(self._queues.values()),
+                timeout,
+            )
+
+
+__all__ = ["FairScheduler"]

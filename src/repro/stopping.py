@@ -17,6 +17,7 @@ importing either package.
 from __future__ import annotations
 
 import threading
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
@@ -31,16 +32,55 @@ class CancellationToken:
     which checks it between detection chunks.  Setting the token is
     irreversible; a cancelled execution always finalises a well-formed
     partial result.
+
+    Observers (the query service's scheduler, for one) can register
+    :meth:`on_set` callbacks to be notified the moment cancellation is
+    requested, from whichever thread requested it — e.g. to wake a drainer
+    that would otherwise only notice the flag at the next batch boundary.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_lock", "_callbacks")
 
     def __init__(self) -> None:
         self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._callbacks: list[Callable[[], None]] = []
 
     def set(self) -> None:
-        """Request cancellation (idempotent, safe from any thread)."""
-        self._event.set()
+        """Request cancellation (idempotent, safe from any thread).
+
+        Registered callbacks fire exactly once, on the first call, in
+        registration order, on the calling thread.  A callback that raises
+        does not prevent later callbacks from running — exceptions propagate
+        to the caller only after every callback has fired.
+        """
+        with self._lock:
+            if self._event.is_set():
+                return
+            self._event.set()
+            callbacks = list(self._callbacks)
+            self._callbacks.clear()
+        error: BaseException | None = None
+        for callback in callbacks:
+            try:
+                callback()
+            except BaseException as exc:  # noqa: BLE001 - run every callback
+                error = exc
+        if error is not None:
+            raise error
+
+    def on_set(self, callback: Callable[[], None]) -> None:
+        """Register ``callback`` to run when the token is set.
+
+        If the token is already set the callback runs immediately on the
+        registering thread; otherwise it runs on whichever thread calls
+        :meth:`set` first.  Each callback fires at most once.
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback()
 
     def is_set(self) -> bool:
         """Whether cancellation has been requested."""

@@ -459,3 +459,75 @@ class TestCancellation:
         assert detector.computed == settled
         # The driver charged only what the walk consumed before the limit.
         assert result.execution_ledger.detector_calls < 400
+
+
+class TestDefaultRoutingDeclinesScrubbing:
+    """Hint/config-routed parallelism defers to the plan; explicit wins.
+
+    Scrubbing scans stop early (importance ranking or a satisfied LIMIT), so
+    speculative shard prefetch is a measured wall-clock regression for them:
+    the default routing falls back to sequential, while an explicit per-call
+    ``parallelism=`` is honoured as given.
+    """
+
+    def _shard_events(self, stream):
+        return [e for e in stream if isinstance(e, ShardProgress)]
+
+    def test_hint_routed_scrubbing_runs_sequential(self, tiny_engine):
+        with tiny_engine.session(hints=QueryHints(parallelism=4)) as session:
+            stream = session.stream(
+                QUERIES["scrubbing"], rng=np.random.default_rng(1)
+            )
+            assert self._shard_events(stream) == []
+
+    def test_config_routed_scrubbing_runs_sequential(
+        self, tiny_video, tiny_train_video, tiny_heldout_video, detector,
+        engine_config
+    ):
+        import dataclasses
+
+        config = dataclasses.replace(engine_config, parallelism=4)
+        engine = BlazeIt(detector=detector, config=config)
+        engine.register_video(
+            "tiny",
+            test_video=tiny_video,
+            train_video=tiny_train_video,
+            heldout_video=tiny_heldout_video,
+        )
+        engine.record_test_day("tiny")
+        with engine.session() as session:
+            stream = session.stream(
+                QUERIES["scrubbing"], rng=np.random.default_rng(1)
+            )
+            assert self._shard_events(stream) == []
+
+    def test_explicit_per_call_parallelism_still_shards(self, tiny_engine):
+        with tiny_engine.session() as session:
+            stream = session.stream(
+                QUERIES["scrubbing"], rng=np.random.default_rng(1), parallelism=4
+            )
+            assert self._shard_events(stream) != []
+
+    def test_hint_routed_scans_still_shard(self, tiny_engine):
+        with tiny_engine.session(hints=QueryHints(parallelism=4)) as session:
+            stream = session.stream(
+                QUERIES["exact"], rng=np.random.default_rng(1)
+            )
+            assert self._shard_events(stream) != []
+
+    def test_declined_routing_is_bit_identical_to_sequential(self, tiny_engine):
+        sequential = run(tiny_engine, QUERIES["scrubbing"], parallelism=1)
+        routed = run(
+            tiny_engine,
+            QUERIES["scrubbing"],
+            parallelism=None,
+            hints=QueryHints(parallelism=4),
+        )
+        assert fingerprint(routed) == fingerprint(sequential)
+
+    def test_parallel_profitable_surface(self, tiny_engine):
+        spec_scrub, plan_scrub = tiny_engine.plan(QUERIES["scrubbing"])
+        spec_exact, plan_exact = tiny_engine.plan(QUERIES["exact"])
+        context = tiny_engine.execution_context("tiny")
+        assert plan_scrub.parallel_profitable(context) is False
+        assert plan_exact.parallel_profitable(context) is True

@@ -1,0 +1,297 @@
+"""Round-trip tests for the service wire codecs (events, results, hints).
+
+The byte-identity contract of the query service rests on these codecs being
+lossless: every event and result that crosses the wire must deserialize to
+an object whose canonical form equals the original's.  Floats are the sharp
+edge — ``json`` uses shortest-round-trip repr, so IEEE-754 doubles survive
+exactly — and these tests pin that down with awkward values.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.hints import QueryHints, StopConditions
+from repro.core.events import (
+    Completed,
+    EstimateUpdate,
+    Progress,
+    ScrubbingHit,
+    SelectionWindow,
+    ShardProgress,
+    event_wire_types,
+)
+from repro.core.results import (
+    AggregateResult,
+    ExactResult,
+    QueryResult,
+    ScrubbingQueryResult,
+    SelectionResult,
+)
+from repro.errors import ConfigurationError
+from repro.frameql.schema import FrameRecord
+from repro.metrics.runtime import ExecutionLedger, RuntimeLedger
+from repro.service.protocol import (
+    event_from_json,
+    event_to_json,
+    hints_from_json,
+    hints_to_json,
+    ledger_from_json,
+    ledger_to_json,
+    result_fingerprint,
+    result_from_json,
+    result_to_json,
+)
+from repro.video.geometry import BoundingBox
+
+#: Floats chosen to break any codec that goes through decimal rounding.
+AWKWARD = [0.1, 1 / 3, 2**-45, 1e300, -1.5e-17, 123456789.000000001]
+
+
+def make_ledger() -> ExecutionLedger:
+    ledger = ExecutionLedger()
+    ledger.detector_calls = 123
+    ledger.frames_decoded = 456
+    ledger.detection_cache_hits = 7
+    ledger.shared_cache_hits = 8
+    ledger.batches_emitted = 9
+    ledger.events_emitted = 10
+    ledger.wall_seconds = 1.234567890123
+    ledger.charges = {"mask_rcnn": 0.1 * 123}
+    ledger.calls = {"mask_rcnn": 123}
+    return ledger
+
+
+def make_record(features: bool = True) -> FrameRecord:
+    return FrameRecord(
+        timestamp=AWKWARD[0],
+        frame_index=42,
+        object_class="car",
+        mask=BoundingBox(1.5, 2.25, 100.125, 200.0625),
+        trackid=7,
+        features=np.linspace(0.0, 1.0, 16) if features else None,
+        confidence=AWKWARD[1],
+        color=(12.5, 99.875, 3.0),
+        color_name="white",
+    )
+
+
+class TestEventRoundTrip:
+    def test_wire_registry_covers_all_events(self):
+        names = event_wire_types()
+        assert set(names) == {
+            "progress",
+            "shard_progress",
+            "estimate_update",
+            "scrubbing_hit",
+            "selection_window",
+            "completed",
+        }
+
+    @pytest.mark.parametrize(
+        "event",
+        [
+            Progress(phase="detection_scan", frames_scanned=10, total_frames=100),
+            ShardProgress(
+                shard=2,
+                start_frame=0,
+                end_frame=50,
+                frames_computed=5,
+                shard_frames=50,
+                done=False,
+            ),
+            EstimateUpdate(
+                estimate=AWKWARD[2],
+                half_width=AWKWARD[3],
+                samples_used=77,
+                confidence=0.95,
+            ),
+            ScrubbingHit(
+                frame_index=9, timestamp=AWKWARD[4], hits_so_far=1, limit=10
+            ),
+            SelectionWindow(
+                start_frame=3, end_frame=8, matched_frames=12, windows_so_far=2
+            ),
+        ],
+        ids=lambda e: type(e).__name__,
+    )
+    def test_non_terminal_events_round_trip(self, event):
+        payload = json.loads(json.dumps(event_to_json(event)))
+        restored = event_from_json(payload)
+        assert restored == event
+
+    def test_completed_round_trips_with_result(self):
+        result = AggregateResult(
+            kind="aggregate",
+            method="sampling",
+            ledger=make_ledger(),
+            detection_calls=123,
+            plan_description="p",
+            value=AWKWARD[1],
+            error_tolerance=0.05,
+            confidence=0.95,
+            samples_used=321,
+            half_width=AWKWARD[2],
+            correlation=None,
+            stop_reason=None,
+        )
+        event = Completed(result=result, stop_reason="ci_width")
+        restored = event_from_json(json.loads(json.dumps(event_to_json(event))))
+        assert isinstance(restored, Completed)
+        assert restored.stop_reason == "ci_width"
+        assert result_fingerprint(restored.result) == result_fingerprint(result)
+
+    def test_unknown_event_rejected_typed(self):
+        with pytest.raises(ConfigurationError):
+            event_from_json({"v": 1, "event": "nonsense", "data": {}})
+
+
+class TestLedgerRoundTrip:
+    def test_execution_ledger_round_trips(self):
+        ledger = make_ledger()
+        restored = ledger_from_json(json.loads(json.dumps(ledger_to_json(ledger))))
+        assert isinstance(restored, ExecutionLedger)
+        assert restored == ledger  # wall_seconds is compare=False by design
+        assert restored.wall_seconds == ledger.wall_seconds
+        assert restored.detector_calls == ledger.detector_calls
+
+    def test_plain_runtime_ledger_round_trips(self):
+        ledger = RuntimeLedger()
+        ledger.charge_seconds("yolo", 0.25)
+        restored = ledger_from_json(json.loads(json.dumps(ledger_to_json(ledger))))
+        assert not isinstance(restored, ExecutionLedger)
+        assert restored.charges == ledger.charges
+        assert restored.calls == ledger.calls
+
+
+class TestResultRoundTrip:
+    def test_aggregate_exact_floats(self):
+        for value in AWKWARD:
+            result = AggregateResult(
+                kind="aggregate",
+                method="sampling",
+                ledger=make_ledger(),
+                detection_calls=1,
+                plan_description="p",
+                value=value,
+                error_tolerance=None,
+                confidence=0.95,
+                samples_used=5,
+                half_width=value / 3 if value else 0.0,
+                correlation=0.5,
+            )
+            restored = result_from_json(
+                json.loads(json.dumps(result_to_json(result)))
+            )
+            assert isinstance(restored, AggregateResult)
+            assert restored.value == value  # bitwise, not approx
+            assert result_fingerprint(restored) == result_fingerprint(result)
+
+    def test_scrubbing_round_trips(self):
+        result = ScrubbingQueryResult(
+            kind="scrubbing",
+            method="importance",
+            ledger=make_ledger(),
+            detection_calls=9,
+            plan_description="p",
+            frames=[3, 99, 1024],
+            timestamps=[0.1, 3.3, 34.133333333333333],
+            limit=3,
+            satisfied=True,
+            stop_reason="limit",
+        )
+        restored = result_from_json(json.loads(json.dumps(result_to_json(result))))
+        assert isinstance(restored, ScrubbingQueryResult)
+        assert restored.frames == result.frames
+        assert restored.timestamps == result.timestamps
+        assert result_fingerprint(restored) == result_fingerprint(result)
+
+    def test_selection_with_records_and_features(self):
+        result = SelectionResult(
+            kind="selection",
+            method="filtered_scan",
+            ledger=make_ledger(),
+            detection_calls=9,
+            plan_description="p",
+            records=[make_record(True), make_record(False)],
+            matched_frames=[42],
+            frames_scanned=100,
+            frames_after_filters=60,
+        )
+        restored = result_from_json(json.loads(json.dumps(result_to_json(result))))
+        assert isinstance(restored, SelectionResult)
+        first = restored.records[0]
+        assert first.mask == make_record().mask
+        np.testing.assert_array_equal(first.features, make_record().features)
+        assert first.features.dtype == np.float64
+        assert restored.records[1].features is None
+        assert result_fingerprint(restored) == result_fingerprint(result)
+
+    def test_exact_round_trips(self):
+        result = ExactResult(
+            kind="exact",
+            method="full_scan",
+            ledger=make_ledger(),
+            detection_calls=400,
+            plan_description="p",
+            records=[make_record()],
+            value=17.0,
+        )
+        restored = result_from_json(json.loads(json.dumps(result_to_json(result))))
+        assert isinstance(restored, ExactResult)
+        assert restored.value == 17.0
+        assert result_fingerprint(restored) == result_fingerprint(result)
+
+    def test_unknown_result_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            result_from_json({"type": "mystery"})
+
+    def test_fingerprint_ignores_wall_seconds_only(self):
+        def build(wall: float, calls: int) -> QueryResult:
+            ledger = ExecutionLedger()
+            ledger.wall_seconds = wall
+            ledger.detector_calls = calls
+            return QueryResult(
+                kind="aggregate",
+                method="m",
+                ledger=ledger,
+                detection_calls=calls,
+                plan_description="p",
+            )
+
+        assert result_fingerprint(build(1.0, 5)) == result_fingerprint(build(2.0, 5))
+        assert result_fingerprint(build(1.0, 5)) != result_fingerprint(build(1.0, 6))
+
+
+class TestHintsRoundTrip:
+    def test_full_hints_round_trip(self):
+        hints = QueryHints(
+            scrubbing_indexed=True,
+            selection_filter_classes=frozenset({"label", "spatial"}),
+            stop_conditions=StopConditions(
+                limit=5, ci_width=0.125, max_detector_calls=99
+            ),
+            batch_size=64,
+            parallelism=4,
+        )
+        assert hints_from_json(hints_to_json(hints)) == hints
+
+    def test_defaults_and_none(self):
+        assert hints_from_json(None) is None
+        assert hints_from_json({}) == QueryHints()
+        assert hints_to_json(QueryHints()) == {}
+
+    def test_unknown_field_rejected_typed(self):
+        with pytest.raises(ConfigurationError, match="unknown hint fields"):
+            hints_from_json({"turbo": True})
+
+    def test_invalid_values_rejected_typed(self):
+        with pytest.raises(ConfigurationError):
+            hints_from_json({"stop_conditions": {"limit": 0}})
+        with pytest.raises(ConfigurationError):
+            hints_from_json({"selection_filter_classes": "label"})
+        with pytest.raises(ConfigurationError):
+            hints_from_json({"stop_conditions": [1, 2]})
