@@ -140,7 +140,7 @@ def test_fig11_factor_analysis_and_lesion_study(bench_env, benchmark):
     # Factor analysis: each added filter class never hurts, and the full stack
     # is much faster than naive.
     order = [label for label, _ in FACTOR_STEPS]
-    for earlier, later in zip(order, order[1:]):
+    for earlier, later in zip(order, order[1:], strict=False):
         assert factor[later][2] <= factor[earlier][2] * 1.05
     assert factor["+Label"][2] < factor["Naive"][2] / 5
 

@@ -47,6 +47,7 @@ from repro.core.config import BlazeItConfig
 from repro.core.engine import BlazeIt
 from repro.detection.simulated import SimulatedDetector
 from repro.parallel.cache import SharedDetectionCache
+from repro.persist import atomic_write_text
 from repro.video.scenarios import generate_scenario
 
 from reporting import print_table
@@ -259,7 +260,7 @@ def main() -> int:
         "speedup_suite": speedups,
         "shared_cache": cache,
     }
-    (REPO_ROOT / "BENCH_parallel.json").write_text(json.dumps(report, indent=2))
+    atomic_write_text(REPO_ROOT / "BENCH_parallel.json", json.dumps(report, indent=2))
 
     failures = []
     for entry in speedups:

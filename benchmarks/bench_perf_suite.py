@@ -36,6 +36,7 @@ import numpy as np
 from repro.core.config import BlazeItConfig
 from repro.core.engine import BlazeIt
 from repro.detection.simulated import SimulatedDetector
+from repro.persist import atomic_write_text
 from repro.specialization.trainer import TrainingConfig
 from repro.video.scenarios import generate_scenario
 
@@ -193,7 +194,7 @@ def main(argv: list[str] | None = None) -> int:
     num_frames = args.frames or (1500 if args.quick else 6000)
 
     report = run_suite(num_frames, args.quick)
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    atomic_write_text(args.output, json.dumps(report, indent=2) + "\n")
 
     rows = [
         [

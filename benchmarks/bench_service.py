@@ -45,6 +45,7 @@ except ImportError:  # running from a checkout without `pip install -e .`
 
 from repro.core.config import BlazeItConfig
 from repro.core.engine import BlazeIt
+from repro.persist import atomic_write_text
 from repro.service.client import ServiceClient
 from repro.service.protocol import result_fingerprint
 from repro.video.scenarios import generate_scenario
@@ -137,7 +138,7 @@ def run_smoke(host: str, port: int, frames: int) -> list[dict]:
     client.create_tenant("smoke")
     session_id = client.create_session("smoke")
     entries = []
-    for (name, query), ref in zip(queries, refs):
+    for (name, query), ref in zip(queries, refs, strict=True):
         started = time.perf_counter()
         result = client.execute(session_id, query)
         entries.append(
@@ -176,7 +177,7 @@ def run_throughput(host: str, port: int, clients: int) -> dict:
                         first_event_at = time.perf_counter()
                 with lock:
                     ttfe.append((first_event_at or time.perf_counter()) - started)
-        except Exception as exc:  # noqa: BLE001 - report, don't hang the bench
+        except Exception as exc:  # report, don't hang the bench
             with lock:
                 errors.append(f"client {index}: {exc}")
 
@@ -257,7 +258,7 @@ def main() -> int:
         "smoke": smoke,
         "throughput": throughput,
     }
-    (REPO_ROOT / "BENCH_service.json").write_text(json.dumps(report, indent=2))
+    atomic_write_text(REPO_ROOT / "BENCH_service.json", json.dumps(report, indent=2))
 
     failures = []
     for entry in smoke:

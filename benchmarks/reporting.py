@@ -38,7 +38,7 @@ def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) ->
         max(len(str(headers[col])), *(len(r[col]) for r in rendered)) if rendered else len(str(headers[col]))
         for col in range(len(headers))
     ]
-    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths, strict=True))
     print()
     print("=" * len(line))
     print(title)
@@ -46,7 +46,7 @@ def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) ->
     print(line)
     print("-" * len(line))
     for row in rendered:
-        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths, strict=True)))
     print()
 
 

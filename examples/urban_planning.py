@@ -50,7 +50,7 @@ def main() -> None:
     )
     print(f"found {len(scrub.frames)} moments "
           f"(detector calls: {scrub.detection_calls})")
-    for frame, timestamp in zip(scrub.frames, scrub.timestamps):
+    for frame, timestamp in zip(scrub.frames, scrub.timestamps, strict=True):
         print(f"  frame {frame:6d} at t={timestamp:7.1f}s")
 
     # 3. Tourism proxy: red buses on screen for at least half a second.

@@ -1,0 +1,82 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a JSON file at the repo root (``analysis-baseline.json``).
+Each entry names one finding by its stable identity — rule, file,
+enclosing scope, and message (not line number, so unrelated edits don't
+invalidate it) — plus a one-line human justification.  CI fails on any
+finding not in the baseline; ``--write-baseline`` regenerates the file
+(preserving existing justifications) when a finding is deliberately
+accepted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+
+_PLACEHOLDER = "TODO: justify this grandfathered finding"
+
+
+@dataclass
+class Baseline:
+    """Lookup table from finding identity to its justification."""
+
+    entries: dict[tuple[str, str, str, str], str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries: dict[tuple[str, str, str, str], str] = {}
+        for item in payload.get("findings", []):
+            key = (
+                str(item["rule"]),
+                str(item["path"]),
+                str(item.get("context", "")),
+                str(item["message"]),
+            )
+            entries[key] = str(item.get("justification", _PLACEHOLDER))
+        return cls(entries=entries)
+
+    def contains(self, diagnostic: Diagnostic) -> bool:
+        return diagnostic.baseline_key in self.entries
+
+    def write(self, path: Path, diagnostics: list[Diagnostic]) -> None:
+        """Serialize ``diagnostics``, keeping justifications already on file."""
+        findings = []
+        for diag in sorted(diagnostics):
+            rule, rel, context, message = diag.baseline_key
+            findings.append(
+                {
+                    "rule": rule,
+                    "path": rel,
+                    "context": context,
+                    "message": message,
+                    "justification": self.entries.get(
+                        diag.baseline_key, _PLACEHOLDER
+                    ),
+                }
+            )
+        payload = {
+            "note": (
+                "Grandfathered findings for `python -m repro.analysis`. "
+                "Each entry needs a one-line justification; prefer fixing "
+                "or pragma-ing new findings over extending this file."
+            ),
+            "findings": findings,
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def stale_entries(
+        self, diagnostics: list[Diagnostic]
+    ) -> list[tuple[str, str, str, str]]:
+        """Baseline entries no longer produced by the analyzer."""
+        live = {diag.baseline_key for diag in diagnostics}
+        return [key for key in self.entries if key not in live]
+
+
+__all__ = ["Baseline"]

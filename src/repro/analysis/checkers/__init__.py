@@ -1,0 +1,32 @@
+"""Checker registry: one plugin per enforced invariant."""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.ledger import LedgerAccountingChecker
+from repro.analysis.checkers.locks import LockDisciplineChecker
+from repro.analysis.checkers.async_hygiene import AsyncHygieneChecker
+from repro.analysis.checkers.wire import WireExhaustivenessChecker
+
+
+def all_checkers() -> list[Checker]:
+    """Fresh instances of every shipped checker, in rule order."""
+    return [
+        DeterminismChecker(),
+        LedgerAccountingChecker(),
+        LockDisciplineChecker(),
+        AsyncHygieneChecker(),
+        WireExhaustivenessChecker(),
+    ]
+
+
+__all__ = [
+    "AsyncHygieneChecker",
+    "Checker",
+    "DeterminismChecker",
+    "LedgerAccountingChecker",
+    "LockDisciplineChecker",
+    "WireExhaustivenessChecker",
+    "all_checkers",
+]

@@ -1,0 +1,401 @@
+"""RPR004 — async hygiene: keep the event loop unblocked.
+
+The service's asyncio loop multiplexes every tenant's HTTP and SSE
+traffic; one blocking call stalls all of them (heartbeats stop, clients
+time out).  Two rules over every ``async def`` in the project:
+
+1. **No blocking calls on the loop.**  Flagged when called (not merely
+   referenced — passing ``self.manager.submit`` to ``run_in_executor`` is
+   the sanctioned pattern) and not awaited:
+
+   * blocking primitives: ``time.sleep``, ``socket.*`` / ``subprocess.*``,
+     builtin ``open``, ``Path.read_text``/``write_text``, un-awaited
+     ``.wait``/``.wait_for``/``.join``/``.acquire``/``.drain``, and
+     ``.get``/``.put`` on queue-named receivers;
+   * *transitively blocking* project methods: any method that acquires a
+     ``threading`` lock, calls a blocking primitive, or calls another
+     blocking method (computed to fixpoint over the class graph, with
+     receivers typed from ``__init__`` annotations and return
+     annotations).
+
+2. **No ``await`` while holding a sync lock.**  An ``await`` inside
+   ``with self._lock`` (or any ``with`` over a lock-ish name) parks the
+   coroutine with the lock held; every thread and task that wants the
+   lock then waits on the scheduler's mercy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.checkers.base import Checker
+from repro.analysis.project import (
+    ClassInfo,
+    ModuleInfo,
+    ProjectModel,
+    dotted_name,
+)
+
+_BLOCKING_CALLS = {
+    "time.sleep": "sleeps the whole event loop",
+    "socket.create_connection": "synchronous network I/O",
+    "socket.socket": "synchronous socket",
+    "subprocess.run": "blocks on a child process",
+    "subprocess.check_output": "blocks on a child process",
+    "subprocess.check_call": "blocks on a child process",
+}
+_BLOCKING_ATTRS = {
+    "wait": "blocking wait",
+    "wait_for": "blocking wait",
+    "join": "blocking join",
+    "acquire": "blocking lock acquisition",
+    "drain": "drains a stream synchronously",
+    "read_text": "synchronous file I/O",
+    "write_text": "synchronous file I/O",
+    "read_bytes": "synchronous file I/O",
+    "write_bytes": "synchronous file I/O",
+    "recv": "synchronous socket read",
+    "sendall": "synchronous socket write",
+    "accept": "synchronous socket accept",
+}
+_QUEUE_ATTRS = {"get", "put"}
+_LOCKISH = ("lock", "cond", "mutex")
+
+
+def _lock_value_types() -> set[str]:
+    return {"threading.Lock", "threading.RLock", "threading.Condition"}
+
+
+class AsyncHygieneChecker(Checker):
+    rule = "RPR004"
+    title = "no blocking calls inside async def; no await under a sync lock"
+
+    def check(self, project: ProjectModel) -> Iterator[Diagnostic]:
+        blocking = self._blocking_methods(project)
+        for info in project.modules.values():
+            for func, context, cls in project.iter_functions(info):
+                if not isinstance(func, ast.AsyncFunctionDef):
+                    continue
+                enclosing = (
+                    project.find_class(f"{info.name}.{cls.name}")
+                    if cls is not None
+                    else None
+                )
+                yield from self._check_async_def(
+                    project, info, func, context, enclosing, blocking
+                )
+
+    # -- which project methods block? ---------------------------------------------
+
+    def _blocking_methods(
+        self, project: ProjectModel
+    ) -> dict[str, set[str]]:
+        """class qualname -> names of methods that (transitively) block."""
+        lock_types = _lock_value_types()
+        blocking: dict[str, set[str]] = {}
+        methods: dict[str, dict[str, ast.FunctionDef]] = {}
+        attr_types: dict[str, dict[str, ClassInfo]] = {}
+
+        for cinfo in project.classes.values():
+            methods[cinfo.qualname] = {
+                stmt.name: stmt
+                for stmt in cinfo.node.body
+                if isinstance(stmt, ast.FunctionDef)
+            }
+            attr_types[cinfo.qualname] = project.attribute_types(cinfo)
+            seeds = set()
+            for name, method in methods[cinfo.qualname].items():
+                if self._blocks_directly(cinfo.module, method, lock_types):
+                    seeds.add(name)
+            if seeds:
+                blocking[cinfo.qualname] = seeds
+
+        # Propagate through self.X.m() / self.m() call edges to fixpoint.
+        changed = True
+        while changed:
+            changed = False
+            for cinfo in project.classes.values():
+                qual = cinfo.qualname
+                for name, method in methods[qual].items():
+                    if name in blocking.get(qual, set()):
+                        continue
+                    if self._calls_blocking(
+                        cinfo, method, attr_types[qual], blocking
+                    ):
+                        blocking.setdefault(qual, set()).add(name)
+                        changed = True
+        return blocking
+
+    def _blocks_directly(
+        self,
+        info: ModuleInfo,
+        method: ast.FunctionDef,
+        lock_types: set[str],
+    ) -> bool:
+        for node in ast.walk(method):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    ctx = item.context_expr
+                    name = dotted_name(ctx)
+                    if name and any(part in name.lower() for part in _LOCKISH):
+                        return True
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name and info.resolve(name) in _BLOCKING_CALLS:
+                    return True
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in {"wait", "wait_for", "join", "acquire"}
+                ):
+                    return True
+        return False
+
+    def _calls_blocking(
+        self,
+        cinfo: ClassInfo,
+        method: ast.FunctionDef,
+        attrs: dict[str, ClassInfo],
+        blocking: dict[str, set[str]],
+    ) -> bool:
+        for node in ast.walk(method):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            callee = node.func.attr
+            receiver = node.func.value
+            if isinstance(receiver, ast.Name) and receiver.id == "self":
+                if callee in blocking.get(cinfo.qualname, set()):
+                    return True
+            elif (
+                isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self"
+                and receiver.attr in attrs
+            ):
+                target = attrs[receiver.attr]
+                if callee in blocking.get(target.qualname, set()):
+                    return True
+        return False
+
+    # -- per-async-def analysis ----------------------------------------------------
+
+    def _check_async_def(
+        self,
+        project: ProjectModel,
+        info: ModuleInfo,
+        func: ast.AsyncFunctionDef,
+        context: str,
+        enclosing: ClassInfo | None,
+        blocking: dict[str, set[str]],
+    ) -> Iterator[Diagnostic]:
+        attrs = (
+            project.attribute_types(enclosing) if enclosing is not None else {}
+        )
+        lock_attrs = self._sync_lock_attrs(project, enclosing)
+        var_types: dict[str, ClassInfo] = {}
+
+        def classify_call(call: ast.Call) -> Diagnostic | None:
+            name = dotted_name(call.func)
+            if name is not None:
+                resolved = info.resolve(name)
+                if resolved in _BLOCKING_CALLS:
+                    return self.diagnostic(
+                        info, call.lineno, call.col_offset,
+                        f"blocking call `{resolved}(...)` on the event loop "
+                        f"({_BLOCKING_CALLS[resolved]})",
+                        context=context,
+                        hint="await an async equivalent or run_in_executor",
+                    )
+                if resolved == "open" and isinstance(call.func, ast.Name):
+                    return self.diagnostic(
+                        info, call.lineno, call.col_offset,
+                        "blocking file `open(...)` on the event loop",
+                        context=context,
+                        hint="run file I/O in an executor",
+                    )
+            if not isinstance(call.func, ast.Attribute):
+                return None
+            callee = call.func.attr
+            receiver = call.func.value
+            receiver_name = dotted_name(receiver) or ""
+            target = self._receiver_class(
+                enclosing, attrs, var_types, receiver
+            )
+            if target is not None and callee in blocking.get(
+                target.qualname, set()
+            ):
+                return self.diagnostic(
+                    info, call.lineno, call.col_offset,
+                    f"`{target.name}.{callee}()` blocks (acquires locks / "
+                    "waits) and runs on the event loop here",
+                    context=context,
+                    hint=(
+                        "dispatch via loop.run_in_executor(None, "
+                        f"{receiver_name or 'obj'}.{callee}, ...)"
+                    ),
+                )
+            if callee in _BLOCKING_ATTRS:
+                return self.diagnostic(
+                    info, call.lineno, call.col_offset,
+                    f"un-awaited `.{callee}(...)` "
+                    f"({_BLOCKING_ATTRS[callee]}) inside async def",
+                    context=context,
+                    hint="await the async variant or run_in_executor",
+                )
+            if callee in _QUEUE_ATTRS and any(
+                marker in receiver_name.lower()
+                for marker in ("queue", "chunks", "events")
+            ):
+                return self.diagnostic(
+                    info, call.lineno, call.col_offset,
+                    f"queue `.{callee}(...)` can block the event loop",
+                    context=context,
+                    hint="use asyncio.Queue or run_in_executor",
+                )
+            return None
+
+        def scan(node: ast.AST, holding: ast.With | None) -> Iterator[Diagnostic]:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                return  # nested defs analyzed separately / not on this path
+            if isinstance(node, ast.Await):
+                if holding is not None:
+                    yield self.diagnostic(
+                        info, node.lineno, node.col_offset,
+                        "`await` while holding a sync lock parks the "
+                        "coroutine with the lock held",
+                        context=context,
+                        hint="release the lock before awaiting, or use "
+                             "asyncio.Lock",
+                    )
+                # The awaited call itself is sanctioned; scan its arguments.
+                value = node.value
+                if isinstance(value, ast.Call):
+                    for child in ast.iter_child_nodes(value):
+                        if child is not value.func:
+                            yield from scan(child, holding)
+                    return
+                yield from scan(value, holding)
+                return
+            if isinstance(node, ast.Call):
+                diag = classify_call(node)
+                if diag is not None:
+                    yield diag
+            if isinstance(node, ast.With):
+                locks = [
+                    item
+                    for item in node.items
+                    if self._is_sync_lock(item.context_expr, lock_attrs)
+                ]
+                for item in node.items:
+                    yield from scan(item.context_expr, holding)
+                inner = node if locks else holding
+                for child in node.body:
+                    yield from scan(child, inner)
+                return
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                self._infer_assignment(project, info, attrs, var_types, node)
+            for child in ast.iter_child_nodes(node):
+                yield from scan(child, holding)
+
+        for child in ast.iter_child_nodes(func):
+            yield from scan(child, None)
+
+    def _sync_lock_attrs(
+        self, project: ProjectModel, enclosing: ClassInfo | None
+    ) -> set[str]:
+        if enclosing is None:
+            return set()
+        lock_types = _lock_value_types()
+        found = set()
+        for node in ast.walk(enclosing.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and isinstance(node.value, ast.Call)
+                ):
+                    name = dotted_name(node.value.func)
+                    if name and enclosing.module.resolve(name) in lock_types:
+                        found.add(target.attr)
+        return found
+
+    def _is_sync_lock(self, expr: ast.expr, lock_attrs: set[str]) -> bool:
+        name = dotted_name(expr)
+        if name is None:
+            return False
+        if name.startswith("self.") and name.split(".", 1)[1] in lock_attrs:
+            return True
+        return any(part in name.lower() for part in _LOCKISH)
+
+    def _receiver_class(
+        self,
+        enclosing: ClassInfo | None,
+        attrs: dict[str, ClassInfo],
+        var_types: dict[str, ClassInfo],
+        receiver: ast.expr,
+    ) -> ClassInfo | None:
+        if isinstance(receiver, ast.Name):
+            if receiver.id == "self":
+                return enclosing
+            return var_types.get(receiver.id)
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+        ):
+            return attrs.get(receiver.attr)
+        return None
+
+    def _infer_assignment(
+        self,
+        project: ProjectModel,
+        info: ModuleInfo,
+        attrs: dict[str, ClassInfo],
+        var_types: dict[str, ClassInfo],
+        node: ast.Assign,
+    ) -> None:
+        """Track `v = self.X.m(...)` when m's return annotation names a
+        project class (one level, enough for record/session handles)."""
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            return
+        value = node.value
+        while isinstance(value, ast.Await):
+            value = value.value
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+        ):
+            return
+        receiver = value.func.value
+        owner: ClassInfo | None = None
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+        ):
+            owner = attrs.get(receiver.attr)
+        elif isinstance(receiver, ast.Name):
+            owner = var_types.get(receiver.id)
+        if owner is None:
+            return
+        for stmt in owner.node.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == value.func.attr
+            ):
+                returned = project.return_class(owner.module, stmt)
+                if returned is not None:
+                    var_types[target.id] = returned
+                return
+
+
+__all__ = ["AsyncHygieneChecker"]

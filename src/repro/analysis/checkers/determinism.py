@@ -1,0 +1,199 @@
+"""RPR001 — determinism: no wall-clock or unseeded randomness in
+result-producing modules.
+
+Reproduction results must be a pure function of (video, query, engine
+seed).  Sources of hidden nondeterminism — the stdlib ``random`` module,
+numpy's global RNG, unseeded ``np.random.default_rng()`` /
+``SeedSequence()``, and wall-clock reads (``time.time``,
+``datetime.now``, ``perf_counter`` …) — are banned everywhere except the
+service plumbing modules (timeouts and heartbeats legitimately read
+clocks).  The sanctioned ledger wall-clock stamping site carries an
+inline ``# repro: allow[RPR001]`` pragma rather than a hard-coded
+exemption, so moving it shows up in review.
+
+:mod:`symtable` distinguishes the stdlib module from a local variable
+that merely shares its name: ``random = rng_for(shard)`` followed by
+``random.random()`` is not a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import symtable
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.checkers.base import Checker
+from repro.analysis.project import ModuleInfo, ProjectModel, dotted_name
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.today",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+# np.random constructors that are fine *with* an explicit seed argument.
+_SEEDABLE = {
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+    "numpy.random.Generator",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+}
+
+_TRACKED_ROOTS = {"random", "numpy", "time", "datetime"}
+
+
+class DeterminismChecker(Checker):
+    rule = "RPR001"
+    title = "no wall-clock or unseeded randomness in result-producing code"
+
+    def _excluded(self, project: ProjectModel) -> set[str]:
+        pkg = project.package
+        return {
+            f"{pkg}/service/app.py",
+            f"{pkg}/service/client.py",
+            f"{pkg}/service/manager.py",
+            f"{pkg}/service/scheduler.py",
+        }
+
+    def check(self, project: ProjectModel) -> Iterator[Diagnostic]:
+        excluded = self._excluded(project)
+        for info in project.modules.values():
+            if info.relpath in excluded:
+                continue
+            yield from self._check_module(info)
+
+    # -- per-module walk -----------------------------------------------------------
+
+    def _check_module(self, info: ModuleInfo) -> Iterator[Diagnostic]:
+        scope_stack: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        context_stack: list[str] = [info.name]
+
+        def scan(node: ast.AST) -> Iterator[Diagnostic]:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope_stack.append(node)
+                context_stack.append(f"{context_stack[-1]}.{node.name}")
+                for child in ast.iter_child_nodes(node):
+                    yield from scan(child)
+                context_stack.pop()
+                scope_stack.pop()
+                return
+            if isinstance(node, ast.ClassDef):
+                context_stack.append(f"{context_stack[-1]}.{node.name}")
+                for child in ast.iter_child_nodes(node):
+                    yield from scan(child)
+                context_stack.pop()
+                return
+            if isinstance(node, ast.Call):
+                diag = self._classify(info, node.func, context_stack[-1],
+                                      scope_stack, call=node)
+                if diag is not None:
+                    yield diag
+                    # The callee chain is handled; still scan the arguments.
+                    for child in ast.iter_child_nodes(node):
+                        if child is not node.func:
+                            yield from scan(child)
+                    return
+            elif isinstance(node, ast.Attribute):
+                diag = self._classify(info, node, context_stack[-1],
+                                      scope_stack, call=None)
+                if diag is not None:
+                    yield diag
+                    return  # don't re-flag the inner chain
+            for child in ast.iter_child_nodes(node):
+                yield from scan(child)
+
+        yield from scan(info.tree)
+
+    def _classify(
+        self,
+        info: ModuleInfo,
+        chain: ast.AST,
+        context: str,
+        scope_stack: list[ast.FunctionDef | ast.AsyncFunctionDef],
+        call: ast.Call | None,
+    ) -> Diagnostic | None:
+        name = dotted_name(chain)
+        if name is None:
+            return None
+        head = name.split(".", 1)[0]
+        if head not in info.imports:
+            return None
+        resolved = info.resolve(name)
+        root = resolved.split(".", 1)[0]
+        if root not in _TRACKED_ROOTS:
+            return None
+        if self._locally_bound(info, scope_stack, head):
+            return None
+        line, col = chain.lineno, chain.col_offset
+
+        if resolved in _WALL_CLOCK:
+            return self.diagnostic(
+                info, line, col,
+                f"wall-clock read `{resolved}` in result-producing code",
+                context=context,
+                hint=(
+                    "results must be a pure function of (video, query, seed); "
+                    "ledger wall_seconds stamping is the only sanctioned sink "
+                    "(pragma that site with `# repro: allow[RPR001]`)"
+                ),
+            )
+        if resolved in _SEEDABLE:
+            if call is not None and not call.args and not call.keywords:
+                return self.diagnostic(
+                    info, line, col,
+                    f"unseeded `{resolved}()` draws OS entropy",
+                    context=context,
+                    hint="pass an explicit seed derived from the engine seed",
+                )
+            return None
+        if root == "random":
+            return self.diagnostic(
+                info, line, col,
+                f"stdlib `{resolved}` uses hidden global RNG state",
+                context=context,
+                hint="use a numpy Generator seeded from the engine SeedSequence",
+            )
+        if resolved.startswith("numpy.random."):
+            # Anything else on np.random is the legacy global-state API.
+            return self.diagnostic(
+                info, line, col,
+                f"`{resolved}` uses numpy's global RNG state",
+                context=context,
+                hint="use an explicit np.random.Generator seeded per shard",
+            )
+        return None
+
+    def _locally_bound(
+        self,
+        info: ModuleInfo,
+        scope_stack: list[ast.FunctionDef | ast.AsyncFunctionDef],
+        head: str,
+    ) -> bool:
+        """True when ``head`` is rebound in an enclosing function scope."""
+        for func in reversed(scope_stack):
+            table = info.scope_for(func)
+            if table is None:
+                continue
+            try:
+                symbol = table.lookup(head)
+            except KeyError:
+                continue
+            if (symbol.is_local() or symbol.is_free()) and not symbol.is_imported():
+                return True
+            if symbol.is_global():
+                return False
+        return False
+
+
+__all__ = ["DeterminismChecker"]

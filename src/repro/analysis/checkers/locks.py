@@ -1,0 +1,588 @@
+"""RPR003 — lock discipline for thread-shared classes.
+
+A class that owns a :class:`threading.Lock` / ``RLock`` / ``Condition``
+attribute is *thread-shared* (``SharedDetectionCache``, the ledgers,
+``EventLog``, ``ServiceManager``, ``FairScheduler`` …).  Three rules:
+
+1. **Self-mutation under the lock.**  Methods of a thread-shared class may
+   mutate ``self`` state only inside ``with self._lock`` (any of the
+   class's lock attributes).  ``__init__``/``__post_init__`` are exempt
+   (no concurrent access before construction completes), as are methods
+   whose name ends in ``_locked`` — the repo's caller-holds-the-lock
+   convention.  Attributes holding inherently thread-safe primitives
+   (queues, ``threading.Event``) are exempt.
+
+2. **No external mutation of guarded state.**  An attribute the owner
+   only ever mutates under its lock is *guarded*; assigning it from
+   outside the owning class (``ledger.calls = …``) bypasses the lock even
+   if the owner is disciplined.  Stores on ``self`` in unrelated classes
+   are ignored (same attribute name, different object).
+
+3. **Lock-order sanity.**  Calling another thread-shared class's
+   lock-acquiring method while holding your own lock creates an edge in
+   the lock-acquisition-order graph; a cycle means two threads can
+   deadlock.  Re-acquiring your own non-reentrant lock (calling a
+   ``with self._lock`` method while already inside one) self-deadlocks
+   and is flagged directly.
+
+The analysis is per-method and intentionally approximate: holding *any*
+of a class's locks counts as "locked" (the classes here have one logical
+lock per concern), and nested functions are assumed to run without the
+enclosing lock (they usually escape to other threads).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field as dc_field
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.checkers.base import Checker
+from repro.analysis.project import (
+    ClassInfo,
+    ModuleInfo,
+    ProjectModel,
+    dotted_name,
+)
+
+_LOCK_TYPES = {"threading.Lock", "threading.RLock", "threading.Condition"}
+_PLAIN_LOCK = "threading.Lock"
+_SAFE_TYPES = {
+    "queue.Queue",
+    "queue.SimpleQueue",
+    "queue.LifoQueue",
+    "queue.PriorityQueue",
+    "threading.Event",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+}
+_MUTATORS = {
+    "append",
+    "appendleft",
+    "add",
+    "insert",
+    "extend",
+    "update",
+    "pop",
+    "popleft",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "setdefault",
+    "sort",
+    "reverse",
+    "put",
+    "put_nowait",
+}
+_EXEMPT_METHODS = {"__init__", "__post_init__", "__new__"}
+
+
+def _is_exempt_method(name: str) -> bool:
+    return name in _EXEMPT_METHODS or name.endswith("_locked")
+
+
+@dataclass
+class _SharedClass:
+    info: ClassInfo
+    lock_attrs: set[str] = dc_field(default_factory=set)
+    plain_locks: set[str] = dc_field(default_factory=set)
+    safe_attrs: set[str] = dc_field(default_factory=set)
+    guarded_attrs: set[str] = dc_field(default_factory=set)
+    acquiring_methods: set[str] = dc_field(default_factory=set)
+
+
+def _value_type(info: ModuleInfo, value: ast.expr | None) -> str | None:
+    """Resolved constructor name for ``threading.Lock()``-style values,
+    including ``field(default_factory=threading.Lock)``."""
+    if not isinstance(value, ast.Call):
+        return None
+    name = dotted_name(value.func)
+    if name is None:
+        return None
+    resolved = info.resolve(name)
+    if resolved.rsplit(".", 1)[-1] == "field":
+        for kw in value.keywords:
+            if kw.arg == "default_factory":
+                factory = dotted_name(kw.value)
+                if factory is not None:
+                    return info.resolve(factory)
+        return None
+    return resolved
+
+
+def _iter_target_mutations(
+    target: ast.expr,
+) -> Iterator[tuple[ast.expr, str]]:
+    """(receiver_expr, attr) pairs mutated by an assignment target."""
+    if isinstance(target, ast.Attribute):
+        yield target.value, target.attr
+    elif isinstance(target, ast.Subscript) and isinstance(
+        target.value, ast.Attribute
+    ):
+        yield target.value.value, target.value.attr
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _iter_target_mutations(element)
+    elif isinstance(target, ast.Starred):
+        yield from _iter_target_mutations(target.value)
+
+
+def _node_mutations(node: ast.AST) -> Iterator[tuple[ast.expr, str, ast.AST]]:
+    """Mutations performed directly by ``node`` (no recursion)."""
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            for receiver, attr in _iter_target_mutations(target):
+                yield receiver, attr, node
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        for receiver, attr in _iter_target_mutations(node.target):
+            yield receiver, attr, node
+    elif isinstance(node, ast.AugAssign):
+        for receiver, attr in _iter_target_mutations(node.target):
+            yield receiver, attr, node
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            for receiver, attr in _iter_target_mutations(target):
+                yield receiver, attr, node
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _MUTATORS and isinstance(
+            node.func.value, ast.Attribute
+        ):
+            yield node.func.value.value, node.func.value.attr, node
+
+
+def _is_self(expr: ast.expr) -> bool:
+    return isinstance(expr, ast.Name) and expr.id == "self"
+
+
+class LockDisciplineChecker(Checker):
+    rule = "RPR003"
+    title = "thread-shared state is mutated only under its lock"
+
+    def check(self, project: ProjectModel) -> Iterator[Diagnostic]:
+        shared = self._discover(project)
+        for sc in shared.values():
+            yield from self._check_class(project, sc)
+        yield from self._check_external_stores(project, shared)
+        yield from self._check_lock_order(project, shared)
+
+    # -- discovery -----------------------------------------------------------------
+
+    def _discover(self, project: ProjectModel) -> dict[str, _SharedClass]:
+        direct: dict[str, _SharedClass] = {}
+        for cinfo in project.classes.values():
+            sc = _SharedClass(info=cinfo)
+            for stmt in ast.walk(cinfo.node):
+                attr: str | None = None
+                value: ast.expr | None = None
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, (ast.Name, ast.Attribute)
+                ):
+                    attr = (
+                        stmt.target.id
+                        if isinstance(stmt.target, ast.Name)
+                        else stmt.target.attr
+                        if _is_self(stmt.target.value)
+                        else None
+                    )
+                    value = stmt.value
+                elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target = stmt.targets[0]
+                    if isinstance(target, ast.Name):
+                        attr = target.id
+                    elif isinstance(target, ast.Attribute) and _is_self(
+                        target.value
+                    ):
+                        attr = target.attr
+                    value = stmt.value
+                if attr is None:
+                    continue
+                vtype = _value_type(cinfo.module, value)
+                if vtype in _LOCK_TYPES:
+                    sc.lock_attrs.add(attr)
+                    if vtype == _PLAIN_LOCK:
+                        sc.plain_locks.add(attr)
+                elif vtype in _SAFE_TYPES:
+                    sc.safe_attrs.add(attr)
+            if sc.lock_attrs:
+                direct[cinfo.qualname] = sc
+
+        # Inheritance closure: subclasses of a lock owner share its lock.
+        shared: dict[str, _SharedClass] = {}
+        for cinfo in project.classes.values():
+            merged = _SharedClass(info=cinfo)
+            stack = [cinfo]
+            seen: set[str] = set()
+            while stack:
+                current = stack.pop()
+                if current.qualname in seen:
+                    continue
+                seen.add(current.qualname)
+                own = direct.get(current.qualname)
+                if own is None:
+                    own_sc = None
+                else:
+                    own_sc = own
+                if own_sc is not None:
+                    merged.lock_attrs |= own_sc.lock_attrs
+                    merged.plain_locks |= own_sc.plain_locks
+                    merged.safe_attrs |= own_sc.safe_attrs
+                for base in current.base_names:
+                    resolved = project.find_class(base)
+                    if resolved is not None:
+                        stack.append(resolved)
+            if merged.lock_attrs:
+                shared[cinfo.qualname] = merged
+
+        for sc in shared.values():
+            for method in self._methods(sc.info):
+                if self._acquires_lock(method, sc.lock_attrs):
+                    sc.acquiring_methods.add(method.name)
+        return shared
+
+    def _methods(self, cinfo: ClassInfo) -> list[ast.FunctionDef]:
+        return [
+            stmt
+            for stmt in cinfo.node.body
+            if isinstance(stmt, ast.FunctionDef)
+        ]
+
+    def _acquires_lock(
+        self, method: ast.FunctionDef, lock_attrs: set[str]
+    ) -> bool:
+        for node in ast.walk(method):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    ctx = item.context_expr
+                    if (
+                        isinstance(ctx, ast.Attribute)
+                        and _is_self(ctx.value)
+                        and ctx.attr in lock_attrs
+                    ):
+                        return True
+        return False
+
+    # -- rule 1: self-mutations under the lock -------------------------------------
+
+    def _check_class(
+        self, project: ProjectModel, sc: _SharedClass
+    ) -> Iterator[Diagnostic]:
+        info = sc.info.module
+        exempt_attrs = sc.lock_attrs | sc.safe_attrs
+        for method in self._methods(sc.info):
+            context = f"{info.name}.{sc.info.name}.{method.name}"
+            exempt = _is_exempt_method(method.name)
+            for receiver, attr, site, locked in self._walk_held(
+                method, sc.lock_attrs, held=exempt and method.name.endswith("_locked")
+            ):
+                if not _is_self(receiver) or attr in exempt_attrs:
+                    continue
+                if locked:
+                    sc.guarded_attrs.add(attr)
+                    continue
+                if exempt:
+                    continue
+                yield self.diagnostic(
+                    info,
+                    site.lineno,
+                    site.col_offset,
+                    f"`{sc.info.name}.{method.name}` mutates `self.{attr}` "
+                    "outside the class lock",
+                    context=context,
+                    hint=(
+                        "wrap the mutation in `with self."
+                        f"{sorted(sc.lock_attrs)[0]}`, or rename the method "
+                        "with a `_locked` suffix if the caller holds the lock"
+                    ),
+                )
+
+    def _walk_held(
+        self,
+        root: ast.AST,
+        lock_attrs: set[str],
+        held: bool,
+    ) -> Iterator[tuple[ast.expr, str, ast.AST, bool]]:
+        """Yield (receiver, attr, site, was_lock_held) for every mutation."""
+
+        def scan(
+            node: ast.AST, locked: bool
+        ) -> Iterator[tuple[ast.expr, str, ast.AST, bool]]:
+            for receiver, attr, site in _node_mutations(node):
+                yield receiver, attr, site, locked
+            if isinstance(node, ast.With):
+                acquires = any(
+                    isinstance(item.context_expr, ast.Attribute)
+                    and _is_self(item.context_expr.value)
+                    and item.context_expr.attr in lock_attrs
+                    for item in node.items
+                )
+                for child in node.body:
+                    yield from scan(child, locked or acquires)
+                return
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    # Nested functions usually escape to other threads;
+                    # assume they run without the lock.
+                    yield from scan(child, False)
+                else:
+                    yield from scan(child, locked)
+
+        for child in ast.iter_child_nodes(root):
+            yield from scan(child, held)
+
+    # -- rule 2: external stores to guarded attributes -----------------------------
+
+    def _check_external_stores(
+        self, project: ProjectModel, shared: dict[str, _SharedClass]
+    ) -> Iterator[Diagnostic]:
+        owners: dict[str, list[_SharedClass]] = {}
+        for sc in shared.values():
+            for attr in sc.guarded_attrs:
+                owners.setdefault(attr, []).append(sc)
+        # Drop attribute names guarded by unrelated classes (too ambiguous).
+        unambiguous: dict[str, _SharedClass] = {}
+        for attr, classes in owners.items():
+            base = classes[0]
+            related = True
+            for other in classes[1:]:
+                if project.is_subclass(other.info, base.info.name):
+                    continue
+                if project.is_subclass(base.info, other.info.name):
+                    base = other
+                    continue
+                related = False
+                break
+            if related:
+                unambiguous[attr] = base
+
+        for info in project.modules.values():
+            for func, context, cls in project.iter_functions(info):
+                enclosing: ClassInfo | None = None
+                if cls is not None:
+                    enclosing = project.find_class(f"{info.name}.{cls.name}")
+                for receiver, attr, site in self._flat_mutations(func):
+                    owner = unambiguous.get(attr)
+                    if owner is None:
+                        continue
+                    if _is_self(receiver) or (
+                        isinstance(receiver, ast.Name) and receiver.id == "cls"
+                    ):
+                        continue
+                    if enclosing is not None and project.is_subclass(
+                        enclosing, owner.info.name
+                    ):
+                        continue
+                    yield self.diagnostic(
+                        info,
+                        site.lineno,
+                        site.col_offset,
+                        f"external mutation of `{attr}`, guarded state of "
+                        f"thread-shared `{owner.info.name}`",
+                        context=context,
+                        hint=(
+                            f"add/use a locked method on {owner.info.name} "
+                            "instead of reaching into its attributes"
+                        ),
+                    )
+
+    def _flat_mutations(
+        self, func: ast.AST
+    ) -> Iterator[tuple[ast.expr, str, ast.AST]]:
+        for node in ast.walk(func):
+            yield from _node_mutations(node)
+
+    # -- rule 3: lock-order graph --------------------------------------------------
+
+    def _check_lock_order(
+        self, project: ProjectModel, shared: dict[str, _SharedClass]
+    ) -> Iterator[Diagnostic]:
+        by_method: dict[str, list[_SharedClass]] = {}
+        for sc in shared.values():
+            for name in sc.acquiring_methods:
+                by_method.setdefault(name, []).append(sc)
+
+        edges: dict[tuple[str, str], list[tuple[ModuleInfo, str, ast.AST]]] = {}
+        self_deadlocks: list[tuple[_SharedClass, str, ModuleInfo, ast.AST]] = []
+
+        for sc in shared.values():
+            attr_types = project.attribute_types(sc.info)
+            for method in self._methods(sc.info):
+                context = f"{sc.info.module.name}.{sc.info.name}.{method.name}"
+                for call, locked in self._walk_calls(
+                    method,
+                    sc.lock_attrs,
+                    held=method.name.endswith("_locked"),
+                ):
+                    if not locked:
+                        continue
+                    if not isinstance(call.func, ast.Attribute):
+                        continue
+                    callee = call.func.attr
+                    receiver = call.func.value
+                    target = self._callee_class(
+                        project, sc, attr_types, receiver, callee, by_method
+                    )
+                    if target is None:
+                        continue
+                    if target.info.qualname == sc.info.qualname:
+                        if (
+                            _is_self(receiver)
+                            and callee in sc.acquiring_methods
+                            and sc.plain_locks
+                        ):
+                            self_deadlocks.append(
+                                (sc, callee, sc.info.module, call)
+                            )
+                        continue
+                    edges.setdefault(
+                        (sc.info.qualname, target.info.qualname), []
+                    ).append((sc.info.module, context, call))
+
+        for sc, callee, info, call in self_deadlocks:
+            yield self.diagnostic(
+                info,
+                call.lineno,
+                call.col_offset,
+                f"`{sc.info.name}` calls lock-acquiring `self.{callee}()` "
+                "while already holding its non-reentrant lock",
+                context=f"{info.name}.{sc.info.name}",
+                hint="split out a `_locked` variant or use an RLock",
+            )
+
+        # Cycle detection over the class-level edge set.
+        graph: dict[str, set[str]] = {}
+        for (src, dst) in edges:
+            graph.setdefault(src, set()).add(dst)
+        cyclic_edges = self._edges_in_cycles(graph)
+        for (src, dst) in sorted(cyclic_edges):
+            for info, context, call in edges[(src, dst)]:
+                yield self.diagnostic(
+                    info,
+                    call.lineno,
+                    call.col_offset,
+                    "lock-order cycle: "
+                    f"`{src.rsplit('.', 1)[-1]}` acquires "
+                    f"`{dst.rsplit('.', 1)[-1]}`'s lock while holding its own, "
+                    "and the reverse path also exists",
+                    context=context,
+                    hint=(
+                        "establish a global acquisition order between these "
+                        "classes, or move the call outside the locked region"
+                    ),
+                )
+
+    def _walk_calls(
+        self, method: ast.FunctionDef, lock_attrs: set[str], held: bool
+    ) -> Iterator[tuple[ast.Call, bool]]:
+        def scan(node: ast.AST, locked: bool) -> Iterator[tuple[ast.Call, bool]]:
+            if isinstance(node, ast.Call):
+                yield node, locked
+            if isinstance(node, ast.With):
+                acquires = any(
+                    isinstance(item.context_expr, ast.Attribute)
+                    and _is_self(item.context_expr.value)
+                    and item.context_expr.attr in lock_attrs
+                    for item in node.items
+                )
+                for item in node.items:
+                    yield from scan(item.context_expr, locked)
+                for child in node.body:
+                    yield from scan(child, locked or acquires)
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                if node is not method:
+                    for child in ast.iter_child_nodes(node):
+                        yield from scan(child, False)
+                    return
+            for child in ast.iter_child_nodes(node):
+                yield from scan(child, locked)
+
+        yield from scan(method, held)
+
+    def _callee_class(
+        self,
+        project: ProjectModel,
+        caller: _SharedClass,
+        attr_types: dict[str, ClassInfo],
+        receiver: ast.expr,
+        callee: str,
+        by_method: dict[str, list[_SharedClass]],
+    ) -> _SharedClass | None:
+        if _is_self(receiver):
+            if callee in caller.acquiring_methods:
+                return caller
+            return None
+        # `self.<attr>.<callee>()` with a typed attribute wins.
+        if (
+            isinstance(receiver, ast.Attribute)
+            and _is_self(receiver.value)
+            and receiver.attr in attr_types
+        ):
+            target = attr_types[receiver.attr]
+            for sc in by_method.get(callee, []):
+                if sc.info.qualname == target.qualname:
+                    return sc
+            return None
+        # Fallback: the method name is unique to one lock-owning class.
+        candidates = [
+            sc
+            for sc in by_method.get(callee, [])
+            if sc.info.qualname != caller.info.qualname
+        ]
+        if len(candidates) == 1 and callee not in caller.acquiring_methods:
+            return candidates[0]
+        return None
+
+    def _edges_in_cycles(
+        self, graph: dict[str, set[str]]
+    ) -> set[tuple[str, str]]:
+        """Edges whose endpoints are in one strongly connected component."""
+        index = 0
+        stack: list[str] = []
+        on_stack: set[str] = set()
+        indices: dict[str, int] = {}
+        low: dict[str, int] = {}
+        component: dict[str, int] = {}
+        comp_id = 0
+        nodes = set(graph) | {dst for dsts in graph.values() for dst in dsts}
+
+        def strongconnect(node: str) -> None:
+            nonlocal index, comp_id
+            indices[node] = low[node] = index
+            index += 1
+            stack.append(node)
+            on_stack.add(node)
+            for succ in graph.get(node, ()):
+                if succ not in indices:
+                    strongconnect(succ)
+                    low[node] = min(low[node], low[succ])
+                elif succ in on_stack:
+                    low[node] = min(low[node], indices[succ])
+            if low[node] == indices[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component[member] = comp_id
+                    if member == node:
+                        break
+                comp_id += 1
+
+        for node in sorted(nodes):
+            if node not in indices:
+                strongconnect(node)
+
+        counts: dict[int, int] = {}
+        for comp in component.values():
+            counts[comp] = counts.get(comp, 0) + 1
+        cyclic = set()
+        for src, dsts in graph.items():
+            for dst in dsts:
+                if component[src] == component[dst] and counts[component[src]] > 1:
+                    cyclic.add((src, dst))
+        return cyclic
+
+
+__all__ = ["LockDisciplineChecker"]

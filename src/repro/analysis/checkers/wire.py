@@ -1,0 +1,168 @@
+"""RPR005 — wire exhaustiveness: every event/result class has a codec.
+
+The service streams :class:`ExecutionEvent` objects over SSE and returns
+:class:`QueryResult` payloads; both travel through
+``service/protocol.py``.  A subclass without a registered codec
+deserializes as the wrong type (or not at all) *only on the wire path*,
+silently breaking the cross-path result-identity guarantee the identity
+tests enforce.  Checked, all via the project model (no imports executed):
+
+* every concrete ``ExecutionEvent`` subclass defines its own
+  ``wire_name`` (tags must not be inherited — two classes sharing a tag
+  decode ambiguously), and the tags are globally unique;
+* every event subclass is registered in ``event_wire_types()`` — the
+  single registry driving both ``event_to_json`` and ``event_from_json``;
+* every concrete ``QueryResult`` subclass is handled by the protocol
+  module (the ``_RESULT_TYPES`` table / ``result_to_json`` /
+  ``result_from_json``), and therefore by ``result_fingerprint``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.checkers.base import Checker
+from repro.analysis.project import ClassInfo, ModuleInfo, ProjectModel
+
+_EVENT_BASE = "ExecutionEvent"
+_RESULT_BASE = "QueryResult"
+_REGISTRY_FUNC = "event_wire_types"
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+class WireExhaustivenessChecker(Checker):
+    rule = "RPR005"
+    title = "every event/result class has a registered wire codec"
+
+    def check(self, project: ProjectModel) -> Iterator[Diagnostic]:
+        yield from self._check_events(project)
+        yield from self._check_results(project)
+
+    # -- events --------------------------------------------------------------------
+
+    def _find_registry(
+        self, project: ProjectModel
+    ) -> tuple[ModuleInfo, ast.FunctionDef] | None:
+        for info in project.modules.values():
+            for node in ast.walk(info.tree):
+                if (
+                    isinstance(node, ast.FunctionDef)
+                    and node.name == _REGISTRY_FUNC
+                ):
+                    return info, node
+        return None
+
+    def _check_events(self, project: ProjectModel) -> Iterator[Diagnostic]:
+        if project.find_class(_EVENT_BASE) is None:
+            return
+        subclasses = project.subclasses_of(_EVENT_BASE)
+        if not subclasses:
+            return
+        registry = self._find_registry(project)
+        registered = _names_in(registry[1]) if registry else set()
+        tags: dict[str, ClassInfo] = {}
+
+        for cinfo in sorted(subclasses, key=lambda c: c.qualname):
+            wire_name = self._own_wire_name(cinfo)
+            if wire_name is None:
+                yield self.diagnostic(
+                    cinfo.module,
+                    cinfo.node.lineno,
+                    cinfo.node.col_offset,
+                    f"event `{cinfo.name}` defines no `wire_name` of its own",
+                    context=cinfo.qualname,
+                    hint=(
+                        "add `wire_name: ClassVar[str] = \"...\"` — inherited "
+                        "tags make two event types indistinguishable on the "
+                        "wire"
+                    ),
+                )
+            else:
+                first = tags.setdefault(wire_name, cinfo)
+                if first is not cinfo:
+                    yield self.diagnostic(
+                        cinfo.module,
+                        cinfo.node.lineno,
+                        cinfo.node.col_offset,
+                        f"event `{cinfo.name}` reuses wire tag "
+                        f"`{wire_name}` already taken by `{first.name}`",
+                        context=cinfo.qualname,
+                        hint="wire tags must be unique per event type",
+                    )
+            if registry is not None and cinfo.name not in registered:
+                yield self.diagnostic(
+                    cinfo.module,
+                    cinfo.node.lineno,
+                    cinfo.node.col_offset,
+                    f"event `{cinfo.name}` is not registered in "
+                    f"`{_REGISTRY_FUNC}()`; it cannot be decoded from the "
+                    "wire",
+                    context=cinfo.qualname,
+                    hint=f"add it to the registry in {registry[0].relpath}",
+                )
+
+    def _own_wire_name(self, cinfo: ClassInfo) -> str | None:
+        for stmt in cinfo.node.body:
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "wire_name"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                return value.value
+        return None
+
+    # -- results -------------------------------------------------------------------
+
+    def _find_protocol(self, project: ProjectModel) -> ModuleInfo | None:
+        for info in project.modules.values():
+            if info.name.endswith(".protocol"):
+                return info
+        for info in project.modules.values():
+            defined = {
+                node.name
+                for node in ast.walk(info.tree)
+                if isinstance(node, ast.FunctionDef)
+            }
+            if {"result_to_json", "result_from_json"} <= defined:
+                return info
+        return None
+
+    def _check_results(self, project: ProjectModel) -> Iterator[Diagnostic]:
+        if project.find_class(_RESULT_BASE) is None:
+            return
+        subclasses = project.subclasses_of(_RESULT_BASE)
+        protocol = self._find_protocol(project)
+        if protocol is None or not subclasses:
+            return
+        # Names *used* in the protocol module (import aliases don't count).
+        referenced = _names_in(protocol.tree)
+        for cinfo in sorted(subclasses, key=lambda c: c.qualname):
+            if cinfo.name not in referenced:
+                yield self.diagnostic(
+                    cinfo.module,
+                    cinfo.node.lineno,
+                    cinfo.node.col_offset,
+                    f"result `{cinfo.name}` has no codec in "
+                    f"{protocol.relpath}; `result_fingerprint` cannot cover "
+                    "it on the wire path",
+                    context=cinfo.qualname,
+                    hint=(
+                        "register it in _RESULT_TYPES and handle its fields "
+                        "in result_to_json/result_from_json"
+                    ),
+                )
+
+
+__all__ = ["WireExhaustivenessChecker"]

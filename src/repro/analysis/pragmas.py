@@ -1,0 +1,55 @@
+"""``# repro: allow[RULE]`` inline suppression pragmas.
+
+A pragma suppresses findings of the named rule(s) on its own line, or — when
+the pragma is the only thing on its line — on the next source line.  A
+reason after a second colon is encouraged and surfaced by ``--explain``
+style tooling, e.g.::
+
+    frames = detector.detect_many(video, missing)  # repro: allow[RPR002]: speculative, charged on consumption
+
+``allow[*]`` suppresses every rule on the target line.
+"""
+
+from __future__ import annotations
+
+import re
+
+_PRAGMA = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[A-Za-z0-9*,\s]+)\]"
+    r"(?::\s*(?P<reason>.*))?"
+)
+
+
+def parse_pragmas(source_lines: list[str]) -> dict[int, frozenset[str]]:
+    """Map 1-based line number -> rule ids allowed on that line."""
+    allowed: dict[int, set[str]] = {}
+    for index, text in enumerate(source_lines, start=1):
+        match = _PRAGMA.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip().upper()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        if not rules:
+            continue
+        allowed.setdefault(index, set()).update(rules)
+        # A comment-only line shields the following statement line.
+        before = text[: match.start()].strip()
+        if before == "" or before == "#":
+            allowed.setdefault(index + 1, set()).update(rules)
+    return {line: frozenset(rules) for line, rules in allowed.items()}
+
+
+def pragma_allows(
+    pragmas: dict[int, frozenset[str]], line: int, rule: str
+) -> bool:
+    """True when a pragma on/above ``line`` suppresses ``rule``."""
+    rules = pragmas.get(line)
+    if not rules:
+        return False
+    return "*" in rules or rule.upper() in rules
+
+
+__all__ = ["parse_pragmas", "pragma_allows"]

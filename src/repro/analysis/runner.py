@@ -1,0 +1,72 @@
+"""Run checkers over a project, apply pragmas and the baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.checkers import all_checkers
+from repro.analysis.checkers.base import Checker
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.pragmas import pragma_allows
+from repro.analysis.project import ProjectModel
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer run produced, pre-sorted."""
+
+    findings: list[Diagnostic] = field(default_factory=list)
+    baselined: list[Diagnostic] = field(default_factory=list)
+    suppressed: list[Diagnostic] = field(default_factory=list)
+    stale_baseline: list[tuple[str, str, str, str]] = field(default_factory=list)
+    modules_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def all_active(self) -> list[Diagnostic]:
+        """Findings plus baselined ones — what ``--write-baseline`` saves."""
+        return sorted([*self.findings, *self.baselined])
+
+
+def run_analysis(
+    root: Path,
+    *,
+    package: str | None = None,
+    checkers: list[Checker] | None = None,
+    baseline: Baseline | None = None,
+    project: ProjectModel | None = None,
+) -> AnalysisReport:
+    """Analyze the package at ``root`` and triage every diagnostic into
+    active finding / baselined / pragma-suppressed."""
+    if project is None:
+        project = ProjectModel.build(root, package)
+    if checkers is None:
+        checkers = all_checkers()
+    if baseline is None:
+        baseline = Baseline()
+
+    by_relpath = {info.relpath: info for info in project.modules.values()}
+    report = AnalysisReport(modules_scanned=len(project.modules))
+    raw: list[Diagnostic] = []
+    for checker in checkers:
+        raw.extend(checker.check(project))
+
+    for diag in sorted(set(raw)):
+        module = by_relpath.get(diag.path)
+        if module is not None and pragma_allows(
+            module.pragmas, diag.line, diag.rule
+        ):
+            report.suppressed.append(diag)
+        elif baseline.contains(diag):
+            report.baselined.append(diag)
+        else:
+            report.findings.append(diag)
+    report.stale_baseline = baseline.stale_entries(sorted(set(raw)))
+    return report
+
+
+__all__ = ["AnalysisReport", "run_analysis"]

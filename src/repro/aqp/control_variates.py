@@ -147,7 +147,9 @@ def control_variate_stream(
         raise ValueError("auxiliary_values must cover a non-empty population")
     if error_tolerance <= 0:
         raise ValueError(f"error_tolerance must be positive, got {error_tolerance}")
-    rng = rng or np.random.default_rng()
+    # A deterministic default keeps results a pure function of the inputs
+    # even when the caller supplies no generator (RPR001).
+    rng = rng or np.random.default_rng(0)
     config = config or AdaptiveSamplingConfig()
     max_samples = min(config.max_samples or population_size, population_size)
 

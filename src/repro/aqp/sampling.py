@@ -158,7 +158,9 @@ def adaptive_sample_stream(
         raise ValueError(f"population_size must be >= 1, got {population_size}")
     if error_tolerance <= 0:
         raise ValueError(f"error_tolerance must be positive, got {error_tolerance}")
-    rng = rng or np.random.default_rng()
+    # A deterministic default keeps results a pure function of the inputs
+    # even when the caller supplies no generator (RPR001).
+    rng = rng or np.random.default_rng(0)
     config = config or AdaptiveSamplingConfig()
     max_samples = min(config.max_samples or population_size, population_size)
 

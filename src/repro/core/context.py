@@ -212,7 +212,7 @@ class ExecutionContext:
             charged = [f for f in miss_frames if f not in shared]
             if ledger is not None:
                 ledger.charge(self._scaled_cost(cost_scale), len(charged))
-            computed = dict(zip(charged, self._compute_batch(charged)))
+            computed = dict(zip(charged, self._compute_batch(charged), strict=True))
             if self.shared_cache is not None and computed:
                 self.shared_cache.put_many(self.cache_key, computed)
             computed.update(shared)
@@ -264,7 +264,7 @@ class ExecutionContext:
                 computed = {f: self.recorded.result(f) for f in remaining}
             else:
                 computed = dict(
-                    zip(remaining, self.detector.detect_many(self.video, remaining))
+                    zip(remaining, self.detector.detect_many(self.video, remaining), strict=True)
                 )
             prefetched.update(computed)
         return [prefetched[f] for f in miss_frames]

@@ -382,7 +382,9 @@ def timed_stream(
     Used by :meth:`repro.optimizer.base.PhysicalPlan.run`, so both streamed
     and drained executions carry the same accounting.
     """
-    started = time.perf_counter()
+    # Wall-clock stamping feeds ledger.wall_seconds, which is excluded from
+    # result fingerprints — the one sanctioned clock read in engine code.
+    started = time.perf_counter()  # repro: allow[RPR001]: ledger wall-clock stamping
     emitted = 0
     for event in events:
         emitted += 1
@@ -390,11 +392,13 @@ def timed_stream(
             event.result.stop_reason = event.stop_reason
             ledger = event.result.ledger
             if isinstance(ledger, ExecutionLedger):
-                ledger.events_emitted = emitted
-                ledger.batches_emitted = emitted - 1
-                ledger.wall_seconds = time.perf_counter() - started
-                # The per-frame detection cache only serves intra-execution
-                # dedupe; drop it so results do not pin every detection of
-                # the run in memory.
-                ledger.release_cache()
+                # Counter stores and the detection-cache release happen
+                # under the ledger lock in one sanctioned method: the
+                # ledger may already be visible to other threads.
+                elapsed = time.perf_counter() - started  # repro: allow[RPR001]: ledger wall-clock stamping
+                ledger.finalize_stream_accounting(
+                    events_emitted=emitted,
+                    batches_emitted=emitted - 1,
+                    wall_seconds=elapsed,
+                )
         yield event

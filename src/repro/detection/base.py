@@ -93,7 +93,7 @@ def resolve_detection_batch(
             scheduled.add(frame_index)
             miss_frames.append(frame_index)
     if miss_frames:
-        computed = dict(zip(miss_frames, compute_misses(miss_frames)))
+        computed = dict(zip(miss_frames, compute_misses(miss_frames), strict=True))
         if execution_ledger is not None:
             for frame_index, result in computed.items():
                 execution_ledger.record_detection(frame_index, result)

@@ -83,4 +83,4 @@ def mean_absolute_error(estimates: Sequence[float], truths: Sequence[float]) -> 
         )
     if not estimates:
         return 0.0
-    return sum(abs(e - t) for e, t in zip(estimates, truths)) / len(estimates)
+    return sum(abs(e - t) for e, t in zip(estimates, truths, strict=True)) / len(estimates)

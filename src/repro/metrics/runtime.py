@@ -234,6 +234,22 @@ class ExecutionLedger(RuntimeLedger):
         with self._lock:
             self._detections.clear()
 
+    def finalize_stream_accounting(
+        self, events_emitted: int, batches_emitted: int, wall_seconds: float
+    ) -> None:
+        """Stamp end-of-stream counters and drop the detection cache.
+
+        The single sanctioned way for stream drivers to write these
+        counters (RPR003): the ledger may already be visible to other
+        threads (shared caches, service snapshots), so the store happens
+        under the ledger lock, together with the cache release.
+        """
+        with self._lock:
+            self.events_emitted = events_emitted
+            self.batches_emitted = batches_emitted
+            self.wall_seconds = wall_seconds
+            self._detections.clear()
+
     def merge(self, other: RuntimeLedger) -> None:
         """Fold another ledger's charges — and execution counters — into this one."""
         super().merge(other)

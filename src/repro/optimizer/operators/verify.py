@@ -80,7 +80,7 @@ class DetectorVerifier(PhysicalOperator):
             if not chunk:
                 continue
             chunk_results = context.detect_batch(chunk, ledger)
-            for frame, detection in zip(chunk, chunk_results):
+            for frame, detection in zip(chunk, chunk_results, strict=True):
                 if state.satisfied:
                     break
                 if not state.eligible(frame):

@@ -119,7 +119,10 @@ class DetectionPrefetcher:
         """
         if self._announced or self._cancelled():
             return
-        self._announced = True
+        # Only the driver thread calls announce(), before any worker reads
+        # the flag; taking a lock here would suggest cross-thread traffic
+        # that doesn't exist.
+        self._announced = True  # repro: allow[RPR003]: driver-thread-only state
         order = np.asarray(
             frame_order if isinstance(frame_order, np.ndarray) else list(frame_order),
             dtype=np.int64,
@@ -169,7 +172,7 @@ class DetectionPrefetcher:
                 state.finished = True
                 continue
             frames, results = item
-            for f, r in zip(frames, results):
+            for f, r in zip(frames, results, strict=True):
                 if state.position_of[int(f)] >= state.consumed:
                     state.buffer[int(f)] = r
 
@@ -267,8 +270,12 @@ class DetectionPrefetcher:
             if context.recorded is not None:
                 fresh = {f: context.recorded.result(f) for f in misses}
             else:
+                # Speculative prefetch is intentionally uncharged: the
+                # driver charges the ledger when (and only when) a
+                # prefetched frame is actually consumed, keeping parallel
+                # accounting identical to sequential.
                 fresh = dict(
-                    zip(misses, context.detector.detect_many(context.video, misses))
+                    zip(misses, context.detector.detect_many(context.video, misses), strict=True)  # repro: allow[RPR002]: uncharged speculation, charged on consumption
                 )
             hits.update(fresh)
         return [hits[f] for f in frames]

@@ -22,7 +22,10 @@ import time
 
 from repro.core.config import BlazeItConfig
 from repro.core.engine import BlazeIt
+from repro.detection.base import DetectionResult
 from repro.detection.simulated import SimulatedDetector
+from repro.metrics.runtime import RuntimeLedger
+from repro.video.synthetic import SyntheticVideo
 from repro.service.app import QueryServiceApp
 from repro.service.manager import ServiceConfig, ServiceManager, TenantQuota
 
@@ -42,11 +45,21 @@ class PacedSimulatedDetector(SimulatedDetector):
         )
         self.seconds_per_frame = seconds_per_frame
 
-    def detect(self, video, frame_index, ledger=None):
+    def detect(
+        self,
+        video: SyntheticVideo,
+        frame_index: int,
+        ledger: RuntimeLedger | None = None,
+    ) -> DetectionResult:
         time.sleep(self.seconds_per_frame)
         return super().detect(video, frame_index, ledger)
 
-    def _detect_batch(self, video, frame_indices, ledger=None):
+    def _detect_batch(
+        self,
+        video: SyntheticVideo,
+        frame_indices: list[int],
+        ledger: RuntimeLedger | None = None,
+    ) -> list[DetectionResult]:
         time.sleep(self.seconds_per_frame * len(frame_indices))
         return super()._detect_batch(video, frame_indices, ledger)
 

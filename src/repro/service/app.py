@@ -40,9 +40,10 @@ with it every other client's heartbeat — never stalls behind a query.
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import threading
-from typing import Any
+from typing import Any, Callable, TypeVar
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import BlazeItError
@@ -51,6 +52,8 @@ from repro.service.manager import ServiceError, ServiceManager
 _MAX_BODY_BYTES = 8 << 20
 #: How long a blocking POST /queries waits before returning 504.
 _BLOCKING_TIMEOUT = 600.0
+
+_T = TypeVar("_T")
 
 
 class _HttpError(Exception):
@@ -88,6 +91,17 @@ class QueryServiceApp:
 
     def __init__(self, manager: ServiceManager) -> None:
         self.manager = manager
+
+    async def _call(self, fn: Callable[..., _T], *args: Any) -> _T:
+        """Run a lock-taking manager call on the default executor.
+
+        Every ``ServiceManager`` entry point acquires the manager lock (and
+        ``submit`` additionally plans the query), so none of them may run
+        on the event loop directly (RPR004) — a contended lock there would
+        stall every client's heartbeat.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, fn, *args)
 
     # -- server lifecycle ----------------------------------------------------------
 
@@ -153,7 +167,9 @@ class QueryServiceApp:
         try:
             method, target, _version = lines[0].split(" ", 2)
         except ValueError:
-            raise _HttpError(400, "bad_request", f"malformed request line {lines[0]!r}")
+            raise _HttpError(
+                400, "bad_request", f"malformed request line {lines[0]!r}"
+            ) from None
         headers: dict[str, str] = {}
         for line in lines[1:]:
             if not line:
@@ -182,13 +198,13 @@ class QueryServiceApp:
         payload = self._parse_body(body)
 
         if parts == ["healthz"] and method == "GET":
-            return 200, self.manager.status()
+            return 200, await self._call(self.manager.status)
         if parts == ["tenants"] and method == "POST":
-            return 200, self._create_tenant(payload)
+            return 200, await self._create_tenant(payload)
         if parts == ["sessions"] and method == "POST":
-            return 200, self._create_session(payload)
+            return 200, await self._create_session(payload)
         if len(parts) == 2 and parts[0] == "sessions" and method == "DELETE":
-            self.manager.close_session(parts[1])
+            await self._call(self.manager.close_session, parts[1])
             return 200, {"session_id": parts[1], "closed": True}
         if (
             len(parts) == 3
@@ -196,16 +212,20 @@ class QueryServiceApp:
             and parts[2] == "prepare"
             and method == "POST"
         ):
-            return 200, self.manager.prepare(
-                parts[1], self._required(payload, "query"), payload.get("hints")
+            return 200, await self._call(
+                self.manager.prepare,
+                parts[1],
+                self._required(payload, "query"),
+                payload.get("hints"),
             )
         if parts == ["queries"] and method == "POST":
             return await self._submit_query(payload)
         if len(parts) == 2 and parts[0] == "queries":
             if method == "GET":
-                return 200, self.manager.query(parts[1]).status()
+                record = await self._call(self.manager.query, parts[1])
+                return 200, await self._call(record.status)
             if method == "DELETE":
-                return 200, self.manager.cancel(parts[1])
+                return 200, await self._call(self.manager.cancel, parts[1])
         if (
             len(parts) == 3
             and parts[0] == "queries"
@@ -224,7 +244,7 @@ class QueryServiceApp:
         try:
             payload = json.loads(body)
         except json.JSONDecodeError as exc:
-            raise _HttpError(400, "bad_json", f"request body is not JSON: {exc}")
+            raise _HttpError(400, "bad_json", f"request body is not JSON: {exc}") from exc
         if not isinstance(payload, dict):
             raise _HttpError(400, "bad_json", "request body must be a JSON object")
         return payload
@@ -237,7 +257,7 @@ class QueryServiceApp:
 
     # -- handlers ------------------------------------------------------------------
 
-    def _create_tenant(self, payload: dict[str, Any]) -> dict[str, Any]:
+    async def _create_tenant(self, payload: dict[str, Any]) -> dict[str, Any]:
         from repro.service.manager import TenantQuota
 
         quota_payload = payload.get("quota") or {}
@@ -247,15 +267,20 @@ class QueryServiceApp:
             max_detector_calls=quota_payload.get("max_detector_calls"),
             max_active_queries=quota_payload.get("max_active_queries"),
         )
-        return self.manager.create_tenant(self._required(payload, "name"), quota)
+        return await self._call(
+            self.manager.create_tenant, self._required(payload, "name"), quota
+        )
 
-    def _create_session(self, payload: dict[str, Any]) -> dict[str, Any]:
+    async def _create_session(self, payload: dict[str, Any]) -> dict[str, Any]:
         from repro.service.protocol import hints_from_json
 
-        session_id = self.manager.create_session(
-            self._required(payload, "tenant"),
-            video=payload.get("video"),
-            hints=hints_from_json(payload.get("hints")),
+        session_id = await self._call(
+            functools.partial(
+                self.manager.create_session,
+                self._required(payload, "tenant"),
+                video=payload.get("video"),
+                hints=hints_from_json(payload.get("hints")),
+            )
         )
         return {"session_id": session_id}
 
@@ -274,13 +299,16 @@ class QueryServiceApp:
                 ci_width=stop_payload.get("ci_width"),
                 max_detector_calls=stop_payload.get("max_detector_calls"),
             )
-        record = self.manager.submit(
-            self._required(payload, "session"),
-            query=payload.get("query"),
-            prepared_id=payload.get("prepared"),
-            hints=payload.get("hints"),
-            stop=stop,
-            params=payload.get("params"),
+        record = await self._call(
+            functools.partial(
+                self.manager.submit,
+                self._required(payload, "session"),
+                query=payload.get("query"),
+                prepared_id=payload.get("prepared"),
+                hints=payload.get("hints"),
+                stop=stop,
+                params=payload.get("params"),
+            )
         )
         if payload.get("wait", True):
             loop = asyncio.get_running_loop()
@@ -305,7 +333,8 @@ class QueryServiceApp:
         query_params: dict[str, list[str]],
         headers: dict[str, str],
     ) -> None:
-        record = self.manager.query(query_id)  # NotFoundError -> 404 upstream
+        # NotFoundError propagates to the dispatcher and becomes a 404.
+        record = await self._call(self.manager.query, query_id)
         start = 0
         if "last-event-id" in headers:
             start = int(headers["last-event-id"]) + 1

@@ -66,7 +66,8 @@ class ServiceClient:
             headers = {"Content-Type": "application/json"} if body else {}
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
-            data = json.loads(response.read() or b"{}")
+            raw = json.loads(response.read() or b"{}")
+            data: dict[str, Any] = raw if isinstance(raw, dict) else {"value": raw}
             if response.status >= 400:
                 raise ServiceClientError(
                     response.status,

@@ -64,7 +64,9 @@ class CancellationToken:
         for callback in callbacks:
             try:
                 callback()
-            except BaseException as exc:  # noqa: BLE001 - run every callback
+            # Every callback must run even if one fails; the first error is
+            # re-raised once the list is drained.
+            except BaseException as exc:  # noqa: B036
                 error = exc
         if error is not None:
             raise error

@@ -159,7 +159,7 @@ def _rate_profile(
         burst_starts = rng.integers(0, max(num_frames - 1, 1), size=n_bursts)
         burst_lengths = rng.integers(100, 600, size=n_bursts)
         burst_gains = 1.0 + burstiness * rng.uniform(2.0, 6.0, size=n_bursts)
-        for start, length, gain in zip(burst_starts, burst_lengths, burst_gains):
+        for start, length, gain in zip(burst_starts, burst_lengths, burst_gains, strict=True):
             end = min(num_frames, int(start + length))
             rate[start:end] *= gain
     return rate

@@ -173,3 +173,32 @@ class TestCatalogCrashSafety:
         path.write_text('{"format": "something-else"}')
         with pytest.raises(ConfigurationError):
             StatisticsCatalog.load(path)
+
+
+class TestBenchmarkReportsAreAtomic:
+    """BENCH_*.json reports must go through the atomic writer.
+
+    CI reads these files after a benchmark run; a run killed mid-write (job
+    timeout, runner eviction) must leave either the previous report or the
+    new one, never a truncated JSON.  This is a source-level guard: every
+    benchmark that writes a report imports and calls ``atomic_write_text``,
+    and none uses a bare ``Path.write_text`` for it.
+    """
+
+    BENCH_SCRIPTS = ["bench_parallel.py", "bench_perf_suite.py", "bench_service.py"]
+
+    def test_bench_reports_use_atomic_write(self):
+        import ast
+        from pathlib import Path
+
+        bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+        for script in self.BENCH_SCRIPTS:
+            tree = ast.parse((bench_dir / script).read_text())
+            calls = [
+                ast.unparse(node.func)
+                for node in ast.walk(tree)
+                if isinstance(node, ast.Call)
+            ]
+            assert "atomic_write_text" in calls, script
+            bare_writes = [c for c in calls if c.endswith(".write_text")]
+            assert bare_writes == [], (script, bare_writes)

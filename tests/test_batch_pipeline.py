@@ -28,11 +28,11 @@ from conftest import make_video_spec
 def assert_results_identical(left, right):
     """Field-for-field equality of two DetectionResult lists."""
     assert len(left) == len(right)
-    for a, b in zip(left, right):
+    for a, b in zip(left, right, strict=True):
         assert a.frame_index == b.frame_index
         assert a.timestamp == b.timestamp
         assert len(a.detections) == len(b.detections)
-        for x, y in zip(a.detections, b.detections):
+        for x, y in zip(a.detections, b.detections, strict=True):
             assert x.object_class == y.object_class
             assert x.confidence == y.confidence
             assert x.box.as_tuple() == y.box.as_tuple()
@@ -114,7 +114,7 @@ class TestFrameObjectTable:
             objects = video.objects_at(int(frame_index))
             lo, hi = table.offsets[row], table.offsets[row + 1]
             assert hi - lo == len(objects)
-            for k, obj in zip(range(lo, hi), objects):
+            for k, obj in zip(range(lo, hi), objects, strict=True):
                 assert table.track_ids[k] == obj.track_id
                 assert table.class_names[table.class_codes[k]] == obj.object_class
                 assert table.color_names[table.color_codes[k]] == obj.color_name

@@ -22,6 +22,7 @@ import time
 
 import pytest
 
+from repro.api.hints import QueryHints
 from repro.core.config import BlazeItConfig
 from repro.core.engine import BlazeIt
 from repro.detection.simulated import SimulatedDetector
@@ -169,6 +170,43 @@ class TestEventLog:
 # ---------------------------------------------------------------------------------
 
 
+class TestResultIdentityProperty:
+    """The reproducibility invariant the analyzer exists to protect, as one
+    property: for every query class the result fingerprint is a pure function
+    of (engine seed, query) — neither the parallelism level (1 vs 4) nor the
+    execution path (direct session vs service manager) may change a byte.
+    """
+
+    KINDS = ["aggregate", "selection", "exact", "scrubbing"]
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_fingerprint_pure_in_seed_and_query(self, kind):
+        query = queries_for(scenario_class())[self.KINDS.index(kind)]
+        fingerprints: dict[str, str] = {}
+        for parallelism in (1, 4):
+            hints = QueryHints(parallelism=parallelism)
+
+            engine = build_engine(seed=11)
+            with engine.session() as session:
+                result = session.prepare(query, hints=hints).execute()
+            fingerprints[f"session/p{parallelism}"] = result_fingerprint(result)
+
+            manager = ServiceManager(build_engine(seed=11), ServiceConfig(slots=4))
+            try:
+                manager.create_tenant("prop")
+                session_id = manager.create_session("prop")
+                record = manager.submit(session_id, query=query, hints=hints)
+                assert record.done.wait(60.0)
+                assert record.state == COMPLETED, record.error
+                fingerprints[f"manager/p{parallelism}"] = result_fingerprint(
+                    record.result
+                )
+            finally:
+                manager.shutdown()
+
+        assert len(set(fingerprints.values())) == 1, fingerprints
+
+
 class TestManagerExecution:
     def test_all_query_classes_byte_identical_to_in_process(self):
         cls = scenario_class()
@@ -178,7 +216,7 @@ class TestManagerExecution:
         try:
             manager.create_tenant("acme")
             session_id = manager.create_session("acme")
-            for query, ref in zip(queries, refs):
+            for query, ref in zip(queries, refs, strict=True):
                 record = manager.submit(session_id, query=query)
                 assert record.done.wait(60.0)
                 assert record.state == COMPLETED, record.error
@@ -373,7 +411,7 @@ class TestWire:
         refs = reference_fingerprints(queries)
         client.create_tenant("acme")
         session_id = client.create_session("acme")
-        for query, ref in zip(queries, refs):
+        for query, ref in zip(queries, refs, strict=True):
             result = client.execute(session_id, query)
             assert result_fingerprint(result) == ref
 

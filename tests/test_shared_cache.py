@@ -102,7 +102,7 @@ class TestSharedDetectionCache:
         assert restored.frame_index == original.frame_index
         assert restored.timestamp == original.timestamp
         assert len(restored.detections) == len(original.detections)
-        for a, b in zip(original.detections, restored.detections):
+        for a, b in zip(original.detections, restored.detections, strict=True):
             assert a.object_class == b.object_class
             assert a.box == b.box
             assert a.confidence == b.confidence
