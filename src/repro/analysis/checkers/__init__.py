@@ -8,6 +8,7 @@ from repro.analysis.checkers.ledger import LedgerAccountingChecker
 from repro.analysis.checkers.locks import LockDisciplineChecker
 from repro.analysis.checkers.async_hygiene import AsyncHygieneChecker
 from repro.analysis.checkers.wire import WireExhaustivenessChecker
+from repro.analysis.checkers.fork_safety import ForkSafetyChecker
 
 
 def all_checkers() -> list[Checker]:
@@ -18,6 +19,7 @@ def all_checkers() -> list[Checker]:
         LockDisciplineChecker(),
         AsyncHygieneChecker(),
         WireExhaustivenessChecker(),
+        ForkSafetyChecker(),
     ]
 
 
@@ -25,6 +27,7 @@ __all__ = [
     "AsyncHygieneChecker",
     "Checker",
     "DeterminismChecker",
+    "ForkSafetyChecker",
     "LedgerAccountingChecker",
     "LockDisciplineChecker",
     "WireExhaustivenessChecker",

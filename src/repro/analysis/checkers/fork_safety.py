@@ -1,0 +1,295 @@
+"""RPR006 — fork safety of objects shipped into multiprocessing workers.
+
+Everything passed to a ``multiprocessing.Process`` (the ``target=``
+callable and every element of ``args=`` / ``kwargs=``) is pickled into the
+child under the spawn start method.  Objects that hold thread
+synchronisation primitives (``threading.Lock`` and friends), thread-local
+queues, live threads, open sockets or file handles, or plainly unpicklable
+values (lambdas) either fail to pickle outright or — worse — pickle into a
+*dead copy*: a lock the parent holds arrives released, a queue arrives
+empty, a socket arrives closed.
+
+The checker resolves, best effort, the class of every captured argument
+(locally-constructed names, ``self``-attributes of the enclosing class,
+bound-method targets) and flags any whose attributes are constructed from a
+risky type.  ``multiprocessing`` primitives (``mp.Queue``, ``ctx.Event``)
+are exempt by construction: they are designed to cross the boundary, and
+their constructors never resolve to the ``threading``/``queue`` modules.
+Plain-data specs — frozen dataclasses of arrays and value types, like the
+process executor's ``ShardWorkerSpec`` — carry no risky constructions and
+pass untouched.
+
+Suppress a deliberate capture with ``# repro: allow[RPR006]: <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.project import (
+    ClassInfo,
+    ModuleInfo,
+    ProjectModel,
+    dotted_name,
+)
+
+#: Constructor types whose instances do not survive pickling into a worker
+#: process, mapped to the phrase used in the diagnostic.
+_RISKY_TYPES = {
+    "threading.Lock": "a threading.Lock",
+    "threading.RLock": "a threading.RLock",
+    "threading.Condition": "a threading.Condition",
+    "threading.Event": "a threading.Event",
+    "threading.Semaphore": "a threading.Semaphore",
+    "threading.BoundedSemaphore": "a threading.BoundedSemaphore",
+    "threading.Thread": "a live thread",
+    "threading.local": "thread-local storage",
+    "queue.Queue": "a thread-local queue.Queue",
+    "queue.SimpleQueue": "a thread-local queue.SimpleQueue",
+    "queue.LifoQueue": "a thread-local queue.LifoQueue",
+    "queue.PriorityQueue": "a thread-local queue.PriorityQueue",
+    "socket.socket": "an open socket",
+    "socket.create_connection": "an open socket",
+    "open": "an open file handle",
+    "io.open": "an open file handle",
+}
+
+#: Spellings of the process constructor (resolved through the module's
+#: import map for plain names; matched on the attribute for context objects
+#: like ``self._mp.Process`` whose type static resolution cannot see).
+_PROCESS_CTORS = {"multiprocessing.Process", "multiprocessing.context.Process"}
+
+
+def _value_risk(info: ModuleInfo, value: ast.expr | None) -> str | None:
+    """Why a constructed attribute value is fork-unsafe, or ``None``.
+
+    Resolves ``threading.Lock()``-style constructor calls (including
+    ``field(default_factory=threading.Lock)``) through the import map, and
+    treats lambdas as unpicklable outright.
+    """
+    if isinstance(value, ast.Lambda):
+        return "an unpicklable lambda"
+    if not isinstance(value, ast.Call):
+        return None
+    name = dotted_name(value.func)
+    if name is None:
+        return None
+    resolved = info.resolve(name)
+    if resolved.rsplit(".", 1)[-1] == "field":
+        for kw in value.keywords:
+            if kw.arg == "default_factory":
+                factory = dotted_name(kw.value)
+                if factory is not None:
+                    resolved = info.resolve(factory)
+                    break
+        else:
+            return None
+    return _RISKY_TYPES.get(resolved)
+
+
+def _is_self(expr: ast.expr) -> bool:
+    return isinstance(expr, ast.Name) and expr.id == "self"
+
+
+def _is_process_ctor(info: ModuleInfo, func: ast.expr) -> bool:
+    name = dotted_name(func)
+    if name is not None and info.resolve(name) in _PROCESS_CTORS:
+        return True
+    # Context objects (``mp_context.Process``, ``self._mp.Process``) defeat
+    # import resolution; the trailing attribute is the tell.
+    return isinstance(func, ast.Attribute) and func.attr == "Process"
+
+
+class ForkSafetyChecker(Checker):
+    rule = "RPR006"
+    title = "objects shipped into multiprocessing workers must survive pickling"
+
+    def check(self, project: ProjectModel) -> Iterator[Diagnostic]:
+        risky = self._discover_risky(project)
+        for info in project.modules.values():
+            for func, context, cls in project.iter_functions(info):
+                enclosing: ClassInfo | None = None
+                if cls is not None:
+                    enclosing = project.find_class(f"{info.name}.{cls.name}")
+                yield from self._check_function(
+                    project, risky, info, func, context, enclosing
+                )
+
+    # -- discovery -----------------------------------------------------------------
+
+    def _discover_risky(
+        self, project: ProjectModel
+    ) -> dict[str, list[tuple[str, str]]]:
+        """``qualname -> [(attr, why)]`` for classes holding fork-unsafe state,
+        inherited attributes included."""
+        direct: dict[str, list[tuple[str, str]]] = {}
+        for cinfo in project.classes.values():
+            found: list[tuple[str, str]] = []
+            for stmt in ast.walk(cinfo.node):
+                attr: str | None = None
+                value: ast.expr | None = None
+                if isinstance(stmt, ast.AnnAssign):
+                    if isinstance(stmt.target, ast.Name):
+                        attr = stmt.target.id
+                    elif isinstance(stmt.target, ast.Attribute) and _is_self(
+                        stmt.target.value
+                    ):
+                        attr = stmt.target.attr
+                    value = stmt.value
+                elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target = stmt.targets[0]
+                    if isinstance(target, ast.Name):
+                        attr = target.id
+                    elif isinstance(target, ast.Attribute) and _is_self(
+                        target.value
+                    ):
+                        attr = target.attr
+                    value = stmt.value
+                if attr is None:
+                    continue
+                why = _value_risk(cinfo.module, value)
+                if why is not None:
+                    found.append((attr, why))
+            if found:
+                direct[cinfo.qualname] = found
+
+        # Inheritance closure: a subclass carries its bases' risky state.
+        merged: dict[str, list[tuple[str, str]]] = {}
+        for cinfo in project.classes.values():
+            collected: list[tuple[str, str]] = []
+            stack = [cinfo]
+            seen: set[str] = set()
+            while stack:
+                current = stack.pop()
+                if current.qualname in seen:
+                    continue
+                seen.add(current.qualname)
+                collected.extend(direct.get(current.qualname, ()))
+                for base in current.base_names:
+                    resolved = project.find_class(base)
+                    if resolved is not None:
+                        stack.append(resolved)
+            if collected:
+                merged[cinfo.qualname] = collected
+        return merged
+
+    # -- per-function check --------------------------------------------------------
+
+    def _check_function(
+        self,
+        project: ProjectModel,
+        risky: dict[str, list[tuple[str, str]]],
+        info: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        context: str,
+        enclosing: ClassInfo | None,
+    ) -> Iterator[Diagnostic]:
+        local_types = self._local_constructions(project, info, func)
+        attr_types = (
+            self._self_attr_classes(project, enclosing)
+            if enclosing is not None
+            else {}
+        )
+        for node in ast.walk(func):
+            if not (
+                isinstance(node, ast.Call)
+                and _is_process_ctor(info, node.func)
+            ):
+                continue
+            for expr, role in self._captured(node):
+                target = self._resolve_capture(
+                    expr, enclosing, local_types, attr_types
+                )
+                if target is None:
+                    continue
+                for attr, why in risky.get(target.qualname, ()):
+                    yield self.diagnostic(
+                        info,
+                        node.lineno,
+                        node.col_offset,
+                        f"`{target.name}` is shipped into a multiprocessing "
+                        f"worker (via {role}) but holds `{attr}`, {why}, "
+                        "which does not survive pickling into the child",
+                        context=context,
+                        hint=(
+                            "pass a plain-data spec (dataclass of value "
+                            "types) and rebuild live resources inside the "
+                            "worker, or use multiprocessing primitives "
+                            "(mp.Queue, ctx.Event) designed to cross"
+                        ),
+                    )
+
+    def _captured(
+        self, call: ast.Call
+    ) -> Iterator[tuple[ast.expr, str]]:
+        for kw in call.keywords:
+            if kw.arg == "target":
+                yield kw.value, "target="
+            elif kw.arg in ("args", "kwargs"):
+                if isinstance(kw.value, (ast.Tuple, ast.List)):
+                    for element in kw.value.elts:
+                        yield element, f"{kw.arg}="
+                elif isinstance(kw.value, ast.Dict):
+                    for element in kw.value.values:
+                        yield element, "kwargs="
+                else:
+                    yield kw.value, f"{kw.arg}="
+
+    def _resolve_capture(
+        self,
+        expr: ast.expr,
+        enclosing: ClassInfo | None,
+        local_types: dict[str, ClassInfo],
+        attr_types: dict[str, ClassInfo],
+    ) -> ClassInfo | None:
+        # ``args=(spec, ...)`` — a locally constructed project object.
+        if isinstance(expr, ast.Name):
+            if expr.id == "self":
+                return enclosing
+            return local_types.get(expr.id)
+        if isinstance(expr, ast.Attribute) and _is_self(expr.value):
+            # ``args=(self.worker, ...)`` — a typed attribute of the class;
+            # ``target=self.run`` — a bound method captures all of self.
+            if expr.attr in attr_types:
+                return attr_types[expr.attr]
+            if enclosing is not None and any(
+                isinstance(stmt, ast.FunctionDef) and stmt.name == expr.attr
+                for stmt in enclosing.node.body
+            ):
+                return enclosing
+        return None
+
+    def _local_constructions(
+        self,
+        project: ProjectModel,
+        info: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> dict[str, ClassInfo]:
+        """Names assigned from a project-class constructor inside ``func``."""
+        result: dict[str, ClassInfo] = {}
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            name = dotted_name(node.value.func)
+            if name is None:
+                continue
+            found = project.find_class(info.resolve(name))
+            if found is not None:
+                result[target.id] = found
+        return result
+
+    def _self_attr_classes(
+        self, project: ProjectModel, enclosing: ClassInfo
+    ) -> dict[str, ClassInfo]:
+        return project.attribute_types(enclosing)
+
+
+__all__ = ["ForkSafetyChecker"]

@@ -20,12 +20,16 @@ __all__ = [
     "NO_HINTS",
     "StopConditions",
     "NO_STOP",
+    "VALID_BACKENDS",
     "VALID_FILTER_CLASSES",
     "require_hints",
 ]
 
 #: Filter classes a selection plan knows how to infer (Section 8).
 VALID_FILTER_CLASSES = frozenset({"spatial", "temporal", "content", "label"})
+
+#: Worker substrates the parallel engine offers (see ``QueryHints.backend``).
+VALID_BACKENDS = frozenset({"threads", "processes"})
 
 
 @dataclass(frozen=True)
@@ -70,6 +74,15 @@ class QueryHints:
         Results — ledger accounting included — are bit-for-bit identical at
         every setting under a fixed RNG stream; parallelism only changes
         wall-clock time.
+    backend:
+        Restrict the parallel engine to one worker substrate: ``"threads"``
+        (shared-memory prefetch workers, right whenever the detector releases
+        the GIL during its latency) or ``"processes"`` (spawned workers with
+        shared-memory columnar transport, right for GIL-bound detectors).
+        ``None`` (the default) lets the optimizer's parallelism model pick —
+        or threads, wherever the model is not consulted.  The hint does not
+        itself enable parallelism; it shapes what routed or explicit
+        parallelism runs on.  Results are backend-independent, bit for bit.
     force_plan:
         Bypass cost-based selection and pick the named physical candidate
         outright (the escape hatch for benchmarks and expert users).
@@ -87,6 +100,7 @@ class QueryHints:
     stop_conditions: StopConditions | None = None
     batch_size: int | None = None
     parallelism: int | None = None
+    backend: str | None = None
     force_plan: str | None = None
 
     def __post_init__(self) -> None:
@@ -110,6 +124,11 @@ class QueryHints:
             raise ConfigurationError(
                 f"parallelism must be a positive integer or None, got "
                 f"{self.parallelism!r}"
+            )
+        if self.backend is not None and self.backend not in VALID_BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {sorted(VALID_BACKENDS)} or None, got "
+                f"{self.backend!r}"
             )
         if self.force_plan is not None and (
             not isinstance(self.force_plan, str) or not self.force_plan
@@ -157,6 +176,8 @@ class QueryHints:
             parts.append(f"batch_size={self.batch_size}")
         if self.parallelism is not None:
             parts.append(f"parallelism={self.parallelism}")
+        if self.backend is not None:
+            parts.append(f"backend={self.backend}")
         if self.force_plan is not None:
             parts.append(f"force_plan={self.force_plan}")
         return ", ".join(parts) if parts else "none"

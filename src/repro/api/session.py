@@ -52,9 +52,11 @@ from repro.frameql.ast import Query
 from repro.frameql.parser import parse
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.catalog.statistics import VideoStatistics
     from repro.core.context import ExecutionContext
     from repro.core.engine import BlazeIt
     from repro.optimizer.base import PhysicalPlan
+    from repro.optimizer.cost import ParallelismDecision
 
 def _positive_float(name: str, value: Any) -> float:
     try:
@@ -194,6 +196,7 @@ class PreparedQuery:
         stop: StopConditions | None = None,
         batch_size: int | None = None,
         parallelism: int | None = None,
+        backend: str | None = None,
         **params: Any,
     ) -> ExecutionStream:
         """Run the prepared plan as a lazy stream of typed execution events.
@@ -213,15 +216,18 @@ class PreparedQuery:
         (falling back to the hints' ``parallelism``, then the engine
         configuration): the video is partitioned into shards, one prefetch
         worker per shard, with :class:`~repro.core.events.ShardProgress`
-        events interleaved into the stream.  Results are bit-for-bit
-        identical at every parallelism under a fixed RNG stream.
+        events interleaved into the stream.  ``backend`` picks the worker
+        substrate (``"threads"`` or ``"processes"``, falling back to the
+        hints' ``backend``, then the optimizer's choice or threads).  Results
+        are bit-for-bit identical at every parallelism and backend under a
+        fixed RNG stream.
 
         The plan does no work until the stream is iterated; interleaving two
         live streams of the same prepared query is not supported (they share
         the analyzed spec and, sequentially, the context's RNG binding).
         """
         self._session.stats.streams += 1
-        return self._open_stream(rng, stop, batch_size, params, parallelism)
+        return self._open_stream(rng, stop, batch_size, params, parallelism, backend)
 
     def _effective_parallelism(self, parallelism: int | None) -> int:
         if parallelism is not None:
@@ -235,6 +241,40 @@ class PreparedQuery:
             return self.hints.parallelism
         return self._session.engine.config.parallelism
 
+    def _parallelism_decision(
+        self,
+        context: ExecutionContext,
+        stats: "VideoStatistics",
+        requested: int,
+        batch_size: int,
+        backend_constraint: str | None,
+    ) -> "ParallelismDecision":
+        """The cost model's verdict on routed parallelism for this query."""
+        from repro.errors import SpawnExportError
+        from repro.optimizer.cost import ParallelismModel
+        from repro.parallel.executor import DEFAULT_WINDOW_CHUNKS
+
+        detector = context.detector
+        process_ok = True
+        if detector.gil_bound or backend_constraint == "processes":
+            # Only probe exportability when processes are actually in play:
+            # the probe pickles the detector.
+            try:
+                context.spawn_spec()
+            except SpawnExportError:
+                process_ok = False
+        return ParallelismModel().decide(
+            plan=self.plan,
+            stats=stats,
+            num_frames=context.video.num_frames,
+            requested=requested,
+            batch_size=batch_size,
+            window_chunks=DEFAULT_WINDOW_CHUNKS,
+            gil_bound=detector.gil_bound,
+            process_ok=process_ok,
+            backend_constraint=backend_constraint,
+        )
+
     def _open_stream(
         self,
         rng: np.random.Generator | None,
@@ -242,6 +282,7 @@ class PreparedQuery:
         batch_size: int | None,
         params: Mapping[str, Any],
         parallelism: int | None = None,
+        backend: str | None = None,
     ) -> ExecutionStream:
         context = self._session._context_for(self.spec.video)
         # The RNG stream is drawn now (so spawn order follows creation order)
@@ -263,16 +304,26 @@ class PreparedQuery:
             batch_size=batch_size,
         )
         workers = self._effective_parallelism(parallelism)
-        # Default routing (hints / engine config) defers to the plan: an
-        # importance-ordered scrub declines sharded prefetch, which is a
-        # measured regression for it.  A per-call explicit ``parallelism=``
-        # is an order, not a default, and is honoured as given.
-        if (
-            workers > 1
-            and parallelism is None
-            and not self.plan.parallel_profitable(context)
-        ):
-            workers = 1
+        exec_backend = backend if backend is not None else self.hints.backend
+        # Routed (hints / engine config) parallelism is a *default*, not an
+        # order: with catalog statistics the optimizer's parallelism model
+        # prices backend and worker count per query (an importance-ordered
+        # scrub never amortizes startup plus speculation, a scan does);
+        # without statistics the plan-level profitability gate stands in.
+        # A per-call explicit ``parallelism=`` is honoured as given.
+        if workers > 1 and parallelism is None:
+            stats = self._session.engine.catalog.get(self.spec.video)
+            if stats is not None:
+                decision = self._parallelism_decision(
+                    context, stats, workers, batch_size, exec_backend
+                )
+                workers = decision.workers
+                if decision.parallel:
+                    exec_backend = decision.backend
+            elif not self.plan.parallel_profitable(context):
+                workers = 1
+        if exec_backend is None:
+            exec_backend = "threads"
 
         def events() -> Iterator[ExecutionEvent]:
             from repro.parallel.plan import parallel_events
@@ -292,6 +343,7 @@ class PreparedQuery:
                         control,
                         parallelism=workers,
                         stats=self._session.engine.catalog.get(self.spec.video),
+                        backend=exec_backend,
                     )
                 else:
                     plan_events = self.plan.run(context, control)
@@ -319,6 +371,7 @@ class PreparedQuery:
         rng: np.random.Generator | None = None,
         stop: StopConditions | None = None,
         parallelism: int | None = None,
+        backend: str | None = None,
         **params: Any,
     ) -> QueryResult:
         """Run the prepared plan to completion by draining its event stream.
@@ -328,7 +381,7 @@ class PreparedQuery:
         Each call draws a fresh RNG stream from the session (unless ``rng``
         is given), so repeated approximate executions sample independently.
         """
-        return self._open_stream(rng, stop, None, params, parallelism).drain()
+        return self._open_stream(rng, stop, None, params, parallelism, backend).drain()
 
     def execute_many(
         self, param_sets: Iterable[Mapping[str, Any]]
@@ -422,8 +475,11 @@ class QuerySession:
         num_frames = store.get(spec.video).num_frames if spec.video in store else 0
         # The optimizer assembles the explanation: it holds the statistics
         # catalog the per-operator cost annotations and the candidate
-        # summaries are priced from.
-        return self.engine.optimizer.explain_plan(spec, plan, hints, num_frames)
+        # summaries are priced from.  The detector rides along so the
+        # parallelism verdict can account for GIL behaviour.
+        return self.engine.optimizer.explain_plan(
+            spec, plan, hints, num_frames, detector=self.engine.detector_for(spec.video)
+        )
 
     # -- public API ----------------------------------------------------------------
 
@@ -467,6 +523,7 @@ class QuerySession:
         stop: StopConditions | None = None,
         batch_size: int | None = None,
         parallelism: int | None = None,
+        backend: str | None = None,
         **params: Any,
     ) -> ExecutionStream:
         """Prepare (with caching) and stream a query's execution events.
@@ -482,7 +539,7 @@ class QuerySession:
         """
         return self._prepared_for(query, hints).stream(
             rng=rng, stop=stop, batch_size=batch_size, parallelism=parallelism,
-            **params
+            backend=backend, **params
         )
 
     def _prepared_for(

@@ -40,6 +40,29 @@ from repro.video.synthetic import SyntheticVideo
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a runtime cycle)
     from repro.parallel.cache import SharedDetectionCache
     from repro.parallel.executor import DetectionPrefetcher
+    from repro.video.synthetic import Track, VideoSpec
+
+
+@dataclass(frozen=True)
+class ContextSpec:
+    """Picklable recipe for rebuilding a shard worker's detection context.
+
+    Process shard workers cannot share the driver's :class:`ExecutionContext`
+    (it holds threads' worth of unpicklable, driver-only state); instead they
+    receive this spec and rebuild exactly what speculative detection needs —
+    the video, reconstructed bit-for-bit from its spec and track list, and
+    the detector, whose output is deterministic per (detector seed, video
+    seed, frame index).  Everything else (ledger, caches, RNG streams,
+    recording) stays on the driver, which charges on consumption.
+    """
+
+    video_spec: "VideoSpec"
+    tracks: "tuple[Track, ...]"
+    detector: ObjectDetector
+
+    def build_video(self) -> SyntheticVideo:
+        """Rebuild the exact video (works for sliced videos too)."""
+        return SyntheticVideo(self.video_spec, list(self.tracks))
 
 
 @dataclass
@@ -115,6 +138,36 @@ class ExecutionContext:
         """Attach a detection prefetcher (driver side of parallel execution)."""
         self._prefetcher = prefetcher
         return self
+
+    def spawn_spec(self) -> ContextSpec:
+        """Export the picklable :class:`ContextSpec` for process shard workers.
+
+        Raises :class:`~repro.errors.SpawnExportError` when the context
+        cannot cross a process boundary: a recording replaces the detector as
+        the source of truth and lives only on the driver, and a detector that
+        will not pickle cannot be rebuilt in a worker.  Routing treats the
+        error as "use threads instead".
+        """
+        import pickle
+
+        from repro.errors import SpawnExportError
+
+        if self.recorded is not None:
+            raise SpawnExportError(
+                "context replays a recorded test day; recordings are "
+                "driver-only, so process workers cannot reproduce them"
+            )
+        try:
+            pickle.dumps(self.detector)
+        except Exception as exc:
+            raise SpawnExportError(
+                f"detector {self.detector.name!r} is not picklable: {exc}"
+            ) from exc
+        return ContextSpec(
+            video_spec=self.video.spec,
+            tracks=tuple(self.video.tracks),
+            detector=self.detector,
+        )
 
     def announce_access_plan(
         self, frame_order: np.ndarray, monotone: bool = False

@@ -90,6 +90,10 @@ class PlanExplanation:
     estimated_detector_calls: int
     hints_applied: str = "none"
     candidates: tuple[PlanCandidateSummary, ...] = ()
+    #: The optimizer's parallelism verdict for routed execution — backend,
+    #: worker count and justification (empty when not computed, e.g. plans
+    #: built outside the cost-based optimizer).
+    parallelism: str = ""
 
     def __str__(self) -> str:
         return f"{self.kind}: {self.plan_summary}"
@@ -102,6 +106,8 @@ class PlanExplanation:
             f"  estimated detector calls: {self.estimated_detector_calls}",
             f"  hints: {self.hints_applied}",
         ]
+        if self.parallelism:
+            lines.append(f"  parallelism: {self.parallelism}")
         if self.candidates:
             lines.append("  candidates:")
             lines.extend(f"    {candidate.describe()}" for candidate in self.candidates)

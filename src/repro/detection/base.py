@@ -114,6 +114,14 @@ class ObjectDetector(abc.ABC):
     #: Human-readable detector name (e.g. ``"mask_rcnn"``).
     name: str = "detector"
 
+    #: Whether the detector holds the GIL for the duration of a call.  A
+    #: well-behaved binding releases the GIL while the accelerator works (the
+    #: simulated detector models that: its *charged* latency is overlappable),
+    #: so threads parallelize it; a detector that computes in pure Python or
+    #: through a GIL-holding extension must declare ``True`` so the optimizer
+    #: knows only process workers can overlap it.
+    gil_bound: bool = False
+
     @property
     @abc.abstractmethod
     def cost(self) -> OperatorCost:

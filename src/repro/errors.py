@@ -65,6 +65,16 @@ class ExecutionError(BlazeItError):
     """Raised when a physical plan fails during execution."""
 
 
+class SpawnExportError(BlazeItError):
+    """Raised when an execution context cannot be exported to worker processes.
+
+    The process shard backend rebuilds each worker's context from a picklable
+    spec; a detector that will not pickle, or a context bound to driver-only
+    state (e.g. a recorded test day), cannot cross the process boundary.
+    Routing catches this and falls back to the thread backend.
+    """
+
+
 class BudgetExceededError(BlazeItError):
     """Raised when an execution exceeds a user-supplied detection budget."""
 

@@ -73,6 +73,12 @@ class CostEstimate:
 class PhysicalPlan(abc.ABC):
     """A runnable execution strategy for one query."""
 
+    #: The cost estimate the optimizer priced this plan at when it chose it
+    #: (``None`` for plans built outside the optimizer).  The parallelism
+    #: model reads it so its "expected detector work" agrees with the very
+    #: numbers the plan was selected on.
+    planned_cost: CostEstimate | None = None
+
     @abc.abstractmethod
     def _stream(
         self, context: ExecutionContext, control: ExecutionControl
@@ -126,15 +132,18 @@ class PhysicalPlan(abc.ABC):
         return type(self).__name__
 
     def parallel_profitable(self, context: ExecutionContext) -> bool:
-        """Whether *default* parallelism routing should shard this plan.
+        """Statistics-free fallback gate for *default* parallelism routing.
 
-        Consulted when the effective parallelism came from hints or the
-        engine configuration rather than an explicit per-call argument: a
-        plan that knows sharded prefetch cannot pay off (e.g. an
-        importance-ordered scrubbing scan, whose ranked access order defeats
-        contiguous-shard speculation) returns ``False`` and runs on the
-        classic sequential path.  An explicit per-call ``parallelism=``
-        always wins — the caller asked for shards, they get shards.
+        When hints or the engine configuration route a query through the
+        parallel engine and the statistics catalog has an entry for the
+        video, the optimizer's :class:`~repro.optimizer.cost.ParallelismModel`
+        prices the decision per query and this hook is not consulted.  It
+        remains the fallback when no statistics exist: a plan that knows
+        sharded prefetch cannot pay off (e.g. an importance-ordered scrubbing
+        scan, whose ranked access order defeats contiguous-shard speculation)
+        returns ``False`` and runs on the classic sequential path.  An
+        explicit per-call ``parallelism=`` always wins — the caller asked for
+        shards, they get shards.
         """
         return True
 

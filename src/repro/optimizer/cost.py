@@ -37,6 +37,8 @@ by name — the escape hatch for benchmarks and for users who know better.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.api.hints import NO_HINTS, QueryHints, require_hints
 from repro.core.config import AggregateMethod, BlazeItConfig
@@ -63,6 +65,21 @@ from repro.optimizer.scrubbing import ScrubbingQueryPlan
 from repro.optimizer.selection import SelectionQueryPlan
 from repro.udf.registry import UDFRegistry
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.detection.base import ObjectDetector
+
+
+def _detector_picklable(detector: "ObjectDetector") -> bool:
+    """Whether a detector can cross the spawn boundary to process workers."""
+    import pickle
+
+    try:
+        pickle.dumps(detector)
+    except Exception:
+        return False
+    return True
+
+
 #: Relative + absolute margin a forced variant must clear to displace the
 #: adaptive default candidate (see the module docstring).
 SELECTION_TOLERANCE_RELATIVE = 0.10
@@ -75,6 +92,183 @@ SELECTION_TOLERANCE_SECONDS = 0.5
 #: events (``limit / event_rate``).  Capped at the sequential figure: an
 #: uninformative ranking degrades to random order, never below it.
 RANKING_OVERSHOOT = 2
+
+#: Modeled per-worker startup of the two parallel backends, expressed in the
+#: cost model's currency (detector-equivalent seconds).  Threads are nearly
+#: free; a spawned process pays a fresh interpreter plus the numpy/repro
+#: imports before its first chunk — the figure is calibrated from measured
+#: wall cost (see ``benchmarks/bench_parallel.py``).
+THREAD_STARTUP_SECONDS = 0.05
+PROCESS_STARTUP_SECONDS = 2.0
+
+#: Predicted-speedup margin a parallel configuration must clear before the
+#: model picks it over sequential execution: startup and speculation
+#: estimates are rough, and a sequential run is never wrong — only slow.
+PARALLEL_MARGIN = 1.3
+
+
+@dataclass(frozen=True)
+class ParallelismDecision:
+    """The optimizer's verdict on how to execute one plan in parallel."""
+
+    #: ``"sequential"``, ``"threads"`` or ``"processes"``.
+    backend: str
+    #: Worker count (``1`` for sequential).
+    workers: int
+    #: Human-readable justification, surfaced by ``explain()``.
+    reason: str
+    #: Modeled detector seconds of the sequential execution.
+    sequential_seconds: float = 0.0
+    #: Modeled seconds of the chosen configuration (equals
+    #: ``sequential_seconds`` when sequential wins).
+    parallel_seconds: float = 0.0
+    #: ``"cost_model"`` normally; ``"fallback"`` when no statistics existed
+    #: and the plan-level profitability gate decided instead.
+    source: str = "cost_model"
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    def describe(self) -> str:
+        label = (
+            "sequential"
+            if not self.parallel
+            else f"{self.backend} x {self.workers}"
+        )
+        return f"{label} [{self.source}] — {self.reason}"
+
+
+class ParallelismModel:
+    """Prices parallel execution: startup + speculation waste vs detector work.
+
+    The parallel engine overlaps *detector* latency across shard workers;
+    everything else a plan does (training, inference, filters) runs on the
+    driver regardless.  So the model compares the plan's expected detector
+    seconds — taken from the cost estimate the optimizer already produced
+    when it chose the plan — against ``startup x k`` plus the per-shard share
+    of useful work *and* speculative waste: workers compute the announced
+    order eagerly, so a plan that consumes only a short prefix (an
+    importance-ranked scrub crossing its LIMIT early) pays for prefetched
+    frames it never reads.  Cheap importance-ranked scans therefore lose to
+    sequential execution on principle, not by a blanket rule.
+
+    Backend choice follows the detector: threads when it releases the GIL
+    during its latency (the normal, well-behaved case — process startup is
+    two orders of magnitude dearer), processes when it declares itself
+    ``gil_bound`` and the context can be exported to spawned workers.
+    """
+
+    def __init__(
+        self,
+        thread_startup_seconds: float = THREAD_STARTUP_SECONDS,
+        process_startup_seconds: float = PROCESS_STARTUP_SECONDS,
+        margin: float = PARALLEL_MARGIN,
+    ) -> None:
+        self.thread_startup_seconds = thread_startup_seconds
+        self.process_startup_seconds = process_startup_seconds
+        self.margin = margin
+
+    def decide(
+        self,
+        plan: PhysicalPlan,
+        stats: VideoStatistics,
+        num_frames: int,
+        requested: int,
+        batch_size: int,
+        window_chunks: int,
+        gil_bound: bool = False,
+        process_ok: bool = True,
+        backend_constraint: str | None = None,
+    ) -> ParallelismDecision:
+        """Choose ``{sequential, threads x k, processes x k}`` for one plan.
+
+        ``requested`` is the routed worker count (hints or engine config);
+        the model may choose fewer workers, never more.
+        ``backend_constraint`` (from ``QueryHints.backend``) restricts the
+        choice to one backend without forcing parallelism itself.
+        """
+        if requested < 2:
+            return ParallelismDecision(
+                backend="sequential",
+                workers=1,
+                reason="parallelism not requested",
+            )
+        cost = plan.planned_cost
+        if cost is None:
+            cost = plan.estimate_cost(num_frames, stats)
+        useful_calls = min(max(int(cost.detector_calls), 0), num_frames)
+        per_call = stats.detector_seconds_per_call
+        sequential_seconds = useful_calls * per_call
+
+        backends = self._backend_order(gil_bound, process_ok, backend_constraint)
+        best: tuple[float, str, int] | None = None
+        for k in self._worker_counts(requested):
+            waste_calls = min(
+                max(0, num_frames - useful_calls),
+                k * window_chunks * batch_size,
+            )
+            for backend in backends:
+                # A GIL-bound detector serializes thread workers: they pay
+                # startup and speculation with no overlap at all.
+                overlap = 1 if (backend == "threads" and gil_bound) else k
+                startup = (
+                    self.thread_startup_seconds
+                    if backend == "threads"
+                    else self.process_startup_seconds
+                )
+                seconds = (
+                    startup * k + (useful_calls + waste_calls) * per_call / overlap
+                )
+                if best is None or seconds < best[0]:
+                    best = (seconds, backend, k)
+        if best is not None and sequential_seconds >= self.margin * best[0]:
+            seconds, backend, k = best
+            return ParallelismDecision(
+                backend=backend,
+                workers=k,
+                reason=(
+                    f"{useful_calls} expected detector calls amortize "
+                    f"{k} x {backend} startup "
+                    f"({sequential_seconds:.1f}s -> {seconds:.1f}s modeled)"
+                ),
+                sequential_seconds=sequential_seconds,
+                parallel_seconds=seconds,
+            )
+        return ParallelismDecision(
+            backend="sequential",
+            workers=1,
+            reason=(
+                f"{useful_calls} expected detector calls don't amortize "
+                "worker startup and speculative prefetch"
+                + (
+                    f" (best parallel config modeled {best[0]:.1f}s vs "
+                    f"{sequential_seconds:.1f}s sequential)"
+                    if best is not None
+                    else ""
+                )
+            ),
+            sequential_seconds=sequential_seconds,
+            parallel_seconds=sequential_seconds,
+        )
+
+    def _backend_order(
+        self, gil_bound: bool, process_ok: bool, constraint: str | None
+    ) -> list[str]:
+        order = ["processes", "threads"] if gil_bound else ["threads", "processes"]
+        if not process_ok:
+            order = [b for b in order if b != "processes"]
+        if constraint is not None:
+            order = [b for b in order if b == constraint]
+        return order
+
+    def _worker_counts(self, requested: int) -> list[int]:
+        counts = []
+        k = requested
+        while k >= 2:
+            counts.append(k)
+            k //= 2
+        return counts
 
 
 class PlanCandidate:
@@ -138,10 +332,16 @@ class CostBasedOptimizer:
         self._validate_udfs(spec)
         candidates = self.candidates(spec, hints)
         if hints.force_plan is not None:
-            return self._forced(candidates, hints.force_plan).plan
-        if self._config_forces_strategy(spec):
-            return candidates[0].plan
-        return self.choose(candidates, self.statistics_for(spec)).plan
+            chosen = self._forced(candidates, hints.force_plan)
+        elif self._config_forces_strategy(spec):
+            chosen = candidates[0]
+        else:
+            chosen = self.choose(candidates, self.statistics_for(spec))
+        # Stamp the price the plan was chosen at: the parallelism model (and
+        # anyone else reasoning about the plan post-choice) reads it so the
+        # expected detector work agrees with the selection itself.
+        chosen.plan.planned_cost = chosen.cost
+        return chosen.plan
 
     def logical_plan(self, spec: QuerySpec) -> LogicalPlan:
         """The logical plan the physical enumeration starts from."""
@@ -208,8 +408,14 @@ class CostBasedOptimizer:
         plan: PhysicalPlan,
         hints: QueryHints | None,
         num_frames: int,
+        detector: "ObjectDetector | None" = None,
     ) -> PlanExplanation:
-        """Structured explanation of ``plan``, with per-operator costs."""
+        """Structured explanation of ``plan``, with per-operator costs.
+
+        ``detector`` (when the caller has one — sessions pass the engine's)
+        lets the parallelism verdict account for GIL behaviour and process
+        exportability; without it the well-behaved defaults are assumed.
+        """
         hints = hints or NO_HINTS
         stats = self.statistics_for(spec)
         candidates = self.candidates(spec, hints, num_frames=num_frames)
@@ -229,7 +435,56 @@ class CostBasedOptimizer:
                 candidate.summary(chosen=candidate.name == chosen)
                 for candidate in candidates
             ),
+            parallelism=self._explain_parallelism(
+                plan, hints, stats, num_frames, detector
+            ),
         )
+
+    def _explain_parallelism(
+        self,
+        plan: PhysicalPlan,
+        hints: QueryHints,
+        stats: VideoStatistics | None,
+        num_frames: int,
+        detector: "ObjectDetector | None",
+    ) -> str:
+        """The routed-parallelism verdict, as ``explain()`` surfaces it."""
+        from repro.core.events import DEFAULT_BATCH_SIZE
+        from repro.parallel.executor import DEFAULT_WINDOW_CHUNKS
+
+        requested = (
+            hints.parallelism
+            if hints.parallelism is not None
+            else self.config.parallelism
+        )
+        if requested < 2:
+            return ParallelismDecision(
+                backend="sequential", workers=1, reason="parallelism not requested"
+            ).describe()
+        if stats is None:
+            return ParallelismDecision(
+                backend="sequential",
+                workers=1,
+                reason=(
+                    "no catalog statistics to price: the plan-level "
+                    "profitability gate decides at execution"
+                ),
+                source="fallback",
+            ).describe()
+        batch_size = (
+            hints.batch_size if hints.batch_size is not None else DEFAULT_BATCH_SIZE
+        )
+        return ParallelismModel().decide(
+            plan=plan,
+            stats=stats,
+            num_frames=num_frames,
+            requested=requested,
+            batch_size=batch_size,
+            window_chunks=DEFAULT_WINDOW_CHUNKS,
+            gil_bound=detector.gil_bound if detector is not None else False,
+            process_ok=detector is None or _detector_picklable(detector),
+            backend_constraint=hints.backend,
+        ).describe()
 
     # -- shared pieces -------------------------------------------------------------
 

@@ -107,16 +107,17 @@ class ScrubbingQueryPlan(PhysicalPlan):
         )
 
     def parallel_profitable(self, context: ExecutionContext) -> bool:
-        """Decline default parallelism: scrubbing scans stop early.
+        """Statistics-free fallback: decline default parallelism.
 
-        The importance-ranked path verifies a handful of frames scattered by
-        confidence, and even the exhaustive fallback stops the moment the
-        ``LIMIT`` is satisfied — either way the contiguous-shard speculative
-        prefetch is almost pure waste, measured as a 0.44x *regression* at 4
-        workers in ``BENCH_parallel.json``.  Hint- or config-routed
-        parallelism therefore falls back to the sequential path; an explicit
-        per-call ``parallelism=`` still shards (results stay bit-identical,
-        only wall-clock differs).
+        With catalog statistics the optimizer's
+        :class:`~repro.optimizer.cost.ParallelismModel` prices this per query
+        and reaches the same conclusion on the merits: scrubbing verifies a
+        handful of frames and stops at its ``LIMIT``, so the speculative
+        prefetch is almost pure waste — measured as a 0.44x *regression* at 4
+        workers before the cost model existed.  Without statistics there is
+        nothing to price, so this conservative blanket decline stands in.
+        An explicit per-call ``parallelism=`` still shards (results stay
+        bit-identical, only wall-clock differs).
         """
         return False
 

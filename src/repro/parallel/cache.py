@@ -13,15 +13,20 @@ The cache is deliberately opt-in (``BlazeItConfig.shared_cache_bytes``,
 longer independent of execution history, which is exactly the point — but
 also exactly what the deterministic benchmarks must not silently inherit.
 
-Optional JSON persistence (:meth:`save` / :meth:`load`) lets a warm cache
-survive process restarts, so shard pruning *and* detector reuse both carry
-across serving sessions.
+Optional persistence (:meth:`save` / :meth:`load`) lets a warm cache survive
+process restarts, so shard pruning *and* detector reuse both carry across
+serving sessions.  Two on-disk formats are offered: human-readable JSON
+(``format="json"``) and a compact binary columnar form (``format="npz"``,
+the same codec the process-backend shard transport uses); :meth:`load`
+recognises either, so old JSON snapshots keep loading.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import threading
+import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -29,8 +34,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.detection.base import Detection, DetectionResult
+from repro.detection.columnar import decode_detection_results, encode_detection_results
 from repro.errors import ConfigurationError
-from repro.persist import atomic_write_text
+from repro.persist import atomic_write_bytes, atomic_write_text
 
 #: Default byte budget used by :func:`get_process_cache` when an engine
 #: enables the shared cache without configuring a size.
@@ -40,6 +46,14 @@ DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
 #: estimate; detections add their own footprint on top.
 _RESULT_OVERHEAD = 160
 _DETECTION_OVERHEAD = 200
+
+#: Format marker embedded in the binary snapshot (the JSON form carries
+#: ``"shared-detection-cache/v1"`` in its ``format`` field instead).
+_NPZ_FORMAT = "shared-detection-cache/v2-npz"
+
+#: Zip local-file-header magic: every ``np.savez`` archive starts with it,
+#: which is how :meth:`SharedDetectionCache.load` sniffs the format.
+_ZIP_MAGIC = b"PK\x03\x04"
 
 
 def _detection_bytes(detection: Detection) -> int:
@@ -71,6 +85,7 @@ def _detection_to_json(detection: Detection) -> dict:
         ),
         "color": None if detection.color is None else list(detection.color),
         "color_name": detection.color_name,
+        "track_id": detection.track_id,
     }
 
 
@@ -92,6 +107,8 @@ def _detection_from_json(
         ),
         color=None if payload["color"] is None else tuple(payload["color"]),
         color_name=payload["color_name"],
+        # Absent in snapshots written before the field was persisted.
+        track_id=payload.get("track_id"),
     )
 
 
@@ -243,29 +260,64 @@ class SharedDetectionCache:
 
     # -- persistence ----------------------------------------------------------------
 
-    def save(self, path: str | Path) -> None:
-        """Serialise every entry (LRU order preserved) to a JSON file.
+    def save(self, path: str | Path, format: str = "json") -> None:
+        """Serialise every entry (LRU order preserved) to ``path``.
 
-        The write is atomic (temp file + rename): a server killed mid-save
-        leaves the previous snapshot intact, never a truncated file.
+        ``format="json"`` writes the historical human-readable snapshot;
+        ``format="npz"`` writes the compact columnar binary form (the same
+        codec the process-backend shard transport uses) — typically an order
+        of magnitude smaller for feature-heavy caches.  Either way the write
+        is atomic (temp file + rename): a server killed mid-save leaves the
+        previous snapshot intact, never a truncated file.
         """
+        if format not in ("json", "npz"):
+            raise ConfigurationError(
+                f"format must be 'json' or 'npz', got {format!r}"
+            )
         with self._lock:
+            keys = list(self._entries.keys())
+            results = [entry.result for entry in self._entries.values()]
+            capacity = self.capacity_bytes
+        if format == "json":
             payload = {
                 "format": "shared-detection-cache/v1",
-                "capacity_bytes": self.capacity_bytes,
+                "capacity_bytes": capacity,
                 "entries": [
-                    {"video_key": key[0], **result_to_json(entry.result)}
-                    for key, entry in self._entries.items()
+                    {"video_key": key[0], **result_to_json(result)}
+                    for key, result in zip(keys, results, strict=True)
                 ],
             }
-        atomic_write_text(path, json.dumps(payload))
+            atomic_write_text(path, json.dumps(payload))
+            return
+        # Columnar binary: detections of every entry (LRU order) through the
+        # shared codec, plus a video-key string table mapping rows to keys.
+        video_key_table = sorted({key[0] for key in keys})
+        key_index = {name: i for i, name in enumerate(video_key_table)}
+        arrays = encode_detection_results(results)
+        arrays["cache_format"] = np.asarray(_NPZ_FORMAT)
+        arrays["capacity_bytes"] = np.asarray(capacity, dtype=np.int64)
+        arrays["video_key_table"] = np.asarray(video_key_table, dtype=np.str_)
+        arrays["video_key_code"] = np.asarray(
+            [key_index[key[0]] for key in keys], dtype=np.int32
+        )
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        atomic_write_bytes(path, buffer.getvalue())
 
     @classmethod
     def load(
         cls, path: str | Path, capacity_bytes: int | None = None
     ) -> "SharedDetectionCache":
-        """Rebuild a cache from :meth:`save` output (oldest entries first)."""
-        payload = json.loads(Path(path).read_text())
+        """Rebuild a cache from :meth:`save` output (oldest entries first).
+
+        The format is sniffed from the file itself — zip magic means the
+        columnar ``npz`` form, anything else the JSON form — so callers never
+        name it and old JSON snapshots keep loading unchanged.
+        """
+        raw = Path(path).read_bytes()
+        if raw[:4] == _ZIP_MAGIC:
+            return cls._load_npz(raw, path, capacity_bytes)
+        payload = json.loads(raw.decode("utf-8"))
         if payload.get("format") != "shared-detection-cache/v1":
             raise ConfigurationError(
                 f"{path} is not a shared-detection-cache file"
@@ -279,6 +331,37 @@ class SharedDetectionCache:
         )
         for entry in payload["entries"]:
             cache.put(entry["video_key"], int(entry["frame_index"]), result_from_json(entry))
+        return cache
+
+    @classmethod
+    def _load_npz(
+        cls, raw: bytes, path: str | Path, capacity_bytes: int | None
+    ) -> "SharedDetectionCache":
+        try:
+            with np.load(io.BytesIO(raw), allow_pickle=False) as archive:
+                if (
+                    "cache_format" not in archive
+                    or str(archive["cache_format"]) != _NPZ_FORMAT
+                ):
+                    raise ConfigurationError(
+                        f"{path} is not a shared-detection-cache file"
+                    )
+                arrays = {name: archive[name] for name in archive.files}
+        except (OSError, ValueError, zipfile.BadZipFile) as exc:
+            raise ConfigurationError(
+                f"{path} is not a shared-detection-cache file: {exc}"
+            ) from exc
+        results = decode_detection_results(arrays)
+        video_key_table = [str(name) for name in arrays["video_key_table"]]
+        cache = cls(
+            capacity_bytes=(
+                capacity_bytes
+                if capacity_bytes is not None
+                else int(arrays["capacity_bytes"])
+            )
+        )
+        for code, result in zip(arrays["video_key_code"], results, strict=True):
+            cache.put(video_key_table[int(code)], result.frame_index, result)
         return cache
 
 

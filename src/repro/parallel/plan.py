@@ -104,6 +104,10 @@ class StreamMerger:
                 return
 
 
+#: Backends a parallel execution can run on.
+BACKENDS = ("threads", "processes")
+
+
 def parallel_events(
     plan: "PhysicalPlan",
     context: "ExecutionContext",
@@ -111,16 +115,28 @@ def parallel_events(
     parallelism: int,
     stats: "VideoStatistics | None" = None,
     window_chunks: int = DEFAULT_WINDOW_CHUNKS,
+    backend: str = "threads",
 ) -> Iterator[ExecutionEvent]:
     """Run ``plan`` with sharded parallel prefetch; yields the merged stream.
 
     ``context`` must be private to this execution (the session clones its
     cached per-video context): the prefetcher is attached to it and the RNG
     stream must not be rebound mid-flight.
+
+    ``backend`` selects the worker substrate: ``"threads"`` (the default;
+    right whenever the detector releases the GIL during its latency) or
+    ``"processes"`` (shared-memory columnar transport; right for GIL-bound
+    detectors).  A context that cannot be exported to worker processes — an
+    unpicklable detector, a recorded test day — silently falls back to
+    threads, which is always semantically equivalent.
     """
     if parallelism < 2:
         raise ConfigurationError(
             f"parallel_events needs parallelism >= 2, got {parallelism}"
+        )
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown parallel backend {backend!r}; expected one of {BACKENDS}"
         )
     min_counts, object_class = query_profile(plan)
     sharder = VideoSharder()
@@ -131,6 +147,39 @@ def parallel_events(
         min_counts=min_counts,
         object_class=object_class,
     )
+    prefetcher = _build_executor(
+        shard_plan, context, control, window_chunks, backend
+    )
+    driver_context = context.with_prefetcher(prefetcher)
+    merger = StreamMerger(plan.run(driver_context, control), prefetcher)
+    return merger.events()
+
+
+def _build_executor(
+    shard_plan: ShardPlan,
+    context: "ExecutionContext",
+    control: ExecutionControl,
+    window_chunks: int,
+    backend: str,
+) -> DetectionPrefetcher:
+    """The shard executor for one backend (both satisfy the same protocol)."""
+    if backend == "processes":
+        from repro.errors import SpawnExportError
+        from repro.parallel.process_executor import ProcessShardExecutor
+
+        try:
+            context_spec = context.spawn_spec()
+        except SpawnExportError:
+            pass  # fall through to the thread backend
+        else:
+            return ProcessShardExecutor(  # type: ignore[return-value]
+                shard_plan=shard_plan,
+                context_spec=context_spec,
+                external_cancel=control.cancellation,
+                chunk_size=control.batch_size,
+                window_chunks=window_chunks,
+            )
+
     seed_sequence = context.seed_sequence
     if seed_sequence is None:
         seed_sequence = np.random.SeedSequence(context.config.seed)
@@ -141,19 +190,17 @@ def parallel_events(
             rng=np.random.default_rng(children[shard.shard_id])
         )
 
-    prefetcher = DetectionPrefetcher(
+    return DetectionPrefetcher(
         shard_plan=shard_plan,
         worker_contexts=worker_context,
         external_cancel=control.cancellation,
         chunk_size=control.batch_size,
         window_chunks=window_chunks,
     )
-    driver_context = context.with_prefetcher(prefetcher)
-    merger = StreamMerger(plan.run(driver_context, control), prefetcher)
-    return merger.events()
 
 
 __all__ = [
+    "BACKENDS",
     "StreamMerger",
     "parallel_events",
     "query_profile",

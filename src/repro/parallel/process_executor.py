@@ -1,0 +1,399 @@
+"""Process shard workers: speculative detection with shared-memory transport.
+
+:class:`ProcessShardExecutor` is the process-backed twin of the thread-based
+:class:`~repro.parallel.executor.DetectionPrefetcher`, duck-typing the same
+driver protocol (``announce`` / ``take`` / ``take_many`` / ``shutdown`` /
+``progress_events`` / ``frames_prefetched``) so
+:class:`~repro.core.context.ExecutionContext` needs no backend branches.  Use
+it when the detector *holds* the GIL per call (pure-Python compute, a badly
+behaved extension): thread workers then serialize while process workers each
+own an interpreter.
+
+Workers are spawn-safe: each receives a picklable
+:class:`~repro.core.context.ContextSpec` (video spec + track list + detector)
+and rebuilds its shard context from scratch — detections are deterministic
+per (detector seed, video seed, frame index), so a worker's speculative
+output is bit-for-bit what the driver would have computed.  Results travel
+as columnar npz payloads through a per-shard ring of shared-memory slots
+(:mod:`repro.parallel.shm`); the driver decodes, charges the ledger on
+consumption exactly as in sequential execution, and emits
+:class:`~repro.core.events.ShardProgress` as headers arrive.  The shared
+cross-query cache and recorded detections stay driver-only: a process worker
+recomputing a cached frame costs wall-clock, never simulated budget.
+
+Failure handling is fall-back-to-inline, like the thread backend: a worker
+that dies (crash, SIGKILL) simply stops publishing; the driver notices the
+dead process, marks the shard finished, and ``take`` returns ``None`` so the
+plan computes the remaining frames inline with normal charging.  ``shutdown``
+terminates stragglers and unlinks every shared-memory segment — the driver
+owns them all, so a crashed worker can never leak one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.context import ContextSpec
+from repro.core.events import ShardProgress
+from repro.detection.columnar import decode_from_bytes, encode_to_bytes
+from repro.parallel.shards import Shard, ShardPlan
+from repro.parallel.shm import SlotRing, attach_slots, detach_slots
+from repro.stopping import CancellationToken
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.detection.base import DetectionResult
+
+__all__ = ["ProcessShardExecutor", "ShardWorkerSpec"]
+
+#: Poll interval for cancel-aware blocking queue operations.
+_POLL_SECONDS = 0.05
+
+#: Grace period for worker processes to exit after the stop event is set
+#: before the driver escalates to ``terminate()``.
+_JOIN_SECONDS = 2.0
+
+#: Size of one shared-memory slot.  A chunk's npz payload is a few tens of
+#: kilobytes for realistic detection densities; payloads that still exceed
+#: the slot spill to an inline (pickled-bytes) header instead of failing.
+DEFAULT_SLOT_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class ShardWorkerSpec:
+    """Everything one worker process needs, in picklable form.
+
+    Deliberately plain data — no locks, sockets or driver state — so the
+    spawn pickling is cheap and the fork-safety checker (RPR006) has nothing
+    to say about it.
+    """
+
+    shard_id: int
+    context_spec: ContextSpec
+    frames: np.ndarray
+    chunk_size: int
+    slot_names: tuple[str, ...]
+    slot_bytes: int
+
+
+@dataclass
+class _ShardState:
+    """Driver-side bookkeeping for one shard's worker process."""
+
+    shard: Shard
+    frames: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    position_of: dict[int, int] = field(default_factory=dict)
+    buffer: "dict[int, DetectionResult]" = field(default_factory=dict)
+    consumed: int = 0  # positions < consumed have been taken or passed
+    started: bool = False
+    finished: bool = False  # done sentinel seen, or worker found dead
+    process: Any = None
+    ring: SlotRing | None = None
+    free_slots: Any = None  # mp.Queue[int]
+    ready: Any = None  # mp.Queue[header tuple]
+
+
+class ProcessShardExecutor:
+    """Per-shard speculative detection in worker *processes*.
+
+    Satisfies the same protocol as
+    :class:`~repro.parallel.executor.DetectionPrefetcher`; built by
+    :func:`repro.parallel.plan.parallel_events` when the backend decision
+    (optimizer or explicit ``backend="processes"``) selects processes.
+    """
+
+    def __init__(
+        self,
+        shard_plan: ShardPlan,
+        context_spec: ContextSpec,
+        external_cancel: CancellationToken,
+        chunk_size: int,
+        window_chunks: int,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+    ) -> None:
+        self.shard_plan = shard_plan
+        self.context_spec = context_spec
+        self.chunk_size = max(1, chunk_size)
+        self.window_chunks = max(1, window_chunks)
+        self.slot_bytes = slot_bytes
+        self._external_cancel = external_cancel
+        self._mp = multiprocessing.get_context("spawn")
+        self._stop = self._mp.Event()
+        self._shutdown = CancellationToken()
+        self._states = {
+            shard.shard_id: _ShardState(shard=shard) for shard in shard_plan.shards
+        }
+        self._announced = False
+        self.progress_events: "queue.SimpleQueue[ShardProgress]" = queue.SimpleQueue()
+        #: Frames computed speculatively by workers (consumed or not), counted
+        #: driver-side as publication headers arrive.
+        self.frames_prefetched = 0
+
+    # -- driver-side protocol -------------------------------------------------------
+
+    def announce(
+        self, frame_order: np.ndarray | Iterable[int], monotone: bool = False
+    ) -> None:
+        """Declare the frame order the plan is about to verify.
+
+        Mirrors :meth:`DetectionPrefetcher.announce`: first announcement
+        wins, frames are split by shard ownership, and workers for non-pruned
+        shards start eagerly in density order.  ``monotone`` needs no special
+        case here — the slot ring is itself the speculation window, and
+        recycling keeps memory bounded for full scans too.
+        """
+        if self._announced or self._cancelled():
+            return
+        self._announced = True  # repro: allow[RPR003]: driver-thread-only state
+        order = np.asarray(
+            frame_order if isinstance(frame_order, np.ndarray) else list(frame_order),
+            dtype=np.int64,
+        )
+        shard_ids = self.shard_plan.owners_of(order)
+        for shard_id, state in self._states.items():
+            frames = order[shard_ids == shard_id]
+            state.frames = frames
+            state.position_of = {int(f): i for i, f in enumerate(frames)}
+        for shard in self.shard_plan.scheduling_order():
+            if not shard.pruned:
+                self._start_worker(self._states[shard.shard_id])
+
+    def take(self, frame_index: int) -> "DetectionResult | None":
+        """The prefetched detection for a frame, or ``None`` to compute inline.
+
+        Blocks while the owning worker is alive and still ahead of this
+        frame; returns ``None`` when the frame was never announced, was
+        already passed, the pipeline is shutting down, or the worker died —
+        callers fall back to a direct (charged) detector call.
+        """
+        if not self._announced:
+            return None
+        state = self._states[self.shard_plan.owner_of(int(frame_index)).shard_id]
+        position = state.position_of.get(int(frame_index))
+        if position is None or position < state.consumed:
+            return None
+        if not state.started:
+            self._start_worker(state)
+        while True:
+            result = state.buffer.get(int(frame_index))
+            if result is not None:
+                state.consumed = position + 1
+                self._purge_passed(state)
+                return result
+            if state.finished or self._cancelled():
+                return None
+            try:
+                header = state.ready.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                if state.process is not None and not state.process.is_alive():
+                    # Crashed or killed worker: one last drain attempt (the
+                    # feeder may have flushed after our timed-out get), then
+                    # finish the shard so the plan computes inline.
+                    try:
+                        header = state.ready.get_nowait()
+                    except queue.Empty:
+                        state.finished = True
+                        continue
+                else:
+                    continue
+            self._ingest(state, header)
+
+    def take_many(
+        self, frame_indices: Iterable[int]
+    ) -> "dict[int, DetectionResult]":
+        """Prefetched detections for a batch (hits only), in driver order."""
+        out: "dict[int, DetectionResult]" = {}
+        if not self._announced:
+            return out
+        for frame_index in frame_indices:
+            result = self.take(int(frame_index))
+            if result is not None:
+                out[int(frame_index)] = result
+        return out
+
+    def shutdown(self) -> None:
+        """Stop and reap every worker, then unlink every shm segment.
+
+        After this returns no worker process is alive and no shared-memory
+        slot remains registered — the driver owns all segments, so even a
+        SIGKILLed worker leaks nothing.
+        """
+        self._shutdown.set()
+        self._stop.set()
+        for state in self._states.values():
+            process = state.process
+            if process is not None and process.pid is not None:
+                process.join(timeout=_JOIN_SECONDS)
+                if process.is_alive():  # pragma: no cover - stuck worker
+                    process.terminate()
+                    process.join(timeout=_JOIN_SECONDS)
+                if process.is_alive():  # pragma: no cover - unkillable worker
+                    process.kill()
+                    process.join()
+            state.process = None
+            self._teardown_transport(state)
+
+    def _teardown_transport(self, state: _ShardState) -> None:
+        """Close the shard's queues and unlink its shm segments."""
+        for q in (state.free_slots, state.ready):
+            if q is not None:
+                q.cancel_join_thread()
+                q.close()
+        state.free_slots = None
+        state.ready = None
+        if state.ring is not None:
+            state.ring.destroy()
+            state.ring = None
+
+    # -- driver internals -----------------------------------------------------------
+
+    def _cancelled(self) -> bool:
+        return self._shutdown.is_set() or self._external_cancel.is_set()
+
+    def _start_worker(self, state: _ShardState) -> None:
+        if state.started:
+            return
+        state.started = True
+        if state.frames.size == 0 or self._cancelled():
+            state.finished = True
+            return
+        state.ring = SlotRing(
+            state.shard.shard_id, self.window_chunks, self.slot_bytes
+        )
+        state.free_slots = self._mp.Queue()
+        for index in range(self.window_chunks):
+            state.free_slots.put(index)
+        state.ready = self._mp.Queue()
+        spec = ShardWorkerSpec(
+            shard_id=state.shard.shard_id,
+            context_spec=self.context_spec,
+            frames=state.frames,
+            chunk_size=self.chunk_size,
+            slot_names=state.ring.names,
+            slot_bytes=self.slot_bytes,
+        )
+        state.process = self._mp.Process(
+            target=_shard_worker_main,
+            args=(spec, state.free_slots, state.ready, self._stop),
+            name=f"repro-shard-proc-{state.shard.shard_id}",
+            daemon=True,
+        )
+        try:
+            state.process.start()
+        except BaseException:
+            # Spawn refused — e.g. the interpreter is still bootstrapping
+            # because the caller's script lacks an ``if __name__ ==
+            # "__main__"`` guard.  Release this shard's segments and queues
+            # before propagating, so the subsequent shutdown() neither joins
+            # a never-started process nor leaks shared memory.
+            state.process = None
+            state.finished = True
+            self._teardown_transport(state)
+            raise
+
+    def _ingest(self, state: _ShardState, header: tuple) -> None:
+        """Decode one publication header into the shard's result buffer."""
+        kind = header[0]
+        if kind == "done":
+            state.finished = True
+            return
+        if kind == "slot":
+            _, slot_index, nbytes, computed = header
+            assert state.ring is not None
+            payload = state.ring.read(slot_index, nbytes)
+            results = decode_from_bytes(payload)
+            state.free_slots.put(slot_index)
+        else:  # "inline": payload too large for a slot
+            _, payload, computed = header
+            results = decode_from_bytes(payload)
+        for result in results:
+            position = state.position_of.get(result.frame_index)
+            if position is not None and position >= state.consumed:
+                state.buffer[result.frame_index] = result
+        self.frames_prefetched += len(results)
+        self.progress_events.put(
+            ShardProgress(
+                shard=state.shard.shard_id,
+                start_frame=state.shard.start,
+                end_frame=state.shard.end,
+                frames_computed=computed,
+                shard_frames=int(state.frames.size),
+                done=computed >= state.frames.size,
+            )
+        )
+
+    def _purge_passed(self, state: _ShardState) -> None:
+        if not state.buffer:
+            return
+        passed = [f for f in state.buffer if state.position_of[f] < state.consumed]
+        for f in passed:
+            del state.buffer[f]
+
+
+# -- worker process -------------------------------------------------------------------
+
+
+def _shard_worker_main(
+    spec: ShardWorkerSpec, free_slots: Any, ready: Any, stop: Any
+) -> None:
+    """Entry point of one spawned shard worker.
+
+    Rebuilds the shard's video and detector from the picklable spec, computes
+    the announced frames chunk-by-chunk in order, and publishes each chunk's
+    columnar payload through the next free shared-memory slot.  Always sends
+    the ``done`` sentinel on the way out so a clean exit (worklist drained,
+    stop event, detector error) is distinguishable from a crash.
+    """
+    slots = attach_slots(spec.slot_names)
+    computed = 0
+    try:
+        video = spec.context_spec.build_video()
+        detector = spec.context_spec.detector
+        frames = [int(f) for f in spec.frames]
+        while computed < len(frames) and not stop.is_set():
+            chunk = frames[computed : computed + spec.chunk_size]
+            # Speculative prefetch is intentionally uncharged: the driver
+            # charges the ledger when (and only when) a prefetched frame is
+            # actually consumed, keeping parallel accounting identical to
+            # sequential execution.
+            results = detector.detect_many(video, chunk)  # repro: allow[RPR002]: uncharged speculation, charged on consumption
+            payload = encode_to_bytes(results)
+            computed += len(chunk)
+            if not _publish(payload, computed, slots, free_slots, ready, stop):
+                return
+    finally:
+        try:
+            ready.put(("done", computed))
+        except (OSError, ValueError):  # pragma: no cover - driver gone
+            pass
+        detach_slots(slots)
+
+
+def _publish(
+    payload: bytes,
+    computed: int,
+    slots: list,
+    free_slots: Any,
+    ready: Any,
+    stop: Any,
+) -> bool:
+    """Send one chunk payload to the driver; ``False`` when stopping."""
+    if len(payload) > slots[0].size:
+        # Pathologically dense chunk: fall back to sending the bytes inline
+        # through the queue rather than failing the shard.
+        ready.put(("inline", payload, computed))
+        return True
+    while not stop.is_set():
+        try:
+            slot_index = free_slots.get(timeout=_POLL_SECONDS)
+        except queue.Empty:
+            continue
+        slots[slot_index].buf[: len(payload)] = payload
+        ready.put(("slot", slot_index, len(payload), computed))
+        return True
+    return False

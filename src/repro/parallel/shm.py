@@ -1,0 +1,95 @@
+"""Shared-memory ring slots for the process shard backend.
+
+A process shard worker produces thousands of small detection objects per
+chunk; pickling them one-by-one through a ``multiprocessing.Queue`` is the
+transport analogue of the JSON cache dump — per-object overhead dominates.
+Instead each shard gets a small ring of fixed-size
+:class:`multiprocessing.shared_memory.SharedMemory` slots.  The worker
+encodes a chunk to one columnar npz payload (see
+:mod:`repro.detection.columnar`), copies it into a free slot, and sends only
+a tiny header over the queue; the driver decodes and hands the slot back.
+Slot recycling doubles as the speculation window: a worker that has filled
+every slot waits for the driver to consume, exactly like the bounded chunk
+queue of the thread backend.
+
+Ownership is strictly driver-side: the driver creates the segments, passes
+their *names* in the (picklable) worker spec, and is the only party that
+unlinks them — including after a worker crash, which is what the no-leaked-
+segments test asserts.  Workers attach read-write by name; see
+:func:`attach_slots` for why they deliberately leave the (shared)
+resource-tracker registration alone.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+
+__all__ = ["SlotRing", "attach_slots", "detach_slots"]
+
+#: Prefix baked into every slot name so tests (and humans poking around
+#: ``/dev/shm``) can attribute segments to this transport.
+SLOT_NAME_PREFIX = "repro_shard"
+
+
+class SlotRing:
+    """Driver-owned ring of equally sized shared-memory slots for one shard."""
+
+    def __init__(self, shard_id: int, slot_count: int, slot_bytes: int) -> None:
+        self.slot_bytes = slot_bytes
+        self.slots: list[shared_memory.SharedMemory] = []
+        try:
+            for index in range(slot_count):
+                self.slots.append(
+                    shared_memory.SharedMemory(
+                        name=(
+                            f"{SLOT_NAME_PREFIX}_{os.getpid()}"
+                            f"_{shard_id}_{index}_{id(self):x}"
+                        ),
+                        create=True,
+                        size=slot_bytes,
+                    )
+                )
+        except BaseException:
+            self.destroy()
+            raise
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(slot.name for slot in self.slots)
+
+    def read(self, slot_index: int, nbytes: int) -> bytes:
+        """Copy one published payload out of a slot (driver side)."""
+        return bytes(self.slots[slot_index].buf[:nbytes])
+
+    def destroy(self) -> None:
+        """Close and unlink every slot; safe to call more than once."""
+        slots, self.slots = self.slots, []
+        for slot in slots:
+            try:
+                slot.close()
+                slot.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+
+def attach_slots(names: tuple[str, ...]) -> list[shared_memory.SharedMemory]:
+    """Attach to driver-owned slots by name (worker side).
+
+    Spawned workers share the driver's resource-tracker process, and the
+    tracker's registry is a per-name set: the attach here re-registers names
+    the driver already registered at create time (a no-op), and the driver's
+    ``unlink`` deregisters them once.  Nothing to clean up worker-side — a
+    worker must *not* unregister, or it would strip the driver's
+    registration out from under the eventual unlink.
+    """
+    return [shared_memory.SharedMemory(name=name) for name in names]
+
+
+def detach_slots(slots: list[shared_memory.SharedMemory]) -> None:
+    """Close worker-side attachments without unlinking the segments."""
+    for slot in slots:
+        try:
+            slot.close()
+        except OSError:  # pragma: no cover - already closed
+            pass

@@ -27,13 +27,26 @@ def atomic_write_text(path: str | Path, text: str) -> None:
     cross filesystems.  On any failure the temporary file is removed and the
     previous contents of ``path`` (if any) are left untouched.
     """
+    _atomic_write(path, text.encode("utf-8"))
+
+
+def atomic_write_bytes(path: str | Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The binary twin of :func:`atomic_write_text`, used by artifacts with a
+    compact binary format (e.g. the npz detection-cache dump).
+    """
+    _atomic_write(path, payload)
+
+
+def _atomic_write(path: str | Path, payload: bytes) -> None:
     path = Path(path)
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
     )
     try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, path)

@@ -325,6 +325,8 @@ def hints_to_json(hints: QueryHints) -> dict[str, Any]:
         payload["batch_size"] = hints.batch_size
     if hints.parallelism is not None:
         payload["parallelism"] = hints.parallelism
+    if hints.backend is not None:
+        payload["backend"] = hints.backend
     if hints.force_plan is not None:
         payload["force_plan"] = hints.force_plan
     return payload
@@ -347,6 +349,7 @@ def hints_from_json(payload: dict[str, Any] | None) -> QueryHints | None:
         "stop_conditions",
         "batch_size",
         "parallelism",
+        "backend",
         "force_plan",
     }
     unknown = set(payload) - known

@@ -30,6 +30,7 @@ from repro.analysis.__main__ import main as analysis_main
 from repro.analysis.checkers import (
     AsyncHygieneChecker,
     DeterminismChecker,
+    ForkSafetyChecker,
     LedgerAccountingChecker,
     LockDisciplineChecker,
     WireExhaustivenessChecker,
@@ -670,6 +671,128 @@ class TestWireExhaustivenessChecker:
         report = run_analysis(tmp_path / PKG, package=PKG)
         assert not [d for d in report.findings if d.rule == "RPR005"]
         assert [d for d in report.suppressed if d.rule == "RPR005"]
+
+
+# -- RPR006 fork safety ---------------------------------------------------------------
+
+
+_FORKER = """
+    import multiprocessing
+    import threading
+
+    class Holder:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.count = 0
+
+    def launch():
+        holder = Holder()
+        proc = multiprocessing.Process(target=work, args=(holder, 3))
+        proc.start()
+        return proc
+
+    def work(holder, n):
+        pass
+"""
+
+
+class TestForkSafetyChecker:
+    def test_lock_holder_in_args_flagged(self, tmp_path: Path) -> None:
+        project = build_project(tmp_path, {"forker.py": _FORKER})
+        findings = list(ForkSafetyChecker().check(project))
+        assert len(findings) == 1
+        assert "Holder" in findings[0].message
+        assert "_lock" in findings[0].message
+        assert "threading.Lock" in findings[0].message
+
+    def test_bound_method_target_captures_self(self, tmp_path: Path) -> None:
+        project = build_project(
+            tmp_path,
+            {
+                "svc.py": """
+                    import multiprocessing
+                    import queue
+
+                    class Service:
+                        def __init__(self):
+                            self.inbox = queue.SimpleQueue()
+
+                        def run(self):
+                            pass
+
+                        def start(self):
+                            return multiprocessing.Process(target=self.run)
+                """,
+            },
+        )
+        findings = list(ForkSafetyChecker().check(project))
+        assert len(findings) == 1
+        assert "via target=" in findings[0].message
+        assert "inbox" in findings[0].message
+
+    def test_context_process_and_spawn_spec_clean(self, tmp_path: Path) -> None:
+        """A plain-data spec through a context's ``.Process`` passes, and
+        mp primitives in args never resolve to a risky type."""
+        project = build_project(
+            tmp_path,
+            {
+                "exec.py": """
+                    import multiprocessing
+                    from dataclasses import dataclass
+
+                    @dataclass(frozen=True)
+                    class WorkerSpec:
+                        shard_id: int
+                        frames: tuple
+
+                    def worker_main(spec, ready, stop):
+                        pass
+
+                    def start(mp_context):
+                        spec = WorkerSpec(shard_id=0, frames=(1, 2))
+                        ready = mp_context.Queue()
+                        stop = mp_context.Event()
+                        return mp_context.Process(
+                            target=worker_main, args=(spec, ready, stop)
+                        )
+                """,
+            },
+        )
+        assert list(ForkSafetyChecker().check(project)) == []
+
+    def test_unpicklable_lambda_attr_flagged(self, tmp_path: Path) -> None:
+        project = build_project(
+            tmp_path,
+            {
+                "lam.py": """
+                    import multiprocessing
+
+                    class Config:
+                        def __init__(self):
+                            self.transform = lambda x: x + 1
+
+                    def go():
+                        config = Config()
+                        return multiprocessing.Process(target=run, args=(config,))
+
+                    def run(config):
+                        pass
+                """,
+            },
+        )
+        findings = list(ForkSafetyChecker().check(project))
+        assert len(findings) == 1
+        assert "lambda" in findings[0].message
+
+    def test_pragma_suppressed(self, tmp_path: Path) -> None:
+        build_project(tmp_path, {"forker.py": _FORKER.replace(
+            "proc = multiprocessing.Process(target=work, args=(holder, 3))",
+            "proc = multiprocessing.Process(  # repro: allow[RPR006]: fork start method, state shared deliberately\n"
+            "            target=work, args=(holder, 3))",
+        )})
+        report = run_analysis(tmp_path / PKG, package=PKG)
+        assert not [d for d in report.findings if d.rule == "RPR006"]
+        assert [d for d in report.suppressed if d.rule == "RPR006"]
 
 
 # -- baseline + runner ----------------------------------------------------------------

@@ -20,7 +20,7 @@ from repro.detection.base import DetectionResult
 from repro.detection.simulated import SimulatedDetector
 from repro.errors import ConfigurationError
 from repro.parallel.cache import SharedDetectionCache
-from repro.persist import atomic_write_text
+from repro.persist import atomic_write_bytes, atomic_write_text
 from repro.video.synthetic import SyntheticVideo
 
 from conftest import make_video_spec
@@ -97,6 +97,36 @@ class TestAtomicWriteText:
         with pytest.raises(_DiesMidWrite):
             atomic_write_text(target, "x" * 4096)
         assert list(tmp_path.iterdir()) == []
+
+
+class TestAtomicWriteBytes:
+    def test_round_trip(self, tmp_path):
+        target = tmp_path / "payload.npz"
+        atomic_write_bytes(target, b"PK\x03\x04binary payload")
+        assert target.read_bytes() == b"PK\x03\x04binary payload"
+
+    def test_overwrite_survives_crash_mid_write(self, tmp_path, monkeypatch):
+        target = tmp_path / "payload.npz"
+        target.write_bytes(b"generation-1")
+        _crash_during_write(monkeypatch)
+        with pytest.raises(_DiesMidWrite):
+            atomic_write_bytes(target, b"generation-2" * 512)
+        assert target.read_bytes() == b"generation-1"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_binary_cache_snapshot_survives_crash(self, tmp_path, monkeypatch):
+        cache = _populated_cache()
+        path = tmp_path / "cache.npz"
+        cache.save(path, format="npz")
+        good = path.read_bytes()
+        _crash_during_write(monkeypatch)
+        with pytest.raises(_DiesMidWrite):
+            cache.save(path, format="npz")
+        assert path.read_bytes() == good
+        reloaded = SharedDetectionCache.load(path)
+        assert len(reloaded) == len(cache)
+        for frame in range(8):
+            assert isinstance(reloaded.get("v|test", frame), DetectionResult)
 
     def test_crash_during_rename_keeps_old_snapshot(self, tmp_path, monkeypatch):
         target = tmp_path / "payload.json"

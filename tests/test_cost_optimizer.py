@@ -230,6 +230,7 @@ class TestExplainSnapshots:
             " [~26 detector calls, ~8.67s]\n"
             "  estimated detector calls: 26\n"
             "  hints: none\n"
+            "  parallelism: sequential [cost_model] — parallelism not requested\n"
             "  candidates:\n"
             "    importance: ~6 detector calls, ~2.52s <- chosen\n"
             "    exhaustive: ~9 detector calls, ~3.00s"
@@ -247,6 +248,7 @@ class TestExplainSnapshots:
             "    TrackAggregator(IoU tracker, all records materialised)\n"
             "  estimated detector calls: 400\n"
             "  hints: none\n"
+            "  parallelism: sequential [cost_model] — parallelism not requested\n"
             "  candidates:\n"
             "    exhaustive: ~400 detector calls, ~133.33s <- chosen"
         )
@@ -267,6 +269,7 @@ class TestExplainSnapshots:
             "NN auxiliary) [~348 detector calls, ~116.00s]\n"
             "  estimated detector calls: 400\n"
             "  hints: none\n"
+            "  parallelism: sequential [cost_model] — parallelism not requested\n"
             "  candidates:\n"
             "    auto: ~0 detector calls, ~0.52s <- chosen\n"
             "    exact: ~400 detector calls, ~133.33s\n"

@@ -462,12 +462,16 @@ class TestCancellation:
 
 
 class TestDefaultRoutingDeclinesScrubbing:
-    """Hint/config-routed parallelism defers to the plan; explicit wins.
+    """Hint/config-routed parallelism is priced per query; explicit wins.
 
     Scrubbing scans stop early (importance ranking or a satisfied LIMIT), so
-    speculative shard prefetch is a measured wall-clock regression for them:
-    the default routing falls back to sequential, while an explicit per-call
-    ``parallelism=`` is honoured as given.
+    speculative shard prefetch is a measured wall-clock regression for them.
+    With catalog statistics — the tiny engine has them — the optimizer's
+    ``ParallelismModel`` prices worker startup plus expected prefetch waste
+    against the plan's expected detector work and reaches sequential on the
+    merits; without statistics the plan-level ``parallel_profitable`` gate
+    stands in with the same blanket answer.  An explicit per-call
+    ``parallelism=`` is honoured as given either way.
     """
 
     def _shard_events(self, stream):
@@ -526,6 +530,8 @@ class TestDefaultRoutingDeclinesScrubbing:
         assert fingerprint(routed) == fingerprint(sequential)
 
     def test_parallel_profitable_surface(self, tiny_engine):
+        # The statistics-free fallback gate keeps its conservative answers
+        # (it is only consulted when no catalog statistics exist).
         spec_scrub, plan_scrub = tiny_engine.plan(QUERIES["scrubbing"])
         spec_exact, plan_exact = tiny_engine.plan(QUERIES["exact"])
         context = tiny_engine.execution_context("tiny")

@@ -1,0 +1,324 @@
+"""Tests for the multiprocess shard executor and its shared-memory transport.
+
+The contract is the same as the thread backend's: a process-backed parallel
+execution must be bit-for-bit the sequential one — values, records, hit sets
+and ledger accounting — because workers only *speculate* (detections are
+recomputed from the exported context spec and published through shared
+memory) while the driver alone charges the ledger on consumption.  On top of
+the identity matrix, this file covers the export rules (recorded contexts
+refuse to spawn and fall back to threads), shard-boundary semantics on the
+process backend, worker crashes (SIGKILL mid-query must degrade to inline
+computation, not hang or corrupt), and shared-memory segment hygiene.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core.config import BlazeItConfig
+from repro.core.engine import BlazeIt
+from repro.core.context import ContextSpec
+from repro.core.events import ShardProgress
+from repro.detection.columnar import decode_from_bytes, encode_to_bytes
+from repro.detection.simulated import SimulatedDetector
+from repro.errors import ConfigurationError, SpawnExportError
+from repro.parallel.shm import SLOT_NAME_PREFIX, SlotRing
+from repro.specialization.trainer import TrainingConfig
+from repro.video.synthetic import SyntheticVideo
+
+from conftest import make_video_spec
+from test_parallel import QUERIES, fingerprint
+
+_SHM_DIR = "/dev/shm"
+
+
+def leaked_segments() -> list[str]:
+    """Shared-memory segments created by this process and never unlinked."""
+    if not os.path.isdir(_SHM_DIR):  # non-Linux: rely on the attach errors
+        return []
+    marker = f"{SLOT_NAME_PREFIX}_{os.getpid()}_"
+    return [name for name in os.listdir(_SHM_DIR) if name.startswith(marker)]
+
+
+def run(engine, query, parallelism, seed=42, backend=None):
+    with engine.session() as session:
+        return session.prepare(query).execute(
+            rng=np.random.default_rng(seed),
+            parallelism=parallelism,
+            backend=backend,
+        )
+
+
+@pytest.fixture(scope="module")
+def spawn_engine(tiny_video, tiny_labeled_set, detector, engine_config):
+    """The tiny engine *without* a test-day recording.
+
+    Recordings are driver-only state (``spawn_spec`` refuses to export
+    them), so the process-backend matrix needs an engine whose contexts
+    rebuild from the video spec alone.
+    """
+    engine = BlazeIt(detector=detector, config=engine_config)
+    engine.register_video("tiny", test_video=tiny_video)
+    engine.attach_labeled_set("tiny", tiny_labeled_set)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def sequential_fingerprints(spawn_engine):
+    """One sequential reference execution per query class, shared by the
+    whole identity matrix (same fixed seed as the parallel runs)."""
+    return {
+        kind: fingerprint(run(spawn_engine, query, parallelism=1))
+        for kind, query in QUERIES.items()
+    }
+
+
+class TestProcessBackendIdentity:
+    """4 query classes x parallelism {1, 4} x {threads, processes}."""
+
+    @pytest.mark.parametrize("kind", sorted(QUERIES))
+    @pytest.mark.parametrize("parallelism", [1, 4])
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_result_identity_matrix(
+        self, spawn_engine, sequential_fingerprints, kind, parallelism, backend
+    ):
+        routed = run(
+            spawn_engine, QUERIES[kind], parallelism=parallelism, backend=backend
+        )
+        assert fingerprint(routed) == sequential_fingerprints[kind]
+
+    def test_process_streams_emit_shard_progress(self, spawn_engine):
+        with spawn_engine.session() as session:
+            events = list(
+                session.stream(
+                    QUERIES["exact"],
+                    rng=np.random.default_rng(1),
+                    parallelism=4,
+                    backend="processes",
+                )
+            )
+        assert [e for e in events if isinstance(e, ShardProgress)]
+        assert leaked_segments() == []
+
+    def test_invalid_backend_rejected(self, spawn_engine):
+        with spawn_engine.session() as session:
+            prepared = session.prepare(QUERIES["exact"])
+            with pytest.raises(ConfigurationError):
+                prepared.execute(parallelism=4, backend="fibers")
+
+
+class TestShardBoundariesOnProcesses:
+    def test_gap_enforced_across_shard_edges(self, spawn_engine):
+        # 8 shards over 400 frames puts a boundary every 50 frames; a GAP of
+        # 50 forces cross-shard conflicts to actually arise in the workers.
+        query = (
+            "SELECT timestamp FROM tiny GROUP BY timestamp "
+            "HAVING COUNT(class = 'car') >= 1 LIMIT 6 GAP 50"
+        )
+        sequential = run(spawn_engine, query, parallelism=1)
+        parallel = run(spawn_engine, query, parallelism=8, backend="processes")
+        assert fingerprint(parallel) == fingerprint(sequential)
+        frames = sorted(parallel.frames)
+        assert all(b - a >= 50 for a, b in zip(frames, frames[1:], strict=False))
+
+    def test_selection_windows_spanning_shards(self, spawn_engine):
+        # 16 shards: boundaries every 25 frames, car tracks last ~40 — the
+        # columnar transport must reassemble windows across shard edges.
+        sequential = run(spawn_engine, QUERIES["selection"], parallelism=1)
+        parallel = run(
+            spawn_engine, QUERIES["selection"], parallelism=16, backend="processes"
+        )
+        assert fingerprint(parallel) == fingerprint(sequential)
+
+    def test_single_frame_shards(self):
+        spec = make_video_spec(name="micro", num_frames=12, seed=11, car_rate=0.2)
+        engine = BlazeIt(
+            config=BlazeItConfig(
+                training=TrainingConfig(epochs=2, batch_size=8, min_examples=4),
+                min_training_positives=1,
+                seed=5,
+            )
+        )
+        engine.register_video("micro", test_video=SyntheticVideo.generate(spec))
+        query = "SELECT FCOUNT(*) FROM micro WHERE class = 'car'"
+        sequential = run(engine, query, parallelism=1)
+        parallel = run(engine, query, parallelism=12, backend="processes")
+        assert fingerprint(parallel) == fingerprint(sequential)
+        assert leaked_segments() == []
+
+
+class TestSpawnExport:
+    def test_recorded_context_refuses_export(self, tiny_engine):
+        context = tiny_engine.execution_context("tiny")
+        with pytest.raises(SpawnExportError):
+            context.spawn_spec()
+
+    def test_recorded_engine_falls_back_to_threads(self, tiny_engine):
+        """`backend="processes"` on a recorded engine silently degrades to
+        the thread backend — still sharded, still identical."""
+        sequential = run(tiny_engine, QUERIES["exact"], parallelism=1)
+        with tiny_engine.session() as session:
+            stream = session.stream(
+                QUERIES["exact"],
+                rng=np.random.default_rng(42),
+                parallelism=4,
+                backend="processes",
+            )
+            events = list(stream)
+            result = stream.result
+        assert [e for e in events if isinstance(e, ShardProgress)]
+        assert fingerprint(result) == fingerprint(sequential)
+        assert leaked_segments() == []
+
+    def test_spec_rebuilds_video_exactly(self, spawn_engine):
+        context = spawn_engine.execution_context("tiny")
+        spec = context.spawn_spec()
+        assert isinstance(spec, ContextSpec)
+        rebuilt = spec.build_video()
+        original = context.video
+        assert rebuilt.num_frames == original.num_frames
+        assert len(rebuilt.tracks) == len(original.tracks)
+        frame = original.num_frames // 2
+        a = spec.detector.detect(original, frame)
+        b = spec.detector.detect(rebuilt, frame)
+        assert len(a.detections) == len(b.detections)
+        for da, db in zip(a.detections, b.detections, strict=True):
+            assert da.object_class == db.object_class and da.box == db.box
+
+
+class PacedSpawnDetector(SimulatedDetector):
+    """Simulated detector with real per-frame latency, picklable into
+    spawn workers (module-level class, value-type state only)."""
+
+    def __init__(self, seconds_per_frame: float = 0.002) -> None:
+        base = SimulatedDetector.mask_rcnn()
+        super().__init__(
+            name=base.name,
+            cost=base.cost,
+            noise=base.noise,
+            confidence_threshold=base.confidence_threshold,
+            supported=base._supported,
+            seed=base.seed,
+        )
+        self.seconds_per_frame = seconds_per_frame
+
+    def _detect_batch(self, video, frame_indices, ledger=None):
+        import time
+
+        time.sleep(self.seconds_per_frame * len(frame_indices))
+        return super()._detect_batch(video, frame_indices, ledger)
+
+
+class TestWorkerCrash:
+    def test_sigkill_mid_query_degrades_to_inline(self):
+        """SIGKILL a live worker: the driver must detect the dead process,
+        compute the orphaned frames inline with identical charging, and
+        leave no shared-memory segments behind."""
+        engine = BlazeIt(
+            detector=PacedSpawnDetector(),
+            config=BlazeItConfig(
+                training=TrainingConfig(epochs=2, batch_size=32, min_examples=16),
+                min_training_positives=20,
+                seed=3,
+            ),
+        )
+        engine.register_video(
+            "crashy",
+            test_video=SyntheticVideo.generate(make_video_spec(name="crashy")),
+        )
+        sequential = run(engine, "SELECT * FROM crashy", parallelism=1)
+        with engine.session() as session:
+            stream = session.stream(
+                "SELECT * FROM crashy",
+                rng=np.random.default_rng(42),
+                parallelism=4,
+                backend="processes",
+            )
+            iterator = iter(stream)
+            for event in iterator:
+                if isinstance(event, ShardProgress):
+                    break  # workers are up and publishing
+            victims = multiprocessing.active_children()
+            assert victims, "process workers should be alive mid-query"
+            os.kill(victims[0].pid, signal.SIGKILL)
+            result = stream.drain()
+        assert fingerprint(result) == fingerprint(sequential)
+        assert leaked_segments() == []
+
+    def test_refused_spawn_cleans_up_and_propagates(self, spawn_engine, monkeypatch):
+        """When ``Process.start()`` itself raises (the classic missing
+        ``if __name__ == "__main__"`` guard), the error must reach the
+        caller — not an ``AssertionError`` from joining a never-started
+        process — and every shm segment must be unlinked."""
+        import multiprocessing.context as mp_context
+
+        def refuse(self):
+            raise RuntimeError("bootstrapping phase")
+
+        monkeypatch.setattr(mp_context.SpawnProcess, "start", refuse)
+        with spawn_engine.session() as session:
+            prepared = session.prepare(QUERIES["exact"])
+            with pytest.raises(RuntimeError, match="bootstrapping"):
+                prepared.execute(
+                    rng=np.random.default_rng(3), parallelism=4, backend="processes"
+                )
+        assert leaked_segments() == []
+        assert multiprocessing.active_children() == []
+
+    def test_shutdown_joins_all_workers(self, spawn_engine):
+        """Closing a stream mid-scan must leave no live worker processes
+        and no shared-memory segments."""
+        with spawn_engine.session() as session:
+            stream = session.stream(
+                QUERIES["exact"],
+                rng=np.random.default_rng(7),
+                parallelism=4,
+                backend="processes",
+            )
+            consumed = 0
+            for _ in stream:
+                consumed += 1
+                if consumed >= 3:
+                    break
+            stream.close()
+        assert leaked_segments() == []
+        assert multiprocessing.active_children() == []
+
+
+class TestShmTransport:
+    def test_slot_ring_create_read_destroy(self):
+        ring = SlotRing(shard_id=0, slot_count=2, slot_bytes=64)
+        try:
+            assert len(ring.names) == 2
+            payload = b"columnar-bytes"
+            ring.slots[0].buf[: len(payload)] = payload
+            assert ring.read(0, len(payload)) == payload
+        finally:
+            ring.destroy()
+        assert leaked_segments() == []
+        ring.destroy()  # idempotent
+
+    def test_columnar_codec_roundtrip_through_bytes(self, spawn_engine):
+        video = spawn_engine.store.get("tiny")
+        detector = spawn_engine.detector_for("tiny")
+        results = [detector.detect(video, i) for i in range(24)]
+        back = decode_from_bytes(encode_to_bytes(results))
+        assert len(back) == len(results)
+        for a, b in zip(results, back, strict=True):
+            assert a.frame_index == b.frame_index
+            assert a.timestamp == b.timestamp
+            for da, db in zip(a.detections, b.detections, strict=True):
+                assert da.object_class == db.object_class
+                assert da.box == db.box
+                assert da.confidence == db.confidence
+                assert (da.features is None) == (db.features is None)
+                if da.features is not None:
+                    assert np.array_equal(da.features, db.features)
+                assert da.color == db.color
+                assert da.color_name == db.color_name
+                assert da.track_id == db.track_id

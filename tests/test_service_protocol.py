@@ -276,6 +276,7 @@ class TestHintsRoundTrip:
             ),
             batch_size=64,
             parallelism=4,
+            backend="processes",
         )
         assert hints_from_json(hints_to_json(hints)) == hints
 

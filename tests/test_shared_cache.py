@@ -119,11 +119,62 @@ class TestSharedDetectionCache:
         assert loaded.capacity_bytes == cache.capacity_bytes
         assert loaded.get("v", 2).count("car") == 2
 
+    def test_npz_roundtrip_is_exact_and_sniffed(self, tmp_path):
+        """The binary snapshot restores every field (track_id included) and
+        ``load`` recognises the format from the file alone."""
+        cache = SharedDetectionCache(capacity_bytes=1 << 20)
+        cache.put_many("v|a", {i: make_result(i) for i in range(4)})
+        cache.put_many("w|b", {i: make_result(i, detections=1) for i in range(2)})
+        cache.get("v|a", 1)  # perturb LRU order; snapshots must preserve it
+        path = tmp_path / "cache.npz"
+        cache.save(path, format="npz")
+        loaded = SharedDetectionCache.load(path)
+        assert len(loaded) == len(cache)
+        assert loaded.capacity_bytes == cache.capacity_bytes
+        assert list(loaded._entries.keys()) == list(cache._entries.keys())
+        for key, entry in cache._entries.items():
+            restored = loaded._entries[key].result
+            for a, b in zip(
+                entry.result.detections, restored.detections, strict=True
+            ):
+                assert a.object_class == b.object_class and a.box == b.box
+                assert a.confidence == b.confidence
+                assert np.array_equal(a.features, b.features)
+                assert a.color == b.color and a.color_name == b.color_name
+                assert a.track_id == b.track_id
+
+    def test_npz_snapshot_is_smaller_on_feature_heavy_caches(self, tmp_path):
+        cache = SharedDetectionCache(capacity_bytes=64 << 20)
+        cache.put_many("v", {i: make_result(i, detections=6) for i in range(64)})
+        json_path, npz_path = tmp_path / "c.json", tmp_path / "c.npz"
+        cache.save(json_path)
+        cache.save(npz_path, format="npz")
+        assert npz_path.stat().st_size < json_path.stat().st_size
+
+    def test_json_snapshot_preserves_track_id(self, tmp_path):
+        cache = SharedDetectionCache(capacity_bytes=1 << 20)
+        result = make_result(0)
+        result.detections[0].track_id = 17
+        cache.put("v", 0, result)
+        path = tmp_path / "cache.json"
+        cache.save(path)
+        loaded = SharedDetectionCache.load(path)
+        assert loaded.get("v", 0).detections[0].track_id == 17
+
+    def test_save_rejects_unknown_format(self, tmp_path):
+        cache = SharedDetectionCache(capacity_bytes=1 << 20)
+        with pytest.raises(ConfigurationError):
+            cache.save(tmp_path / "cache.bin", format="pickle")
+
     def test_load_rejects_foreign_files(self, tmp_path):
         path = tmp_path / "other.json"
         path.write_text("{}")
         with pytest.raises(ConfigurationError):
             SharedDetectionCache.load(path)
+        zippy = tmp_path / "other.npz"
+        zippy.write_bytes(b"PK\x03\x04 not an archive")
+        with pytest.raises(ConfigurationError):
+            SharedDetectionCache.load(zippy)
 
     def test_concurrent_access_is_safe_and_loses_nothing(self):
         cache = SharedDetectionCache(capacity_bytes=64 << 20)
