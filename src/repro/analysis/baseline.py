@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis.diagnostics import Diagnostic
+from repro.persist import atomic_write_text
 
 _PLACEHOLDER = "TODO: justify this grandfathered finding"
 
@@ -69,7 +70,7 @@ class Baseline:
             ),
             "findings": findings,
         }
-        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
 
     def stale_entries(
         self, diagnostics: list[Diagnostic]

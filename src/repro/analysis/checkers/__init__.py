@@ -9,6 +9,7 @@ from repro.analysis.checkers.locks import LockDisciplineChecker
 from repro.analysis.checkers.async_hygiene import AsyncHygieneChecker
 from repro.analysis.checkers.wire import WireExhaustivenessChecker
 from repro.analysis.checkers.fork_safety import ForkSafetyChecker
+from repro.analysis.checkers.persistence import PersistenceHygieneChecker
 
 
 def all_checkers() -> list[Checker]:
@@ -20,6 +21,7 @@ def all_checkers() -> list[Checker]:
         AsyncHygieneChecker(),
         WireExhaustivenessChecker(),
         ForkSafetyChecker(),
+        PersistenceHygieneChecker(),
     ]
 
 
@@ -30,6 +32,7 @@ __all__ = [
     "ForkSafetyChecker",
     "LedgerAccountingChecker",
     "LockDisciplineChecker",
+    "PersistenceHygieneChecker",
     "WireExhaustivenessChecker",
     "all_checkers",
 ]

@@ -93,6 +93,17 @@ class QueryHints:
         offers ``"filtered"`` / ``"exhaustive"``; everything else only
         ``"exhaustive"``.  Naming an ineligible candidate raises
         :class:`~repro.errors.PlanningError` at plan time.
+    use_index:
+        Whether the persistent ingest-time index (see ``BlazeIt(index_dir=
+        ...)``) may serve this query's detections.  ``None`` (the default)
+        uses the index whenever the engine has one committed for the video;
+        ``False`` detaches it for this query — detections are recomputed
+        (or cache-served) and the optimizer prices candidates without the
+        index — the A/B knob for benchmarks and debugging.  ``True`` states
+        intent explicitly but adds nothing over the default: a missing index
+        is never an error, the query just runs index-less.  Results are
+        identical either way; the index only changes where detections come
+        from.
     """
 
     scrubbing_indexed: bool = False
@@ -102,6 +113,7 @@ class QueryHints:
     parallelism: int | None = None
     backend: str | None = None
     force_plan: str | None = None
+    use_index: bool | None = None
 
     def __post_init__(self) -> None:
         if self.stop_conditions is not None and not isinstance(
@@ -136,6 +148,10 @@ class QueryHints:
             raise ConfigurationError(
                 f"force_plan must be a non-empty candidate name or None, got "
                 f"{self.force_plan!r}"
+            )
+        if self.use_index is not None and not isinstance(self.use_index, bool):
+            raise ConfigurationError(
+                f"use_index must be True, False or None, got {self.use_index!r}"
             )
         classes = self.selection_filter_classes
         if classes is not None:
@@ -180,6 +196,8 @@ class QueryHints:
             parts.append(f"backend={self.backend}")
         if self.force_plan is not None:
             parts.append(f"force_plan={self.force_plan}")
+        if self.use_index is not None:
+            parts.append(f"use_index={self.use_index}")
         return ", ".join(parts) if parts else "none"
 
 

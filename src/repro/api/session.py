@@ -25,6 +25,7 @@ Typical use::
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
@@ -285,6 +286,11 @@ class PreparedQuery:
         backend: str | None = None,
     ) -> ExecutionStream:
         context = self._session._context_for(self.spec.video)
+        if self.hints.use_index is False and context.index_view is not None:
+            # Per-query opt-out: run index-less (the A/B knob).  The stripped
+            # clone shares every other piece of per-video state, so results
+            # are identical — only the detection source changes.
+            context = dataclasses.replace(context, index_view=None)
         # The RNG stream is drawn now (so spawn order follows creation order)
         # but bound only while iterating: executions that run between pulls
         # of a lazy stream share the context and must not contaminate it.

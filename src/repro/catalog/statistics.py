@@ -16,7 +16,9 @@ statistics are).
 
 from __future__ import annotations
 
+import io
 import json
+import zipfile
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -26,7 +28,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.metrics.runtime import StandardCosts
-from repro.persist import atomic_write_text
+from repro.persist import atomic_write_bytes, atomic_write_text
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.labeled_set import LabeledSet
@@ -39,6 +41,13 @@ _SURVIVAL_SLACK = 3.0
 #: Additive floor on filter survival: even a rare class keeps a small residue
 #: of false-positive frames past the calibrated thresholds.
 _SURVIVAL_FLOOR = 0.15
+
+_JSON_FORMAT = "statistics-catalog/v1"
+_NPZ_FORMAT = "statistics-catalog/v2-npz"
+#: Leading bytes of a zip archive, which is what an ``.npz`` file is.  Used
+#: to sniff the on-disk format so ``load`` needs no format argument (the same
+#: convention as ``SharedDetectionCache``).
+_ZIP_MAGIC = b"PK\x03\x04"
 
 
 @dataclass(frozen=True)
@@ -408,34 +417,107 @@ class StatisticsCatalog:
 
     # -- persistence ------------------------------------------------------------------
 
-    def save(self, path: str | Path) -> None:
-        """Write every video's statistics (count arrays included) to JSON.
+    def save(self, path: str | Path, format: str = "json") -> None:
+        """Write every video's statistics (count arrays included) to disk.
 
-        The saved file round-trips through :meth:`load`, so shard pruning
-        and cost estimates survive across sessions without re-running the
-        detector over the labeled days.  The write is atomic (temp file +
-        rename), so a process killed mid-save never corrupts the catalog.
+        ``format="json"`` (the default) keeps the human-readable v1 layout;
+        ``format="npz"`` writes the binary columnar layout, which stops the
+        large per-class count arrays round-tripping through JSON text.
+        Either way the file round-trips through :meth:`load` (which sniffs
+        the format), so shard pruning and cost estimates survive across
+        sessions without re-running the detector over the labeled days.  The
+        write is atomic (temp file + rename), so a process killed mid-save
+        never corrupts the catalog.
         """
-        payload = {
-            "format": "statistics-catalog/v1",
-            "videos": [self._stats[name].to_dict() for name in self.names()],
+        if format not in ("json", "npz"):
+            raise ConfigurationError(
+                f"unknown catalog format {format!r}: expected 'json' or 'npz'"
+            )
+        if format == "json":
+            payload = {
+                "format": _JSON_FORMAT,
+                "videos": [self._stats[name].to_dict() for name in self.names()],
+            }
+            atomic_write_text(path, json.dumps(payload))
+            return
+        metas: list[dict[str, Any]] = []
+        arrays: dict[str, np.ndarray] = {
+            "catalog_format": np.asarray(_NPZ_FORMAT)
         }
-        atomic_write_text(path, json.dumps(payload))
+        for position, name in enumerate(self.names()):
+            entry = self._stats[name].to_dict()
+            train = entry.pop("train_counts")
+            heldout = entry.pop("heldout_counts")
+            count_classes = sorted(set(train) | set(heldout))
+            entry["count_classes"] = count_classes
+            metas.append(entry)
+            for column, class_name in enumerate(count_classes):
+                arrays[f"train_{position}_{column}"] = np.asarray(
+                    train.get(class_name, []), dtype=np.int64
+                )
+                arrays[f"heldout_{position}_{column}"] = np.asarray(
+                    heldout.get(class_name, []), dtype=np.int64
+                )
+        arrays["meta"] = np.asarray(json.dumps(metas))
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        atomic_write_bytes(path, buffer.getvalue())
 
     @classmethod
     def load(cls, path: str | Path) -> StatisticsCatalog:
-        """Rebuild a catalog saved by :meth:`save`.
+        """Rebuild a catalog saved by :meth:`save` (either format).
 
-        The result can be handed straight to ``BlazeIt(catalog=...)``;
-        registering a video with a labeled set later still refreshes its
-        entry.
+        The on-disk format is sniffed from the leading bytes — ``.npz``
+        archives are zip files — so old JSON catalogs keep loading
+        unchanged.  The result can be handed straight to
+        ``BlazeIt(catalog=...)``; registering a video with a labeled set
+        later still refreshes its entry.
         """
-        raw = json.loads(Path(path).read_text())
-        if raw.get("format") != "statistics-catalog/v1":
+        raw_bytes = Path(path).read_bytes()
+        if raw_bytes[:4] == _ZIP_MAGIC:
+            return cls._load_npz(raw_bytes, path)
+        raw = json.loads(raw_bytes.decode("utf-8"))
+        if raw.get("format") != _JSON_FORMAT:
             raise ConfigurationError(f"{path} is not a statistics-catalog file")
         catalog = cls()
         for entry in raw["videos"]:
             catalog.register(VideoStatistics.from_dict(entry))
+        return catalog
+
+    @classmethod
+    def _load_npz(cls, raw: bytes, path: str | Path) -> StatisticsCatalog:
+        """Decode the binary columnar layout written by ``save(format='npz')``."""
+        try:
+            with np.load(io.BytesIO(raw), allow_pickle=False) as archive:
+                if "catalog_format" not in archive.files or (
+                    str(np.asarray(archive["catalog_format"])) != _NPZ_FORMAT
+                ):
+                    raise ConfigurationError(
+                        f"{path} is not a statistics-catalog file"
+                    )
+                metas = json.loads(str(np.asarray(archive["meta"])))
+                catalog = cls()
+                for position, entry in enumerate(metas):
+                    count_classes = entry.pop("count_classes")
+                    entry["train_counts"] = {
+                        name: np.asarray(
+                            archive[f"train_{position}_{column}"], dtype=np.int64
+                        )
+                        for column, name in enumerate(count_classes)
+                    }
+                    entry["heldout_counts"] = {
+                        name: np.asarray(
+                            archive[f"heldout_{position}_{column}"], dtype=np.int64
+                        )
+                        for column, name in enumerate(count_classes)
+                    }
+                    catalog.register(VideoStatistics.from_dict(entry))
+        except ConfigurationError:
+            raise
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+            raise ConfigurationError(
+                f"{path} is not a statistics-catalog file: {exc}"
+            ) from exc
         return catalog
 
     def __contains__(self, video: str) -> bool:

@@ -38,6 +38,7 @@ from repro.udf.registry import UDFRegistry
 from repro.video.synthetic import SyntheticVideo
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a runtime cycle)
+    from repro.index.view import IndexView
     from repro.parallel.cache import SharedDetectionCache
     from repro.parallel.executor import DetectionPrefetcher
     from repro.video.synthetic import Track, VideoSpec
@@ -88,6 +89,10 @@ class ExecutionContext:
     #: Namespace of this context's frames in the shared cache (video name
     #: plus detector identity, built by the engine).
     cache_key: str = ""
+    #: Persistent-index view for this video (``None`` when no committed index
+    #: matches the cache key): serves exact persisted detector output — and
+    #: sketch-proven skips — before any detector charge.
+    index_view: "IndexView | None" = field(default=None, repr=False)
     _features_cache: np.ndarray | None = field(default=None, repr=False)
     _prefetcher: "DetectionPrefetcher | None" = field(default=None, repr=False)
 
@@ -214,6 +219,16 @@ class ExecutionContext:
                     execution_ledger.stash_detection(frame_index, shared)
                     execution_ledger.record_cache_hit()
                 return shared
+        if self.index_view is not None:
+            indexed = self.index_view.get(frame_index)
+            if indexed is not None:
+                result, skipped = indexed
+                if execution_ledger is not None:
+                    execution_ledger.stash_index_detection(
+                        frame_index, result, skipped
+                    )
+                    execution_ledger.record_cache_hit()
+                return result
         if ledger is not None:
             ledger.charge(self._scaled_cost(cost_scale))
         result = self._compute_detection(frame_index)
@@ -255,6 +270,8 @@ class ExecutionContext:
         execution_ledger = ledger if isinstance(ledger, ExecutionLedger) else None
         if execution_ledger is not None and self.shared_cache is not None:
             self._seed_shared_hits(indices, execution_ledger)
+        if execution_ledger is not None and self.index_view is not None:
+            self._seed_index_hits(indices, execution_ledger)
 
         def compute_misses(miss_frames: list[int]) -> list[DetectionResult]:
             shared: dict[int, DetectionResult] = {}
@@ -262,6 +279,13 @@ class ExecutionContext:
                 # With no execution ledger there is no per-execution cache to
                 # seed, so shared hits are resolved (uncharged) right here.
                 shared = self.shared_cache.get_many(self.cache_key, miss_frames)
+            if execution_ledger is None and self.index_view is not None:
+                for frame_index in miss_frames:
+                    if frame_index in shared:
+                        continue
+                    indexed = self.index_view.get(frame_index)
+                    if indexed is not None:
+                        shared[frame_index] = indexed[0]
             charged = [f for f in miss_frames if f not in shared]
             if ledger is not None:
                 ledger.charge(self._scaled_cost(cost_scale), len(charged))
@@ -293,6 +317,26 @@ class ExecutionContext:
             self.cache_key, unseen
         ).items():
             execution_ledger.stash_detection(frame_index, result)
+
+    def _seed_index_hits(
+        self, indices: np.ndarray, execution_ledger: ExecutionLedger
+    ) -> None:
+        """Stash index-served detections into the execution cache.
+
+        The index tier of :meth:`detect_batch`: frames still unseen after the
+        shared-cache seeding are served from the persistent index — decoded
+        from the memory-mapped segment, or synthesized when the range sketch
+        proves the range empty — and the resolver then counts them as free
+        cache hits, exactly like the scalar :meth:`detect` path.
+        """
+        assert self.index_view is not None
+        for frame_index in dict.fromkeys(int(i) for i in indices):
+            if execution_ledger.cached_detection(frame_index) is not None:
+                continue
+            indexed = self.index_view.get(frame_index)
+            if indexed is not None:
+                result, skipped = indexed
+                execution_ledger.stash_index_detection(frame_index, result, skipped)
 
     def _compute_detection(self, frame_index: int) -> DetectionResult:
         """Produce one frame's detections: prefetch, recording, or detector."""
@@ -354,11 +398,48 @@ class ExecutionContext:
         object_class: str,
         ledger: RuntimeLedger | None = None,
     ) -> np.ndarray:
-        """Detected counts of one class over a batch, via :meth:`detect_batch`."""
-        results = self.detect_batch(frame_indices, ledger)
-        return np.array(
-            [result.count(object_class) for result in results], dtype=np.float64
-        )
+        """Detected counts of one class over a batch, via :meth:`detect_batch`.
+
+        With a persistent index attached, frames whose covering sketch range
+        provably contains zero instances of ``object_class`` are answered
+        ``0.0`` directly — no segment decode, no detector call (invariant I7:
+        the sketch is exact, so the skip cannot change the count).  Frames
+        already in the execution cache keep their normal cache-hit accounting
+        by routing through :meth:`detect_batch`.
+        """
+        if self.index_view is None:
+            results = self.detect_batch(frame_indices, ledger)
+            return np.array(
+                [result.count(object_class) for result in results], dtype=np.float64
+            )
+        indices = np.asarray(frame_indices, dtype=np.int64)
+        execution_ledger = ledger if isinstance(ledger, ExecutionLedger) else None
+        counts = np.zeros(indices.shape[0], dtype=np.float64)
+        needed_rows: list[int] = []
+        needed_frames: list[int] = []
+        skipped = 0
+        for row, frame_index in enumerate(indices):
+            frame = int(frame_index)
+            already_cached = (
+                execution_ledger is not None
+                and execution_ledger.cached_detection(frame) is not None
+            )
+            if not already_cached and self.index_view.class_count_zero(
+                frame, object_class
+            ):
+                skipped += 1
+                continue
+            needed_rows.append(row)
+            needed_frames.append(frame)
+        if skipped and execution_ledger is not None:
+            execution_ledger.record_index_skip(skipped)
+        if needed_frames:
+            results = self.detect_batch(
+                np.asarray(needed_frames, dtype=np.int64), ledger
+            )
+            for row, result in zip(needed_rows, results, strict=True):
+                counts[row] = result.count(object_class)
+        return counts
 
     def satisfies_min_counts(
         self,
@@ -366,7 +447,26 @@ class ExecutionContext:
         min_counts: dict[str, int],
         ledger: RuntimeLedger | None = None,
     ) -> bool:
-        """Whether one frame satisfies a count conjunction, charging one call."""
+        """Whether one frame satisfies a count conjunction, charging one call.
+
+        With a persistent index attached, a frame whose sketch range proves
+        the conjunction unsatisfiable (some class's per-frame maximum in the
+        range is below its minimum) is rejected without any decode or charge.
+        """
+        if self.index_view is not None:
+            execution_ledger = (
+                ledger if isinstance(ledger, ExecutionLedger) else None
+            )
+            already_cached = (
+                execution_ledger is not None
+                and execution_ledger.cached_detection(frame_index) is not None
+            )
+            if not already_cached and self.index_view.fails_min_counts(
+                frame_index, min_counts
+            ):
+                if execution_ledger is not None:
+                    execution_ledger.record_index_skip()
+                return False
         result = self.detect(frame_index, ledger)
         return all(
             result.count(object_class) >= min_count

@@ -30,9 +30,12 @@ its own independent RNG stream.
 
 from __future__ import annotations
 
+import dataclasses
+from pathlib import Path
+
 import numpy as np
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.catalog.statistics import StatisticsCatalog
 from repro.core.config import BlazeItConfig
@@ -44,7 +47,11 @@ from repro.core.recorded import RecordedDetections
 from repro.core.results import PlanExplanation, QueryResult
 from repro.detection.base import ObjectDetector
 from repro.detection.simulated import SimulatedDetector
-from repro.errors import UnknownVideoError
+from repro.errors import ConfigurationError, UnknownVideoError
+from repro.index.builder import build_video_index
+from repro.index.sketches import DEFAULT_RANGE_SIZE
+from repro.index.store import DEFAULT_SEGMENT_FRAMES, PersistentIndex
+from repro.index.view import IndexView
 from repro.frameql.analyzer import QuerySpec, analyze
 from repro.frameql.parser import parse
 from repro.optimizer.base import PhysicalPlan
@@ -69,6 +76,7 @@ class BlazeIt:
         udf_registry: UDFRegistry | None = None,
         catalog: StatisticsCatalog | None = None,
         shared_cache: SharedDetectionCache | None = None,
+        index_dir: str | Path | None = None,
     ) -> None:
         self.config = config or BlazeItConfig()
         self.default_detector = detector or SimulatedDetector.mask_rcnn()
@@ -78,8 +86,26 @@ class BlazeIt:
         # and cost estimates survive across processes; registering videos
         # with labeled sets still refreshes the affected entries.
         self.catalog = catalog if catalog is not None else StatisticsCatalog()
+        # The persistent ingest-time index: committed detection segments plus
+        # range sketches.  Catalog entries persisted with an index generation
+        # are registered immediately (cheap JSON); the expensive shared-cache
+        # preload stays behind the explicit :meth:`warm_start`.
+        self._index_store: PersistentIndex | None = None
+        self._index_views: dict[str, IndexView] = {}
+        if index_dir is not None:
+            self._index_store = PersistentIndex(Path(index_dir))
+            for index in self._index_store.entries():
+                try:
+                    stats = index.statistics()
+                    if stats is not None and index.video not in self.catalog:
+                        self.catalog.register(stats)
+                finally:
+                    index.close()
         self.optimizer = CostBasedOptimizer(
-            self.udf_registry, catalog=self.catalog, config=self.config
+            self.udf_registry,
+            catalog=self.catalog,
+            config=self.config,
+            index_lookup=self._index_attachable,
         )
         self._detectors: dict[str, ObjectDetector] = {}
         self._labeled_sets: dict[str, LabeledSet] = {}
@@ -306,7 +332,121 @@ class BlazeIt:
             seed_sequence=seed_sequence,
             shared_cache=self._shared_cache,
             cache_key=self._cache_key_for(video_name),
+            index_view=self._index_view_for(video_name),
         )
+
+    # -- persistent index ---------------------------------------------------------------
+
+    def _index_view_for(self, video_name: str) -> IndexView | None:
+        """The attached index view for a video, or ``None`` when no committed
+        generation matches the video's current cache-key identity."""
+        if self._index_store is None or video_name not in self.store:
+            return None
+        cache_key = self._cache_key_for(video_name)
+        view = self._index_views.get(video_name)
+        if view is not None and view.cache_key == cache_key:
+            return view
+        index = self._index_store.open(video_name, cache_key)
+        if index is None:
+            return None
+        view = IndexView(index)
+        self._index_views[video_name] = view
+        return view
+
+    def _index_attachable(self, video_name: str) -> bool:
+        """Whether queries over ``video_name`` will be served by the index."""
+        return self._index_view_for(video_name) is not None
+
+    def build_index(
+        self,
+        video_name: str,
+        *,
+        range_size: int = DEFAULT_RANGE_SIZE,
+        segment_frames: int = DEFAULT_SEGMENT_FRAMES,
+        include_statistics: bool = True,
+    ) -> dict[str, Any]:
+        """Run the ingest pipeline once and commit a new index generation.
+
+        The build runs the detector over every frame through the ordinary
+        charging chokepoints (so existing caches are reused), persists the
+        columnar segments, the range sketch and — when available — the
+        statistics-catalog entry, and commits atomically: a crash leaves the
+        previous generation fully readable.
+        """
+        if self._index_store is None:
+            raise ConfigurationError(
+                "this engine has no index store; construct it with "
+                "BlazeIt(index_dir=...) to build or serve persistent indexes"
+            )
+        stale = self._index_views.pop(video_name, None)
+        if stale is not None:
+            stale.close()
+        context = self.execution_context(video_name)
+        if context.index_view is not None:
+            # Build from ground truth, not from the previous generation.
+            reopened = self._index_views.pop(video_name, None)
+            if reopened is not None:
+                reopened.close()
+            context = dataclasses.replace(context, index_view=None)
+        statistics = (
+            self.catalog.get(video_name)
+            if include_statistics and video_name in self.catalog
+            else None
+        )
+        return build_video_index(
+            self._index_store,
+            video_name,
+            context,
+            range_size=range_size,
+            segment_frames=segment_frames,
+            statistics=statistics,
+        )
+
+    def warm_start(self) -> dict[str, Any]:
+        """Preload the shared cache and catalog from every committed index.
+
+        After this, a fresh process answers hot queries with zero detector
+        calls even for videos whose index view is bypassed (e.g. via
+        ``QueryHints(use_index=False)``): every indexed frame sits in the
+        shared cross-query cache under its index's cache key.
+        """
+        report: dict[str, Any] = {
+            "enabled": self._index_store is not None,
+            "videos": [],
+            "frames_loaded": 0,
+            "catalog_entries": 0,
+        }
+        if self._index_store is None:
+            return report
+        for index in self._index_store.entries():
+            try:
+                stats = index.statistics()
+                if stats is not None and index.video not in self.catalog:
+                    self.catalog.register(stats)
+                    report["catalog_entries"] += 1
+                if self._shared_cache is not None:
+                    for _segment, results in index.iter_segments():
+                        self._shared_cache.put_many(
+                            index.cache_key,
+                            {r.frame_index: r for r in results},
+                        )
+                        report["frames_loaded"] += len(results)
+                report["videos"].append(index.video)
+            finally:
+                index.close()
+        return report
+
+    def index_status(self) -> dict[str, Any]:
+        """Store summary plus per-view serve counters (service status route)."""
+        if self._index_store is None:
+            return {"enabled": False}
+        status = self._index_store.status()
+        status["enabled"] = True
+        status["attached"] = {
+            name: view.counters()
+            for name, view in sorted(self._index_views.items())
+        }
+        return status
 
     def query(
         self,

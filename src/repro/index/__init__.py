@@ -1,0 +1,36 @@
+"""Persistent ingest-time index with range sketches and data skipping.
+
+The paper's core bet is to do expensive work once at ingest so queries touch
+as few frames as possible.  This package persists the expensive work — exact
+detector output — and the evidence needed to skip frames without redoing it:
+
+* :mod:`repro.index.store` — columnar detection segments (the
+  ``detection/columnar.py`` wire format, one memory-mapped ``.npy`` per
+  column) behind an atomically-committed, versioned manifest;
+* :mod:`repro.index.sketches` — exact per-range class presence/count
+  sketches with upper-bound window queries (a rate of 0 is a proof);
+* :mod:`repro.index.builder` — the crash-safe ingest build;
+* :mod:`repro.index.view` — the query-time façade execution contexts hold.
+
+Build from the command line with ``python -m repro.index`` or through
+``BlazeIt(index_dir=...).build_index(video)``.
+"""
+
+from repro.index.builder import build_video_index
+from repro.index.sketches import DEFAULT_RANGE_SIZE, RangeSketch
+from repro.index.store import (
+    DEFAULT_SEGMENT_FRAMES,
+    PersistentIndex,
+    VideoIndex,
+)
+from repro.index.view import IndexView
+
+__all__ = [
+    "DEFAULT_RANGE_SIZE",
+    "DEFAULT_SEGMENT_FRAMES",
+    "IndexView",
+    "PersistentIndex",
+    "RangeSketch",
+    "VideoIndex",
+    "build_video_index",
+]

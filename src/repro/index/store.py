@@ -1,0 +1,339 @@
+"""Persistent on-disk index: columnar detection segments behind a manifest.
+
+Layout, one directory per ``(video, cache key)`` under the store root::
+
+    <root>/<video-slug>/
+        manifest.json              <- the commit point (atomic_write_text)
+        gen-000001/
+            seg-000000.<column>.npy   one plain .npy per columnar array,
+            ...                       memory-mapped at read time
+            sketch.npz                RangeSketch (exact per-range evidence)
+            statistics.json           optional StatisticsCatalog entry
+
+Builds are crash-safe by construction: a new generation is assembled in a
+``gen-N.tmp`` directory (every file through ``persist.atomic_write_*``),
+renamed into place, and only then does the manifest — itself atomically
+replaced — start pointing at it.  A process killed at any moment leaves the
+previous generation fully readable; stale ``.tmp`` directories and orphaned
+generations are swept at the start of the next build.
+
+Segments reuse the :mod:`repro.detection.columnar` wire format verbatim, one
+plain ``.npy`` file per column so ``np.load(..., mmap_mode="r")`` can serve
+single frames without reading the segment.  Decoding a frame slices the
+CSR window out of the memory-mapped columns and hands it to the same
+``decode_detection_results`` the parallel transport uses, so index reads are
+bit-for-bit identical to live detector output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import re
+import shutil
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.catalog.statistics import VideoStatistics
+from repro.detection.base import DetectionResult
+from repro.detection.columnar import decode_detection_results
+from repro.errors import ConfigurationError
+from repro.index.sketches import RangeSketch
+from repro.persist import atomic_write_bytes
+
+MANIFEST_FORMAT = "video-index/v1"
+MANIFEST_NAME = "manifest.json"
+SKETCH_NAME = "sketch.npz"
+STATISTICS_NAME = "statistics.json"
+
+#: Default number of frames per columnar segment.
+DEFAULT_SEGMENT_FRAMES = 512
+
+#: Column order of the columnar wire format (``detection/columnar.py``).
+SEGMENT_COLUMNS = (
+    "frame_index",
+    "timestamp",
+    "det_offsets",
+    "class_code",
+    "class_table",
+    "box",
+    "confidence",
+    "feature_len",
+    "features_flat",
+    "color",
+    "has_color",
+    "color_name_code",
+    "color_name_table",
+    "track_id",
+)
+
+# Detection-level columns sliced by the CSR window when decoding one frame.
+_DET_COLUMNS = (
+    "class_code",
+    "box",
+    "confidence",
+    "feature_len",
+    "color",
+    "has_color",
+    "color_name_code",
+    "track_id",
+)
+
+
+def video_slug(video_name: str, cache_key: str) -> str:
+    """Stable directory name for one ``(video, cache key)`` index entry."""
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "-", video_name).strip("-") or "video"
+    digest = hashlib.sha256(cache_key.encode("utf-8")).hexdigest()[:10]
+    return f"{safe[:48]}-{digest}"
+
+
+def generation_dirname(generation: int) -> str:
+    """Directory name of one committed generation."""
+    return f"gen-{generation:06d}"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous frame window persisted as columnar ``.npy`` files."""
+
+    name: str
+    start: int
+    end: int
+
+
+class VideoIndex:
+    """Read-side handle on one committed index generation.
+
+    Columns are opened lazily with ``np.load(..., mmap_mode="r")`` and stay
+    mapped until :meth:`close` — call it before unlinking any generation
+    directory (persistence-hygiene invariant I7 / rule RPR007).
+    """
+
+    def __init__(self, directory: Path, manifest: dict[str, Any]) -> None:
+        self.directory = Path(directory)
+        self.manifest = manifest
+        self.video: str = str(manifest["video"])
+        self.cache_key: str = str(manifest["cache_key"])
+        self.num_frames: int = int(manifest["num_frames"])
+        self.fps: float = float(manifest["fps"])
+        self.generation: int = int(manifest["generation"])
+        self.segment_frames: int = int(manifest["segment_frames"])
+        self.segments: tuple[Segment, ...] = tuple(
+            Segment(name=str(s["name"]), start=int(s["start"]), end=int(s["end"]))
+            for s in manifest["segments"]
+        )
+        self.generation_dir = self.directory / generation_dirname(self.generation)
+        self._columns: dict[str, dict[str, np.ndarray]] = {}
+        self._feature_offsets: dict[str, np.ndarray] = {}
+        self._sketch: RangeSketch | None = None
+
+    @classmethod
+    def open(cls, directory: Path) -> VideoIndex:
+        """Open the generation the manifest points at."""
+        manifest_path = Path(directory) / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise ConfigurationError(f"no index manifest at {manifest_path}") from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"unreadable index manifest at {manifest_path}: {exc}"
+            ) from exc
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise ConfigurationError(
+                f"not a video index manifest: format "
+                f"{manifest.get('format')!r} != {MANIFEST_FORMAT!r}"
+            )
+        return cls(Path(directory), manifest)
+
+    @property
+    def sketch(self) -> RangeSketch:
+        """The generation's range sketch (loaded once, then cached)."""
+        if self._sketch is None:
+            with np.load(self.generation_dir / SKETCH_NAME) as arrays:
+                self._sketch = RangeSketch.from_arrays(arrays)
+        return self._sketch
+
+    def statistics(self) -> VideoStatistics | None:
+        """The persisted catalog entry, when the build included one."""
+        path = self.generation_dir / STATISTICS_NAME
+        if not path.exists():
+            return None
+        return VideoStatistics.from_dict(json.loads(path.read_text(encoding="utf-8")))
+
+    def _segment_for(self, frame_index: int) -> Segment:
+        if not 0 <= frame_index < self.num_frames:
+            raise ConfigurationError(
+                f"frame {frame_index} outside indexed range "
+                f"[0, {self.num_frames}) of video {self.video!r}"
+            )
+        return self.segments[frame_index // self.segment_frames]
+
+    def _segment_arrays(self, segment: Segment) -> dict[str, np.ndarray]:
+        arrays = self._columns.get(segment.name)
+        if arrays is None:
+            arrays = {
+                column: np.load(
+                    self.generation_dir / f"{segment.name}.{column}.npy",
+                    mmap_mode="r",
+                )
+                for column in SEGMENT_COLUMNS
+            }
+            self._columns[segment.name] = arrays
+        return arrays
+
+    def _segment_feature_offsets(self, segment: Segment) -> np.ndarray:
+        offsets = self._feature_offsets.get(segment.name)
+        if offsets is None:
+            feature_len = np.asarray(self._segment_arrays(segment)["feature_len"])
+            offsets = np.zeros(len(feature_len) + 1, dtype=np.int64)
+            np.cumsum(np.maximum(feature_len, 0), out=offsets[1:])
+            self._feature_offsets[segment.name] = offsets
+        return offsets
+
+    def result_for(self, frame_index: int) -> DetectionResult:
+        """Decode one frame's exact detector output from the mapped segment."""
+        segment = self._segment_for(frame_index)
+        arrays = self._segment_arrays(segment)
+        local = frame_index - segment.start
+        lo = int(arrays["det_offsets"][local])
+        hi = int(arrays["det_offsets"][local + 1])
+        feature_offsets = self._segment_feature_offsets(segment)
+        f_lo = int(feature_offsets[lo])
+        f_hi = int(feature_offsets[hi])
+        window = {
+            "frame_index": np.asarray(arrays["frame_index"][local : local + 1]),
+            "timestamp": np.asarray(arrays["timestamp"][local : local + 1]),
+            "det_offsets": np.asarray([0, hi - lo], dtype=np.int64),
+            "class_table": np.asarray(arrays["class_table"]),
+            "color_name_table": np.asarray(arrays["color_name_table"]),
+            "features_flat": np.asarray(arrays["features_flat"][f_lo:f_hi]),
+        }
+        for column in _DET_COLUMNS:
+            window[column] = np.asarray(arrays[column][lo:hi])
+        return decode_detection_results(window)[0]
+
+    def segment_results(self, segment: Segment) -> list[DetectionResult]:
+        """Decode one whole segment (used by cache warm-start)."""
+        arrays = {
+            column: np.asarray(values)
+            for column, values in self._segment_arrays(segment).items()
+        }
+        return decode_detection_results(arrays)
+
+    def iter_segments(self) -> Iterator[tuple[Segment, list[DetectionResult]]]:
+        """Decode every segment in frame order."""
+        for segment in self.segments:
+            yield segment, self.segment_results(segment)
+
+    def close(self) -> None:
+        """Release every memory-mapped column (required before unlink)."""
+        for arrays in self._columns.values():
+            for values in arrays.values():
+                mapping = getattr(values, "_mmap", None)
+                if mapping is not None:
+                    mapping.close()
+        self._columns.clear()
+        self._feature_offsets.clear()
+
+    def describe(self) -> dict[str, Any]:
+        """Status summary for ``BlazeIt.index_status()`` and the CLI."""
+        payload: dict[str, Any] = {
+            "video": self.video,
+            "generation": self.generation,
+            "num_frames": self.num_frames,
+            "segments": len(self.segments),
+            "segment_frames": self.segment_frames,
+            "detector": self.manifest.get("detector", ""),
+            "has_statistics": bool(self.manifest.get("has_statistics", False)),
+        }
+        payload.update(self.sketch.describe())
+        return payload
+
+
+class PersistentIndex:
+    """The store root: one :class:`VideoIndex` directory per indexed video."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def video_dir(self, video_name: str, cache_key: str) -> Path:
+        """The directory owning one ``(video, cache key)`` entry."""
+        return self.root / video_slug(video_name, cache_key)
+
+    def open(self, video_name: str, cache_key: str) -> VideoIndex | None:
+        """Open the committed generation, or ``None`` when absent/mismatched."""
+        directory = self.video_dir(video_name, cache_key)
+        if not (directory / MANIFEST_NAME).exists():
+            return None
+        index = VideoIndex.open(directory)
+        if index.cache_key != cache_key:
+            return None
+        return index
+
+    def entries(self) -> list[VideoIndex]:
+        """Every committed index under the root (unreadable dirs skipped)."""
+        if not self.root.is_dir():
+            return []
+        indexes: list[VideoIndex] = []
+        for directory in sorted(self.root.iterdir()):
+            if not (directory / MANIFEST_NAME).is_file():
+                continue
+            try:
+                indexes.append(VideoIndex.open(directory))
+            except ConfigurationError:
+                continue
+        return indexes
+
+    def status(self) -> dict[str, Any]:
+        """Store-level summary: root path plus one row per committed video."""
+        videos: list[dict[str, Any]] = []
+        for index in self.entries():
+            try:
+                videos.append(index.describe())
+            finally:
+                index.close()
+        return {"root": str(self.root), "videos": videos}
+
+
+def sweep_stale_builds(directory: Path, keep_generation: int | None) -> None:
+    """Remove ``.tmp`` build dirs and generations the manifest doesn't own."""
+    if not directory.is_dir():
+        return
+    keep = generation_dirname(keep_generation) if keep_generation else None
+    for child in directory.iterdir():
+        if not child.is_dir():
+            continue
+        if child.name.endswith(".tmp") or (
+            child.name.startswith("gen-") and child.name != keep
+        ):
+            shutil.rmtree(child, ignore_errors=True)
+
+
+def write_array(path: Path, values: np.ndarray) -> None:
+    """Persist one array as a plain ``.npy`` file via the atomic writer."""
+    buffer = io.BytesIO()
+    np.save(buffer, np.ascontiguousarray(values))
+    atomic_write_bytes(path, buffer.getvalue())
+
+
+__all__ = [
+    "DEFAULT_SEGMENT_FRAMES",
+    "MANIFEST_FORMAT",
+    "MANIFEST_NAME",
+    "SKETCH_NAME",
+    "STATISTICS_NAME",
+    "SEGMENT_COLUMNS",
+    "PersistentIndex",
+    "Segment",
+    "VideoIndex",
+    "generation_dirname",
+    "sweep_stale_builds",
+    "video_slug",
+    "write_array",
+]

@@ -20,8 +20,9 @@ Only *relative* runtimes (speedup factors, crossover points) are meaningful.
 from __future__ import annotations
 
 import threading
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (metrics must not import detection)
     from repro.detection.base import DetectionResult
@@ -144,6 +145,19 @@ class RuntimeLedger:
             self.charges.clear()
             self.calls.clear()
 
+    def restore_charges(
+        self, charges: Mapping[str, Any], calls: Mapping[str, Any]
+    ) -> None:
+        """Overwrite the charge maps from a deserialized wire payload.
+
+        The single sanctioned way for wire codecs to write these maps
+        (RPR003): the store happens under the ledger lock so a ledger that
+        is already visible to other threads cannot observe a torn update.
+        """
+        with self._lock:
+            self.charges = {str(k): float(v) for k, v in charges.items()}
+            self.calls = {str(k): int(v) for k, v in calls.items()}
+
     def snapshot(self) -> "RuntimeLedger":
         """Return an independent copy of the current state."""
         copy = RuntimeLedger()
@@ -181,6 +195,13 @@ class ExecutionLedger(RuntimeLedger):
     #: Detections seeded from the process-wide shared cross-query cache —
     #: frames this execution never paid a detector call for.
     shared_cache_hits: int = 0
+    #: Detections decoded from the persistent index's memory-mapped segments
+    #: (exact persisted detector output; never charged).
+    index_hits: int = 0
+    #: Frames skipped entirely on range-sketch evidence — the index proved
+    #: them irrelevant (empty range / class absent / min-count unsatisfiable)
+    #: without decoding anything.
+    index_skips: int = 0
     #: Incremental (non-terminal) events emitted over the streaming protocol.
     batches_emitted: int = 0
     #: All events emitted, including the terminal ``Completed``.
@@ -224,6 +245,27 @@ class ExecutionLedger(RuntimeLedger):
             self._detections.setdefault(frame_index, result)
             self.shared_cache_hits += 1
 
+    def stash_index_detection(
+        self, frame_index: int, result: "DetectionResult", skipped: bool = False
+    ) -> None:
+        """Seed the per-execution cache with a detection served by the index.
+
+        Mirrors :meth:`stash_detection` for the persistent-index tier:
+        ``skipped=True`` means the range sketch proved the frame empty and the
+        result was synthesized without decoding a segment.
+        """
+        with self._lock:
+            self._detections.setdefault(frame_index, result)
+            if skipped:
+                self.index_skips += 1
+            else:
+                self.index_hits += 1
+
+    def record_index_skip(self, count: int = 1) -> None:
+        """Note ``count`` frames skipped on sketch evidence alone (no decode)."""
+        with self._lock:
+            self.index_skips += count
+
     def release_cache(self) -> None:
         """Drop the per-frame detection cache, keeping every counter.
 
@@ -250,6 +292,25 @@ class ExecutionLedger(RuntimeLedger):
             self.wall_seconds = wall_seconds
             self._detections.clear()
 
+    def restore_execution_counters(self, payload: Mapping[str, Any]) -> None:
+        """Overwrite the execution counters from a deserialized wire payload.
+
+        The single sanctioned way for wire codecs to write these counters
+        (RPR003), mirroring :meth:`RuntimeLedger.restore_charges`.  The index
+        counters joined the wire format after protocol v1 first shipped, so
+        they default to zero when absent from older payloads.
+        """
+        with self._lock:
+            self.detector_calls = int(payload["detector_calls"])
+            self.frames_decoded = int(payload["frames_decoded"])
+            self.detection_cache_hits = int(payload["detection_cache_hits"])
+            self.shared_cache_hits = int(payload["shared_cache_hits"])
+            self.index_hits = int(payload.get("index_hits", 0))
+            self.index_skips = int(payload.get("index_skips", 0))
+            self.batches_emitted = int(payload["batches_emitted"])
+            self.events_emitted = int(payload["events_emitted"])
+            self.wall_seconds = float(payload["wall_seconds"])
+
     def merge(self, other: RuntimeLedger) -> None:
         """Fold another ledger's charges — and execution counters — into this one."""
         super().merge(other)
@@ -259,6 +320,8 @@ class ExecutionLedger(RuntimeLedger):
                 self.frames_decoded += other.frames_decoded
                 self.detection_cache_hits += other.detection_cache_hits
                 self.shared_cache_hits += other.shared_cache_hits
+                self.index_hits += other.index_hits
+                self.index_skips += other.index_skips
                 self.batches_emitted += other.batches_emitted
                 self.events_emitted += other.events_emitted
                 self.wall_seconds += other.wall_seconds
@@ -273,6 +336,8 @@ class ExecutionLedger(RuntimeLedger):
             copy.frames_decoded = self.frames_decoded
             copy.detection_cache_hits = self.detection_cache_hits
             copy.shared_cache_hits = self.shared_cache_hits
+            copy.index_hits = self.index_hits
+            copy.index_skips = self.index_skips
             copy.batches_emitted = self.batches_emitted
             copy.events_emitted = self.events_emitted
             copy.wall_seconds = self.wall_seconds

@@ -37,6 +37,7 @@ by name — the escape hatch for benchmarks and for users who know better.
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -308,10 +309,18 @@ class CostBasedOptimizer:
         udf_registry: UDFRegistry,
         catalog: StatisticsCatalog | None = None,
         config: BlazeItConfig | None = None,
+        index_lookup: Callable[[str], bool] | None = None,
     ) -> None:
         self.udf_registry = udf_registry
         self.catalog = catalog if catalog is not None else StatisticsCatalog()
         self.config = config if config is not None else BlazeItConfig()
+        #: Predicate answering "does a committed persistent index cover this
+        #: video?" (the engine passes its index store's lookup).  When it
+        #: answers yes, every candidate's detector work is index-served —
+        #: decoded from memory-mapped segments or skipped outright by the
+        #: range sketches — so detector calls and seconds are repriced to
+        #: zero (training/inference/filter buckets are unaffected).
+        self.index_lookup = index_lookup
 
     # -- public surface ------------------------------------------------------------
 
@@ -372,16 +381,22 @@ class CostBasedOptimizer:
         elif num_frames is None:
             num_frames = 0
         if isinstance(spec, AggregateQuerySpec):
-            return self._aggregate_candidates(spec, logical, hints, stats, num_frames)
-        if isinstance(spec, ScrubbingQuerySpec):
-            return self._scrubbing_candidates(spec, hints, stats, num_frames)
-        if isinstance(spec, SelectionQuerySpec):
-            return self._selection_candidates(spec, hints, stats, num_frames)
-        if isinstance(spec, ExactQuerySpec):
-            return self._exact_candidates(spec, hints, stats, num_frames)
-        raise PlanningError(
-            f"no plan rule for query spec of type {type(spec).__name__}"
-        )
+            candidates = self._aggregate_candidates(
+                spec, logical, hints, stats, num_frames
+            )
+        elif isinstance(spec, ScrubbingQuerySpec):
+            candidates = self._scrubbing_candidates(spec, hints, stats, num_frames)
+        elif isinstance(spec, SelectionQuerySpec):
+            candidates = self._selection_candidates(spec, hints, stats, num_frames)
+        elif isinstance(spec, ExactQuerySpec):
+            candidates = self._exact_candidates(spec, hints, stats, num_frames)
+        else:
+            raise PlanningError(
+                f"no plan rule for query spec of type {type(spec).__name__}"
+            )
+        if self._index_covers(spec, hints):
+            candidates = [self._index_priced(candidate) for candidate in candidates]
+        return candidates
 
     def choose(
         self, candidates: list[PlanCandidate], stats: VideoStatistics | None
@@ -425,11 +440,17 @@ class CostBasedOptimizer:
             chosen = candidates[0].name
         else:
             chosen = self.choose(candidates, stats).name
+        estimated_calls = plan.estimate_detector_calls(num_frames, stats)
+        if self._index_covers(spec, hints):
+            # Sketch-tightened estimate: with a committed index every
+            # detection is served from persisted segments, so the bound on
+            # charged detector calls collapses to zero.
+            estimated_calls = 0
         return PlanExplanation(
             kind=spec.kind.value,
             plan_summary=plan.describe(),
             operators=plan.operator_tree(num_frames=num_frames, stats=stats),
-            estimated_detector_calls=plan.estimate_detector_calls(num_frames, stats),
+            estimated_detector_calls=estimated_calls,
             hints_applied=hints.describe(),
             candidates=tuple(
                 candidate.summary(chosen=candidate.name == chosen)
@@ -487,6 +508,37 @@ class CostBasedOptimizer:
         ).describe()
 
     # -- shared pieces -------------------------------------------------------------
+
+    def _index_covers(self, spec: QuerySpec, hints: QueryHints) -> bool:
+        """Whether a persistent index serves this query's detector work.
+
+        True only when the engine wired an index store in, the hint set does
+        not opt out (``use_index=False``), and the store holds a committed
+        generation for the query's video under the current detector identity.
+        """
+        if self.index_lookup is None or hints.use_index is False:
+            return False
+        return bool(self.index_lookup(spec.video))
+
+    def _index_priced(self, candidate: PlanCandidate) -> PlanCandidate:
+        """Reprice one candidate for index-served detections.
+
+        Every detection the plan would charge is answered from the persistent
+        index (memory-mapped segment decode, or a sketch-proven empty frame),
+        so detector calls and seconds drop to zero.  Training, inference and
+        filter costs still apply: the specialized pipeline and filter
+        cascades run regardless of where detections come from.
+        """
+        cost = CostEstimate(
+            detector_calls=0,
+            detector_seconds=0.0,
+            training_seconds=candidate.cost.training_seconds,
+            inference_seconds=candidate.cost.inference_seconds,
+            filter_seconds=candidate.cost.filter_seconds,
+        )
+        suffix = "index-served detections: detector cost repriced to zero"
+        reason = f"{candidate.reason} [{suffix}]" if candidate.reason else suffix
+        return PlanCandidate(candidate.name, candidate.plan, cost, reason=reason)
 
     def _validate_udfs(self, spec: QuerySpec) -> None:
         predicates = getattr(spec, "udf_predicates", [])

@@ -140,12 +140,17 @@ def parallel_events(
         )
     min_counts, object_class = query_profile(plan)
     sharder = VideoSharder()
+    index_view = context.index_view
     shard_plan = sharder.shard(
         num_frames=context.video.num_frames,
         parallelism=parallelism,
         stats=stats,
         min_counts=min_counts,
         object_class=object_class,
+        # Persisted evidence beats the held-out approximation: with an index
+        # attached, per-shard rates are exact upper bounds over the test-day
+        # frames themselves (rate 0 is a proof of emptiness).
+        sketch=index_view.sketch if index_view is not None else None,
     )
     prefetcher = _build_executor(
         shard_plan, context, control, window_chunks, backend

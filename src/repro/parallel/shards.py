@@ -29,6 +29,7 @@ from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.catalog.statistics import VideoStatistics
+    from repro.index.sketches import RangeSketch
 
 #: Hard cap on the number of shards (and therefore worker threads) one
 #: execution may spawn, whatever parallelism was requested.
@@ -128,13 +129,22 @@ class VideoSharder:
         stats: "VideoStatistics | None" = None,
         min_counts: Mapping[str, int] | None = None,
         object_class: str | None = None,
+        sketch: "RangeSketch | None" = None,
     ) -> ShardPlan:
         """Split ``[0, num_frames)`` into up to ``parallelism`` shards.
 
         ``min_counts`` (scrubbing conjunctions) or ``object_class``
-        (aggregate/selection predicates) select which per-shard rate the
-        catalog estimates; with neither — or without ``stats`` — every shard
-        gets rate 1.0 and nothing is pruned.
+        (aggregate/selection predicates) select which per-shard rate is
+        computed; with neither — or with no rate source — every shard gets
+        rate 1.0 and nothing is pruned.
+
+        Rates come from the persistent index's range ``sketch`` when one is
+        attached: exact upper bounds over the *test-day* frames themselves,
+        not the catalog's proportional mapping of held-out counts onto shard
+        positions (which mislocates events whenever the held-out day's
+        timeline differs from the test day's).  A sketch rate of zero is a
+        proof of emptiness, so sketch-pruned shards need no ``stats``
+        corroboration.
         """
         if num_frames < 1:
             raise ConfigurationError(f"num_frames must be >= 1, got {num_frames}")
@@ -146,19 +156,22 @@ class VideoSharder:
         start = 0
         for shard_id in range(k):
             end = start + base + (1 if shard_id < extra else 0)
-            rate = self._estimate_rate(stats, start, end, min_counts, object_class)
+            rate = self._estimate_rate(
+                stats, start, end, min_counts, object_class, sketch
+            )
             shards.append(
                 Shard(
                     shard_id=shard_id,
                     start=start,
                     end=end,
                     estimated_rate=rate,
-                    # Pruning needs an actual statistical claim: a rate of
-                    # zero computed from real held-out counts, not the 1.0
-                    # fallback of "no statistics available".
+                    # Pruning needs an actual claim about the data: a zero
+                    # upper bound from the index sketch (a proof), or a zero
+                    # rate computed from real held-out counts — never the
+                    # 1.0 fallback of "no rate source available".
                     pruned=(
                         rate == 0.0
-                        and stats is not None
+                        and (sketch is not None or stats is not None)
                         and bool(min_counts or object_class)
                     ),
                 )
@@ -173,7 +186,14 @@ class VideoSharder:
         end: int,
         min_counts: Mapping[str, int] | None,
         object_class: str | None,
+        sketch: "RangeSketch | None" = None,
     ) -> float:
+        if sketch is not None:
+            if min_counts:
+                return sketch.range_event_rate(dict(min_counts), start, end)
+            if object_class is not None:
+                return sketch.range_presence_rate(object_class, start, end)
+            return 1.0
         if stats is None:
             return 1.0
         if min_counts:

@@ -102,6 +102,11 @@ class ServiceConfig:
     #: SSE keep-alive comment interval (used by the HTTP layer; heartbeats
     #: are how client disconnects are detected between events).
     heartbeat_seconds: float = 2.0
+    #: Warm-start the engine's shared detection cache and statistics catalog
+    #: from the persistent index store at boot (a no-op when the engine was
+    #: built without ``index_dir``): a freshly started service answers hot
+    #: queries with zero detector calls.
+    warm_start_index: bool = True
 
 
 class EventLog:
@@ -281,6 +286,9 @@ class ServiceManager:
         self._queries: dict[str, QueryRecord] = {}
         self._ids = itertools.count()
         self._closed = False
+        self.warm_start_report: dict[str, Any] | None = None
+        if self.config.warm_start_index:
+            self.warm_start_report = engine.warm_start()
         self.scheduler = FairScheduler(self.config.slots, self._drain)
 
     # -- tenants -------------------------------------------------------------------
@@ -553,6 +561,11 @@ class ServiceManager:
 
     def status(self) -> dict[str, Any]:
         """Service-wide status summary for the health endpoint."""
+        # The index snapshot walks the store's manifests; it takes no manager
+        # state, so it is assembled outside the lock.
+        index = self.engine.index_status()
+        if self.warm_start_report is not None:
+            index["warm_start"] = self.warm_start_report
         with self._lock:
             return {
                 "tenants": len(self._tenants),
@@ -561,6 +574,7 @@ class ServiceManager:
                 "slots": self.config.slots,
                 "queued": self.scheduler.queued_count(),
                 "running": self.scheduler.running_count(),
+                "index": index,
             }
 
 

@@ -80,6 +80,8 @@ def ledger_to_json(ledger: RuntimeLedger) -> dict[str, Any]:
             frames_decoded=ledger.frames_decoded,
             detection_cache_hits=ledger.detection_cache_hits,
             shared_cache_hits=ledger.shared_cache_hits,
+            index_hits=ledger.index_hits,
+            index_skips=ledger.index_skips,
             batches_emitted=ledger.batches_emitted,
             events_emitted=ledger.events_emitted,
             wall_seconds=ledger.wall_seconds,
@@ -92,18 +94,11 @@ def ledger_from_json(payload: dict[str, Any]) -> RuntimeLedger:
     ledger: RuntimeLedger
     if payload.get("execution"):
         execution = ExecutionLedger()
-        execution.detector_calls = int(payload["detector_calls"])
-        execution.frames_decoded = int(payload["frames_decoded"])
-        execution.detection_cache_hits = int(payload["detection_cache_hits"])
-        execution.shared_cache_hits = int(payload["shared_cache_hits"])
-        execution.batches_emitted = int(payload["batches_emitted"])
-        execution.events_emitted = int(payload["events_emitted"])
-        execution.wall_seconds = float(payload["wall_seconds"])
+        execution.restore_execution_counters(payload)
         ledger = execution
     else:
         ledger = RuntimeLedger()
-    ledger.charges = {str(k): float(v) for k, v in payload["charges"].items()}
-    ledger.calls = {str(k): int(v) for k, v in payload["calls"].items()}
+    ledger.restore_charges(payload["charges"], payload["calls"])
     return ledger
 
 
@@ -329,6 +324,8 @@ def hints_to_json(hints: QueryHints) -> dict[str, Any]:
         payload["backend"] = hints.backend
     if hints.force_plan is not None:
         payload["force_plan"] = hints.force_plan
+    if hints.use_index is not None:
+        payload["use_index"] = hints.use_index
     return payload
 
 
@@ -351,6 +348,7 @@ def hints_from_json(payload: dict[str, Any] | None) -> QueryHints | None:
         "parallelism",
         "backend",
         "force_plan",
+        "use_index",
     }
     unknown = set(payload) - known
     if unknown:

@@ -33,6 +33,7 @@ from repro.analysis.checkers import (
     ForkSafetyChecker,
     LedgerAccountingChecker,
     LockDisciplineChecker,
+    PersistenceHygieneChecker,
     WireExhaustivenessChecker,
 )
 from repro.analysis.pragmas import parse_pragmas, pragma_allows
@@ -793,6 +794,147 @@ class TestForkSafetyChecker:
         report = run_analysis(tmp_path / PKG, package=PKG)
         assert not [d for d in report.findings if d.rule == "RPR006"]
         assert [d for d in report.suppressed if d.rule == "RPR006"]
+
+
+# -- RPR007 persistence hygiene -------------------------------------------------------
+
+
+class TestPersistenceHygieneChecker:
+    def test_bare_write_text_flagged(self, tmp_path: Path) -> None:
+        project = build_project(
+            tmp_path,
+            {
+                "report.py": """
+                    import json
+                    from pathlib import Path
+
+                    def dump(path: Path, payload: dict):
+                        path.write_text(json.dumps(payload))
+                """,
+            },
+        )
+        findings = list(PersistenceHygieneChecker().check(project))
+        assert len(findings) == 1
+        assert "write_text" in findings[0].message
+        assert "atomic_write" in findings[0].hint
+
+    def test_open_write_mode_flagged_read_mode_clean(self, tmp_path: Path) -> None:
+        project = build_project(
+            tmp_path,
+            {
+                "io_mod.py": """
+                    def write(path):
+                        with open(path, "w") as handle:
+                            handle.write("x")
+
+                    def read(path):
+                        with open(path) as handle:
+                            return handle.read()
+
+                    def read_binary(path):
+                        with open(path, "rb") as handle:
+                            return handle.read()
+                """,
+            },
+        )
+        findings = list(PersistenceHygieneChecker().check(project))
+        assert len(findings) == 1
+        assert findings[0].context.endswith(".write")
+        assert "'w'" in findings[0].message
+
+    def test_numpy_save_to_path_flagged_buffer_clean(self, tmp_path: Path) -> None:
+        project = build_project(
+            tmp_path,
+            {
+                "arrays.py": """
+                    import io
+                    import numpy as np
+
+                    def bad(path, values):
+                        np.save(path, values)
+
+                    def bad_savez(path, values):
+                        np.savez_compressed(path, values=values)
+
+                    def good(values):
+                        buffer = io.BytesIO()
+                        np.savez_compressed(buffer, values=values)
+                        return buffer.getvalue()
+
+                    def good_walrus(values):
+                        np.save(buffer := io.BytesIO(), values)
+                        return buffer.getvalue()
+                """,
+            },
+        )
+        findings = list(PersistenceHygieneChecker().check(project))
+        assert len(findings) == 2
+        assert {f.context.rsplit(".", 1)[-1] for f in findings} == {
+            "bad",
+            "bad_savez",
+        }
+
+    def test_unlink_with_open_mmap_flagged(self, tmp_path: Path) -> None:
+        project = build_project(
+            tmp_path,
+            {
+                "mm.py": """
+                    import os
+                    import numpy as np
+
+                    def leaky(path):
+                        values = np.load(path, mmap_mode="r")
+                        total = values.sum()
+                        os.unlink(path)
+                        return total
+
+                    def disciplined(path):
+                        values = np.load(path, mmap_mode="r")
+                        total = values.sum()
+                        values._mmap.close()
+                        os.unlink(path)
+                        return total
+
+                    def no_mmap(path):
+                        os.unlink(path)
+                """,
+            },
+        )
+        findings = list(PersistenceHygieneChecker().check(project))
+        assert len(findings) == 1
+        assert findings[0].context.endswith(".leaky")
+        assert "mmap_mode" in findings[0].message
+
+    def test_persist_module_is_exempt(self, tmp_path: Path) -> None:
+        project = build_project(
+            tmp_path,
+            {
+                "persist.py": """
+                    import os
+
+                    def atomic_write_text(path, text):
+                        fd, tmp = (0, str(path) + ".tmp")
+                        with os.fdopen(fd, "w") as handle:
+                            handle.write(text)
+                        os.unlink(tmp)
+                """,
+            },
+        )
+        assert list(PersistenceHygieneChecker().check(project)) == []
+
+    def test_pragma_suppressed(self, tmp_path: Path) -> None:
+        build_project(
+            tmp_path,
+            {
+                "report.py": """
+                    def dump(path):
+                        path.write_text("x")  # repro: allow[RPR007]: scratch file, no reader
+                """,
+            },
+        )
+        report = run_analysis(tmp_path / PKG, package=PKG)
+        assert not [d for d in report.findings if d.rule == "RPR007"]
+        assert [d for d in report.suppressed if d.rule == "RPR007"]
 
 
 # -- baseline + runner ----------------------------------------------------------------

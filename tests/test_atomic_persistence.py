@@ -215,7 +215,12 @@ class TestBenchmarkReportsAreAtomic:
     and none uses a bare ``Path.write_text`` for it.
     """
 
-    BENCH_SCRIPTS = ["bench_parallel.py", "bench_perf_suite.py", "bench_service.py"]
+    BENCH_SCRIPTS = [
+        "bench_index.py",
+        "bench_parallel.py",
+        "bench_perf_suite.py",
+        "bench_service.py",
+    ]
 
     def test_bench_reports_use_atomic_write(self):
         import ast

@@ -57,6 +57,8 @@ def make_ledger() -> ExecutionLedger:
     ledger.frames_decoded = 456
     ledger.detection_cache_hits = 7
     ledger.shared_cache_hits = 8
+    ledger.index_hits = 11
+    ledger.index_skips = 12
     ledger.batches_emitted = 9
     ledger.events_emitted = 10
     ledger.wall_seconds = 1.234567890123
@@ -157,6 +159,18 @@ class TestLedgerRoundTrip:
         assert restored == ledger  # wall_seconds is compare=False by design
         assert restored.wall_seconds == ledger.wall_seconds
         assert restored.detector_calls == ledger.detector_calls
+        assert restored.index_hits == ledger.index_hits
+        assert restored.index_skips == ledger.index_skips
+
+    def test_pre_index_payload_defaults_counters_to_zero(self):
+        # Payloads written before the index counters existed must still load.
+        payload = ledger_to_json(make_ledger())
+        del payload["index_hits"]
+        del payload["index_skips"]
+        restored = ledger_from_json(payload)
+        assert isinstance(restored, ExecutionLedger)
+        assert restored.index_hits == 0
+        assert restored.index_skips == 0
 
     def test_plain_runtime_ledger_round_trips(self):
         ledger = RuntimeLedger()
@@ -277,6 +291,7 @@ class TestHintsRoundTrip:
             batch_size=64,
             parallelism=4,
             backend="processes",
+            use_index=False,
         )
         assert hints_from_json(hints_to_json(hints)) == hints
 

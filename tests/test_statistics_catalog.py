@@ -219,3 +219,42 @@ class TestCatalogPersistence:
         path.write_text("{\"nope\": 1}")
         with pytest.raises(ConfigurationError):
             StatisticsCatalog.load(path)
+
+    def test_npz_save_load_roundtrip(self, tiny_engine, tiny_stats, tmp_path):
+        path = tmp_path / "catalog.npz"
+        tiny_engine.catalog.save(path, format="npz")
+        assert path.read_bytes()[:4] == b"PK\x03\x04"  # a real zip container
+        restored = StatisticsCatalog.load(path).get("tiny")
+        assert restored is not None
+        assert restored.num_frames == tiny_stats.num_frames
+        assert set(restored.classes) == set(tiny_stats.classes)
+        for name in tiny_stats.classes:
+            assert restored.classes[name] == tiny_stats.classes[name]
+        assert restored.event_rate({"car": 1}) == tiny_stats.event_rate({"car": 1})
+        assert restored.range_event_rate({"car": 1}, 0, 100) == (
+            tiny_stats.range_event_rate({"car": 1}, 0, 100)
+        )
+
+    def test_load_sniffs_format_regardless_of_extension(
+        self, tiny_engine, tmp_path
+    ):
+        # ``load`` reads the leading bytes, not the filename: a binary
+        # catalog saved under a ``.json`` name still loads.
+        path = tmp_path / "catalog.json"
+        tiny_engine.catalog.save(path, format="npz")
+        assert StatisticsCatalog.load(path).names() == ["tiny"]
+
+    def test_unknown_save_format_rejected(self, tiny_engine, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            tiny_engine.catalog.save(tmp_path / "catalog.xml", format="xml")
+
+    def test_foreign_npz_rejected_typed(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        path = tmp_path / "other.npz"
+        with open(path, "wb") as handle:
+            np.savez(handle, values=np.arange(3))
+        with pytest.raises(ConfigurationError):
+            StatisticsCatalog.load(path)
