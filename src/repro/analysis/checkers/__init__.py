@@ -10,6 +10,7 @@ from repro.analysis.checkers.async_hygiene import AsyncHygieneChecker
 from repro.analysis.checkers.wire import WireExhaustivenessChecker
 from repro.analysis.checkers.fork_safety import ForkSafetyChecker
 from repro.analysis.checkers.persistence import PersistenceHygieneChecker
+from repro.analysis.checkers.observability import ObservabilityHygieneChecker
 
 
 def all_checkers() -> list[Checker]:
@@ -22,6 +23,7 @@ def all_checkers() -> list[Checker]:
         WireExhaustivenessChecker(),
         ForkSafetyChecker(),
         PersistenceHygieneChecker(),
+        ObservabilityHygieneChecker(),
     ]
 
 
@@ -32,6 +34,7 @@ __all__ = [
     "ForkSafetyChecker",
     "LedgerAccountingChecker",
     "LockDisciplineChecker",
+    "ObservabilityHygieneChecker",
     "PersistenceHygieneChecker",
     "WireExhaustivenessChecker",
     "all_checkers",

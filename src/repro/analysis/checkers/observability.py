@@ -1,0 +1,161 @@
+"""RPR008 — observability hygiene: tracing stays out of results, spans close.
+
+Two invariants keep the observability layer honest:
+
+**A. Trace/metric values never flow into result-bearing code.**  Span wall
+fields (``wall_start`` / ``wall_duration`` — deliberately distinctive names)
+and the Prometheus rendering are display-only; reading them anywhere outside
+the observability package and the service layer means wall-clock is one
+assignment away from a query result.  Dict literals carrying the *keys* (the
+worker span payloads in ``parallel/``) are fine — only attribute loads leak
+values into expressions.
+
+**B. Every opened span is closed on all exception paths.**  A span context
+manager held in a variable (``s = tracer.span("x")``) is a leak waiting for
+the first exception between acquisition and use.  Span-factory calls —
+``*.span`` / ``*.operator_span`` / ``*.traced``, and the free functions
+``maybe_span`` / ``operator_scope`` — must therefore appear either directly
+as a ``with``-item context expression or as the sole expression of a
+``return`` statement (the factory pattern: the *caller* puts the returned
+context manager in a ``with``).
+
+Deliberate exceptions carry an inline ``# repro: allow[RPR008]: reason``
+pragma, handled by the runner like every other rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.project import ModuleInfo, ProjectModel, dotted_name
+
+#: Span wall fields whose *values* must stay inside obs/ and service/.
+_WALL_FIELDS = {"wall_start", "wall_duration"}
+
+#: Methods that open a span (last dotted segment).
+_SPAN_METHODS = {"span", "operator_span", "traced"}
+
+#: Free functions that return a span context manager.
+_SPAN_FUNCTIONS = {"maybe_span", "operator_scope"}
+
+
+class ObservabilityHygieneChecker(Checker):
+    rule = "RPR008"
+    title = "trace values stay display-only; spans close on all paths"
+
+    def _display_only_prefixes(self, project: ProjectModel) -> tuple[str, ...]:
+        pkg = project.package
+        return (f"{pkg}/obs/", f"{pkg}/service/")
+
+    def check(self, project: ProjectModel) -> Iterator[Diagnostic]:
+        prefixes = self._display_only_prefixes(project)
+        for info in project.modules.values():
+            display_ok = info.relpath.startswith(prefixes)
+            yield from self._check_module(info, display_ok)
+
+    # -- per-module walk -----------------------------------------------------------
+
+    def _check_module(
+        self, info: ModuleInfo, display_ok: bool
+    ) -> Iterator[Diagnostic]:
+        sanctioned = self._sanctioned_calls(info.tree)
+        context_stack: list[str] = [info.name]
+
+        def scan(node: ast.AST) -> Iterator[Diagnostic]:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                context_stack.append(f"{context_stack[-1]}.{node.name}")
+                for child in ast.iter_child_nodes(node):
+                    yield from scan(child)
+                context_stack.pop()
+                return
+            if (
+                not display_ok
+                and isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and node.attr in _WALL_FIELDS
+            ):
+                yield self.diagnostic(
+                    info, node.lineno, node.col_offset,
+                    f"span wall field `.{node.attr}` read outside the "
+                    f"observability/service layers",
+                    context=context_stack[-1],
+                    hint=(
+                        "span wall times are display-only; result-bearing "
+                        "code must never read them (determinism contract)"
+                    ),
+                )
+            if isinstance(node, ast.Call):
+                yield from self._check_call(
+                    info, node, context_stack[-1], display_ok, sanctioned
+                )
+            for child in ast.iter_child_nodes(node):
+                yield from scan(child)
+
+        yield from scan(info.tree)
+
+    def _check_call(
+        self,
+        info: ModuleInfo,
+        node: ast.Call,
+        context: str,
+        display_ok: bool,
+        sanctioned: set[ast.Call],
+    ) -> Iterator[Diagnostic]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        last = name.rsplit(".", 1)[-1]
+        if not display_ok and last == "render_prometheus":
+            yield self.diagnostic(
+                info, node.lineno, node.col_offset,
+                "`render_prometheus()` called outside the "
+                "observability/service layers",
+                context=context,
+                hint=(
+                    "the Prometheus exposition is a wire format for "
+                    "scrapers; engine code must not consume it"
+                ),
+            )
+            return
+        is_method = "." in name and last in _SPAN_METHODS
+        is_function = "." not in name and name in _SPAN_FUNCTIONS
+        if (is_method or is_function) and node not in sanctioned:
+            yield self.diagnostic(
+                info, node.lineno, node.col_offset,
+                f"span-opening call `{name}()` is neither a `with`-item "
+                f"nor a returned factory value",
+                context=context,
+                hint=(
+                    "open spans directly in a `with` statement (or return "
+                    "the context manager from a factory) so exception "
+                    "paths always close them"
+                ),
+            )
+
+    @staticmethod
+    def _sanctioned_calls(tree: ast.AST) -> set[ast.Call]:
+        """Call nodes in positions that guarantee span closure.
+
+        A call used *directly* as a ``with``-item context expression is
+        closed by the ``with``; a call that is the sole expression of a
+        ``return`` hands the unopened context manager to the caller (the
+        span-factory pattern — ``PhysicalOperator.traced``, ``maybe_span``).
+        """
+        sanctioned: set[ast.Call] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Call):
+                        sanctioned.add(item.context_expr)
+            elif isinstance(node, ast.Return):
+                if isinstance(node.value, ast.Call):
+                    sanctioned.add(node.value)
+        return sanctioned
+
+
+__all__ = ["ObservabilityHygieneChecker"]

@@ -104,6 +104,15 @@ class QueryHints:
         is never an error, the query just runs index-less.  Results are
         identical either way; the index only changes where detections come
         from.
+    trace:
+        Span tracing for executions of this prepared query.  ``True`` enables
+        the tracer (spans for parse/optimize/execute/per-operator/per-shard
+        workers; the terminal result carries an
+        :class:`~repro.obs.profile.ExecutionProfile`); ``False`` disables it
+        even when the engine configuration's ``tracing`` default is on;
+        ``None`` (the default) follows the engine configuration.  A per-call
+        ``execute(analyze=True)`` always traces.  Tracing never changes
+        results — spans record wall time for display only.
     """
 
     scrubbing_indexed: bool = False
@@ -114,6 +123,7 @@ class QueryHints:
     backend: str | None = None
     force_plan: str | None = None
     use_index: bool | None = None
+    trace: bool | None = None
 
     def __post_init__(self) -> None:
         if self.stop_conditions is not None and not isinstance(
@@ -152,6 +162,10 @@ class QueryHints:
         if self.use_index is not None and not isinstance(self.use_index, bool):
             raise ConfigurationError(
                 f"use_index must be True, False or None, got {self.use_index!r}"
+            )
+        if self.trace is not None and not isinstance(self.trace, bool):
+            raise ConfigurationError(
+                f"trace must be True, False or None, got {self.trace!r}"
             )
         classes = self.selection_filter_classes
         if classes is not None:
@@ -198,6 +212,8 @@ class QueryHints:
             parts.append(f"force_plan={self.force_plan}")
         if self.use_index is not None:
             parts.append(f"use_index={self.use_index}")
+        if self.trace is not None:
+            parts.append(f"trace={self.trace}")
         return ", ".join(parts) if parts else "none"
 
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import time
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
@@ -36,11 +37,15 @@ from repro.api.builder import QueryBuilder
 from repro.api.hints import QueryHints, StopConditions, require_hints
 from repro.core.events import (
     DEFAULT_BATCH_SIZE,
+    Completed,
     ExecutionControl,
     ExecutionEvent,
     ExecutionStream,
 )
 from repro.core.results import PlanExplanation, QueryResult
+from repro.obs.metrics import record_execution_ledger
+from repro.obs.profile import ExecutionProfile, build_profile
+from repro.obs.trace import Tracer, maybe_span
 from repro.errors import ConfigurationError, QueryParameterError
 from repro.frameql.analyzer import (
     AggregateQuerySpec,
@@ -154,12 +159,18 @@ class PreparedQuery:
         spec: QuerySpec,
         plan: PhysicalPlan,
         hints: QueryHints,
+        parse_seconds: float = 0.0,
+        optimize_seconds: float = 0.0,
     ) -> None:
         self._session = session
         self.text = text
         self.spec = spec
         self.plan = plan
         self.hints = hints
+        #: Prepare-time wall durations, replayed as synthetic ``parse`` /
+        #: ``optimize`` spans into every traced execution (display only).
+        self._parse_seconds = parse_seconds
+        self._optimize_seconds = optimize_seconds
 
     def __repr__(self) -> str:
         return f"PreparedQuery({self.text!r}, plan={self.plan.describe()})"
@@ -198,6 +209,8 @@ class PreparedQuery:
         batch_size: int | None = None,
         parallelism: int | None = None,
         backend: str | None = None,
+        trace: bool | None = None,
+        analyze: bool = False,
         **params: Any,
     ) -> ExecutionStream:
         """Run the prepared plan as a lazy stream of typed execution events.
@@ -223,12 +236,21 @@ class PreparedQuery:
         are bit-for-bit identical at every parallelism and backend under a
         fixed RNG stream.
 
+        ``trace`` enables span tracing for this execution (``None`` follows
+        the hints' ``trace``, then the engine configuration's ``tracing``);
+        ``analyze=True`` forces tracing and is the streaming form of EXPLAIN
+        ANALYZE — the terminal ``Completed`` result carries an
+        :class:`~repro.obs.profile.ExecutionProfile`.  Tracing never changes
+        results: span wall times are display-only.
+
         The plan does no work until the stream is iterated; interleaving two
         live streams of the same prepared query is not supported (they share
         the analyzed spec and, sequentially, the context's RNG binding).
         """
         self._session.stats.streams += 1
-        return self._open_stream(rng, stop, batch_size, params, parallelism, backend)
+        return self._open_stream(
+            rng, stop, batch_size, params, parallelism, backend, trace, analyze
+        )
 
     def _effective_parallelism(self, parallelism: int | None) -> int:
         if parallelism is not None:
@@ -276,6 +298,20 @@ class PreparedQuery:
             backend_constraint=backend_constraint,
         )
 
+    def _tracing_enabled(self, trace: bool | None, analyze: bool) -> bool:
+        """Per-call ``analyze`` wins, then ``trace``, then hints, then config."""
+        if analyze:
+            return True
+        if trace is not None:
+            if not isinstance(trace, bool):
+                raise ConfigurationError(
+                    f"trace must be True, False or None, got {trace!r}"
+                )
+            return trace
+        if self.hints.trace is not None:
+            return self.hints.trace
+        return self._session.engine.config.tracing
+
     def _open_stream(
         self,
         rng: np.random.Generator | None,
@@ -284,6 +320,8 @@ class PreparedQuery:
         params: Mapping[str, Any],
         parallelism: int | None = None,
         backend: str | None = None,
+        trace: bool | None = None,
+        analyze: bool = False,
     ) -> ExecutionStream:
         context = self._session._context_for(self.spec.video)
         if self.hints.use_index is False and context.index_view is not None:
@@ -299,6 +337,14 @@ class PreparedQuery:
         else:
             seed_sequence = self._session._next_seed_sequence()
             bound_rng = np.random.default_rng(seed_sequence)
+        tracer: Tracer | None = None
+        if self._tracing_enabled(trace, analyze):
+            # The trace id derives from the execution's seed-sequence spawn
+            # path — never from wall-clock time — and the tracer rides on a
+            # private context copy so the session's cached context stays
+            # tracer-free for other streams.
+            tracer = Tracer.from_seed_sequence(seed_sequence)
+            context = dataclasses.replace(context, tracer=tracer)
         if batch_size is None:
             batch_size = (
                 self.hints.batch_size
@@ -336,6 +382,12 @@ class PreparedQuery:
 
             self._session.stats.executions += 1
             with self._bound(params):
+                if tracer is not None:
+                    # Replay the prepare-time costs into this trace: parse
+                    # and optimize ran once, at prepare(), for every
+                    # execution of this handle.
+                    tracer.synthetic_span("parse", self._parse_seconds)
+                    tracer.synthetic_span("optimize", self._optimize_seconds)
                 if workers > 1:
                     # Parallel executions get a private context clone: the
                     # prefetcher and the RNG stream are bound once, so the
@@ -353,15 +405,44 @@ class PreparedQuery:
                     )
                 else:
                     plan_events = self.plan.run(context, control)
+                completed: Completed | None = None
                 try:
-                    while True:
-                        if workers <= 1:
-                            context.bind_rng(bound_rng)
-                        try:
-                            event = next(plan_events)
-                        except StopIteration:
-                            return
-                        yield event
+                    with maybe_span(
+                        tracer,
+                        "execute",
+                        parallelism=workers,
+                        backend=exec_backend if workers > 1 else "sequential",
+                    ):
+                        while True:
+                            if workers <= 1:
+                                context.bind_rng(bound_rng)
+                            try:
+                                event = next(plan_events)
+                            except StopIteration:
+                                break
+                            if isinstance(event, Completed):
+                                # Hold the terminal event until the execute
+                                # span has closed, so the profile sees the
+                                # finished span tree.
+                                completed = event
+                                break
+                            yield event
+                    if completed is not None:
+                        result = completed.result
+                        record_execution_ledger(result.kind, result.ledger)
+                        if tracer is not None:
+                            result.profile = build_profile(
+                                result.kind,
+                                self.plan.describe(),
+                                self.plan.operator_tree(
+                                    context.video.num_frames,
+                                    self._session.engine.catalog.get(
+                                        self.spec.video
+                                    ),
+                                ),
+                                tracer,
+                            )
+                        yield completed
                 finally:
                     # Propagate close() promptly to the plan generator — and,
                     # under parallel execution, to the in-flight shard
@@ -378,6 +459,8 @@ class PreparedQuery:
         stop: StopConditions | None = None,
         parallelism: int | None = None,
         backend: str | None = None,
+        trace: bool | None = None,
+        analyze: bool = False,
         **params: Any,
     ) -> QueryResult:
         """Run the prepared plan to completion by draining its event stream.
@@ -386,8 +469,15 @@ class PreparedQuery:
         result is identical to what iterating the stream would have produced.
         Each call draws a fresh RNG stream from the session (unless ``rng``
         is given), so repeated approximate executions sample independently.
+
+        ``execute(analyze=True)`` is EXPLAIN ANALYZE: the execution is traced
+        and the result's ``profile`` carries per-operator actual vs estimated
+        detector calls and wall time (``result.profile.render()``).  The
+        result values themselves are byte-identical to an untraced run.
         """
-        return self._open_stream(rng, stop, None, params, parallelism, backend).drain()
+        return self._open_stream(
+            rng, stop, None, params, parallelism, backend, trace, analyze
+        ).drain()
 
     def execute_many(
         self, param_sets: Iterable[Mapping[str, Any]]
@@ -402,8 +492,21 @@ class PreparedQuery:
 
     # -- introspection -------------------------------------------------------------
 
-    def explain(self) -> PlanExplanation:
-        """Structured description of the plan this query will run."""
+    def explain(
+        self, analyze: bool = False, **params: Any
+    ) -> PlanExplanation | ExecutionProfile:
+        """Structured description of the plan this query will run.
+
+        ``explain(analyze=True)`` actually runs the query once (tracing
+        enabled, fresh RNG stream) and returns its
+        :class:`~repro.obs.profile.ExecutionProfile` — per-operator actual vs
+        estimated detector calls and wall time.  Both return types render
+        with ``.render()``.
+        """
+        if analyze:
+            result = self.execute(analyze=True, **params)
+            assert result.profile is not None  # analyze=True always traces
+            return result.profile
         return self._session._explain(self.spec, self.plan, self.hints)
 
 
@@ -498,12 +601,23 @@ class QuerySession:
         already-built AST.  Per-query ``hints`` override the session's
         default hints.
         """
+        parse_started = time.perf_counter()  # repro: allow[RPR001]: prepare-time span durations (display only)
         text, ast = self._to_ast(query)
         effective_hints = require_hints(hints) if hints is not None else self.hints
+        optimize_started = time.perf_counter()  # repro: allow[RPR001]: prepare-time span durations (display only)
         spec = analyze(ast)
         plan = self.engine.optimizer.plan(spec, hints=effective_hints)
+        optimize_done = time.perf_counter()  # repro: allow[RPR001]: prepare-time span durations (display only)
         self.stats.plans += 1
-        return PreparedQuery(self, text, spec, plan, effective_hints)
+        return PreparedQuery(
+            self,
+            text,
+            spec,
+            plan,
+            effective_hints,
+            parse_seconds=optimize_started - parse_started,
+            optimize_seconds=optimize_done - optimize_started,
+        )
 
     def execute(
         self,
@@ -511,6 +625,8 @@ class QuerySession:
         hints: QueryHints | None = None,
         rng: np.random.Generator | None = None,
         stop: StopConditions | None = None,
+        trace: bool | None = None,
+        analyze: bool = False,
         **params: Any,
     ) -> QueryResult:
         """Prepare (with caching) and execute a query in one call.
@@ -519,7 +635,9 @@ class QuerySession:
         :class:`PreparedQuery` — one parse and one plan for the whole
         session — while still drawing a fresh RNG stream per execution.
         """
-        return self._prepared_for(query, hints).execute(rng=rng, stop=stop, **params)
+        return self._prepared_for(query, hints).execute(
+            rng=rng, stop=stop, trace=trace, analyze=analyze, **params
+        )
 
     def stream(
         self,
@@ -530,6 +648,8 @@ class QuerySession:
         batch_size: int | None = None,
         parallelism: int | None = None,
         backend: str | None = None,
+        trace: bool | None = None,
+        analyze: bool = False,
         **params: Any,
     ) -> ExecutionStream:
         """Prepare (with caching) and stream a query's execution events.
@@ -545,7 +665,7 @@ class QuerySession:
         """
         return self._prepared_for(query, hints).stream(
             rng=rng, stop=stop, batch_size=batch_size, parallelism=parallelism,
-            backend=backend, **params
+            backend=backend, trace=trace, analyze=analyze, **params
         )
 
     def _prepared_for(

@@ -75,6 +75,12 @@ class BlazeItConfig:
         repeated queries over hot videos skip detector work entirely.  ``0``
         — the default — disables the cache, keeping every execution's
         accounting independent of history.
+    tracing:
+        Enable span tracing for every execution by default (the per-query
+        ``QueryHints.trace`` and ``execute(analyze=True)`` override this).
+        Spans record wall time for display only and never feed results, so
+        enabling tracing cannot change any query answer.  ``False`` — the
+        default — keeps the engine at true zero tracing overhead.
     seed:
         Seed for all randomised decisions made by the engine.
     """
@@ -90,6 +96,7 @@ class BlazeItConfig:
     batched_execution: bool = True
     parallelism: int = 1
     shared_cache_bytes: int = 0
+    tracing: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:

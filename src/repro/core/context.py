@@ -39,6 +39,7 @@ from repro.video.synthetic import SyntheticVideo
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a runtime cycle)
     from repro.index.view import IndexView
+    from repro.obs.trace import Tracer
     from repro.parallel.cache import SharedDetectionCache
     from repro.parallel.executor import DetectionPrefetcher
     from repro.video.synthetic import Track, VideoSpec
@@ -93,6 +94,12 @@ class ExecutionContext:
     #: matches the cache key): serves exact persisted detector output — and
     #: sketch-proven skips — before any detector charge.
     index_view: "IndexView | None" = field(default=None, repr=False)
+    #: Span tracer for this execution (``None`` — the default — disables
+    #: tracing at true zero overhead; see :mod:`repro.obs.trace`).  Sessions
+    #: attach a fresh tracer per traced execution on a private context copy;
+    #: shard workers never receive it — their spans ship back over the
+    #: executor transport and are stitched in driver-side.
+    tracer: "Tracer | None" = field(default=None, repr=False)
     _features_cache: np.ndarray | None = field(default=None, repr=False)
     _prefetcher: "DetectionPrefetcher | None" = field(default=None, repr=False)
 
@@ -135,6 +142,7 @@ class ExecutionContext:
             self,
             rng=rng,
             seed_sequence=None,
+            tracer=None,
             _prefetcher=None,
             _features_cache=None,
         )

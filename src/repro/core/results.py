@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.frameql.schema import FrameRecord
 from repro.metrics.runtime import ExecutionLedger, RuntimeLedger
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime (obs uses results)
+    from repro.obs.profile import ExecutionProfile
 
 
 @dataclass(frozen=True)
@@ -146,6 +150,11 @@ class QueryResult:
     detection_calls: int = 0
     plan_description: str = ""
     stop_reason: str | None = None
+    #: EXPLAIN ANALYZE payload, attached when the execution was traced
+    #: (``execute(analyze=True)`` or an enabled tracer).  Display-only:
+    #: excluded from equality and from wire fingerprints, so traced results
+    #: stay byte-identical to untraced ones.
+    profile: "ExecutionProfile | None" = field(default=None, compare=False)
 
     @property
     def runtime_seconds(self) -> float:

@@ -42,6 +42,7 @@ from repro.index.store import (
     write_array,
 )
 from repro.metrics.runtime import ExecutionLedger
+from repro.obs.metrics import get_registry
 from repro.persist import atomic_write_bytes, atomic_write_text
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -144,6 +145,26 @@ def build_video_index(
     # The newly orphaned previous generation is swept best-effort; a crash
     # here just leaves work for the next build's sweep.
     sweep_stale_builds(directory, generation)
+
+    registry = get_registry()
+    labels = {"video": video_name}
+    registry.inc(
+        "repro_index_builds_total",
+        labels=labels,
+        help="Committed index generations.",
+    )
+    registry.inc(
+        "repro_index_frames_indexed_total",
+        num_frames,
+        labels,
+        help="Frames covered by committed index builds.",
+    )
+    registry.inc(
+        "repro_index_build_detector_calls_total",
+        ledger.detector_calls,
+        labels,
+        help="Detector invocations charged to index builds.",
+    )
 
     return {
         "video": video_name,

@@ -292,6 +292,23 @@ class ExecutionLedger(RuntimeLedger):
             self.wall_seconds = wall_seconds
             self._detections.clear()
 
+    def set_wall_seconds(self, wall_seconds: float) -> None:
+        """Overwrite the wall-clock figure with driver-observed time.
+
+        The single sanctioned way for the parallel engine to correct
+        ``wall_seconds`` (RPR003): ``timed_stream`` starts its clock when the
+        inner stream first advances, which excludes executor construction —
+        worker spawn in particular — so the driver re-stamps the figure with
+        the elapsed time since ``parallel_events`` was entered.  Thread- and
+        process-backend rows become directly comparable.  Wall time is
+        display-only (``compare=False``; excluded from wire fingerprints), so
+        the overwrite can never affect results.
+        """
+        if wall_seconds < 0:
+            raise ValueError(f"wall_seconds must be non-negative, got {wall_seconds}")
+        with self._lock:
+            self.wall_seconds = wall_seconds
+
     def restore_execution_counters(self, payload: Mapping[str, Any]) -> None:
         """Overwrite the execution counters from a deserialized wire payload.
 

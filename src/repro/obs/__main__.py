@@ -1,0 +1,45 @@
+"""CLI for the observability layer.
+
+``python -m repro.obs calibration [--frames N] [--json]`` — run the
+calibration workload and print the optimizer estimate-error report.
+
+``python -m repro.obs metrics`` — print the process registry in Prometheus
+text form (mostly useful under a driver that has executed queries first).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.calibration import DEFAULT_FRAMES, calibration_report, render_report
+from repro.obs.metrics import get_registry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    cal = sub.add_parser(
+        "calibration", help="optimizer estimate-error report (EXPLAIN ANALYZE)"
+    )
+    cal.add_argument("--frames", type=int, default=DEFAULT_FRAMES)
+    cal.add_argument("--json", action="store_true", help="machine-readable output")
+    sub.add_parser("metrics", help="dump the process metrics registry")
+    args = parser.parse_args(argv)
+
+    if args.command == "calibration":
+        report = calibration_report(args.frames)
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(render_report(report))
+        return 0
+    if args.command == "metrics":
+        sys.stdout.write(get_registry().render_prometheus())
+        return 0
+    return 2  # pragma: no cover - argparse enforces the subcommand
+
+
+if __name__ == "__main__":
+    sys.exit(main())

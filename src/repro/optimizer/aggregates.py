@@ -25,6 +25,7 @@ benchmark harness produces the per-variant series of Figure 4 and Figure 5.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from collections.abc import Generator, Iterator
 from typing import TYPE_CHECKING
@@ -46,6 +47,7 @@ from repro.core.results import AggregateResult, OperatorNode
 from repro.errors import PlanningError
 from repro.frameql.analyzer import AggregateQuerySpec
 from repro.metrics.runtime import ExecutionLedger
+from repro.obs.trace import operator_scope
 from repro.optimizer.base import CostEstimate, PhysicalPlan
 from repro.optimizer.operators import (
     ControlVariateSampler,
@@ -222,6 +224,9 @@ class AggregateQueryPlan(PhysicalPlan):
                 OperatorNode("BootstrapAccuracyGate", detail="Algorithm 1"),
                 rewrite_node,
                 cv_node,
+                dataclasses.replace(
+                    sampler_node, detail="fallback: too little training data"
+                ),
             )
         return OperatorNode(
             "AggregateQueryPlan",
@@ -309,7 +314,8 @@ class AggregateQueryPlan(PhysicalPlan):
         elif spec.error_tolerance is None or method == AggregateMethod.EXACT:
             result = yield from self._stream_exact(context, control, ledger)
         elif method == AggregateMethod.NAIVE_AQP:
-            result = yield from self._sampler.stream(context, control, ledger)
+            with self._sampler.traced(context, ledger):
+                result = yield from self._sampler.stream(context, control, ledger)
         else:
             result = yield from self._stream_specialized(
                 context, control, ledger, method
@@ -344,34 +350,46 @@ class AggregateQueryPlan(PhysicalPlan):
                     f"not enough training data for class {spec.object_class!r} to "
                     f"force {method.value}; the training day has too few positives"
                 )
-            return (yield from self._sampler.stream(context, control, ledger))
+            with self._sampler.traced(context, ledger):
+                return (yield from self._sampler.stream(context, control, ledger))
 
         yield Progress(phase="train_specialized_nn")
-        model = self._specialized.train(context, ledger)
+        with self._specialized.traced(context, ledger):
+            model = self._specialized.train(context, ledger)
         if method == AggregateMethod.SPECIALIZED_REWRITE:
-            return (
-                yield from self._specialized.stream_rewrite(
-                    context, control, ledger, model
+            with operator_scope(context, "QueryRewrite", ledger):
+                return (
+                    yield from self._specialized.stream_rewrite(
+                        context, control, ledger, model
+                    )
                 )
-            )
         if method == AggregateMethod.CONTROL_VARIATES:
+            with self._control_variates.traced(context, ledger):
+                return (
+                    yield from self._control_variates.stream(
+                        context, control, ledger, model
+                    )
+                )
+
+        # AUTO: Algorithm 1's accuracy gate.
+        yield Progress(phase="accuracy_gate")
+        with operator_scope(context, "BootstrapAccuracyGate", ledger):
+            rewrite_ok = self._specialized.rewrite_within_tolerance(
+                context, ledger, model
+            )
+        if rewrite_ok:
+            with operator_scope(context, "QueryRewrite", ledger):
+                return (
+                    yield from self._specialized.stream_rewrite(
+                        context, control, ledger, model
+                    )
+                )
+        with self._control_variates.traced(context, ledger):
             return (
                 yield from self._control_variates.stream(
                     context, control, ledger, model
                 )
             )
-
-        # AUTO: Algorithm 1's accuracy gate.
-        yield Progress(phase="accuracy_gate")
-        if self._specialized.rewrite_within_tolerance(context, ledger, model):
-            return (
-                yield from self._specialized.stream_rewrite(
-                    context, control, ledger, model
-                )
-            )
-        return (
-            yield from self._control_variates.stream(context, control, ledger, model)
-        )
 
     # -- exhaustive strategy -----------------------------------------------------------
 
@@ -385,26 +403,29 @@ class AggregateQueryPlan(PhysicalPlan):
         object_class = spec.object_class
         num_frames = context.video.num_frames
         if spec.aggregate == "count_distinct":
-            results = yield from self._scan.stream_detections(
-                context, control, ledger
-            )
-            value = self._tracks.distinct_count(results, object_class)
+            with self._scan.traced(context, ledger):
+                results = yield from self._scan.stream_detections(
+                    context, control, ledger
+                )
+            with self._tracks.traced(context, ledger):
+                value = self._tracks.distinct_count(results, object_class)
             scanned = len(results)
             partial_note = "distinct count covers only the scanned prefix"
         else:
             assert object_class is not None  # enforced at plan construction
-            counts, scanned = yield from self._scan.stream_counts(
-                context,
-                control,
-                ledger,
-                object_class,
-                emit=lambda mean, taken: EstimateUpdate(
-                    estimate=finalize_aggregate(spec, mean, num_frames),
-                    half_width=0.0,
-                    samples_used=taken,
-                    confidence=spec.confidence,
-                ),
-            )
+            with self._scan.traced(context, ledger):
+                counts, scanned = yield from self._scan.stream_counts(
+                    context,
+                    control,
+                    ledger,
+                    object_class,
+                    emit=lambda mean, taken: EstimateUpdate(
+                        estimate=finalize_aggregate(spec, mean, num_frames),
+                        half_width=0.0,
+                        samples_used=taken,
+                        confidence=spec.confidence,
+                    ),
+                )
             mean = float(counts.mean()) if counts.size else 0.0
             value = finalize_aggregate(spec, mean, num_frames)
             partial_note = "value computed from the scanned prefix only"

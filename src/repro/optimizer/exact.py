@@ -77,8 +77,12 @@ class ExactQueryPlan(PhysicalPlan):
         ledger = ExecutionLedger()
         num_frames = context.video.num_frames
         yield Progress(phase="detection_scan", total_frames=num_frames)
-        results = yield from self._scan.stream_detections(context, control, ledger)
-        records = self._tracks.materialize(self._tracks.resolve(results))
+        with self._scan.traced(context, ledger):
+            results = yield from self._scan.stream_detections(
+                context, control, ledger
+            )
+        with self._tracks.traced(context, ledger):
+            records = self._tracks.materialize(self._tracks.resolve(results))
         yield Completed(
             ExactResult(
                 kind="exact",

@@ -16,7 +16,12 @@ makes one operator instance reusable across executions.
 
 from __future__ import annotations
 
-from typing import ClassVar
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Any, ClassVar, ContextManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.context import ExecutionContext
+    from repro.metrics.runtime import RuntimeLedger
 
 
 class PhysicalOperator:
@@ -28,6 +33,26 @@ class PhysicalOperator:
     def describe(self) -> str:
         """Human-readable one-line description of the operator."""
         return self.name
+
+    def traced(
+        self,
+        context: "ExecutionContext",
+        ledger: "RuntimeLedger | None" = None,
+    ) -> ContextManager[Any]:
+        """A span covering this operator's work in one execution.
+
+        Plans wrap each operator invocation in ``with op.traced(context,
+        ledger):`` — when the context carries no tracer (the default) this is
+        a shared no-op context manager; when tracing is on, the span records
+        the operator's wall time and, given the execution ledger, its actual
+        charged detector calls for EXPLAIN ANALYZE.  The ``with`` form
+        guarantees the span closes on every exception path (analyzer rule
+        RPR008).
+        """
+        tracer = context.tracer
+        if tracer is None:
+            return nullcontext()
+        return tracer.operator_span(self.name, ledger)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

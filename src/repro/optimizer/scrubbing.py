@@ -239,10 +239,11 @@ class ScrubbingQueryPlan(PhysicalPlan):
             # the verifier consumes front-to-back (bounded speculation keeps
             # overshoot small when the LIMIT fires early).
             context.announce_access_plan(np.arange(context.video.num_frames))
-            yield from self._verifier.stream(
-                context, control, ledger, np.arange(context.video.num_frames),
-                limit, result,
-            )
+            with self._verifier.traced(context, ledger):
+                yield from self._verifier.stream(
+                    context, control, ledger,
+                    np.arange(context.video.num_frames), limit, result,
+                )
         else:
             method = "importance_indexed" if self.indexed else "importance"
             description = (
@@ -252,15 +253,17 @@ class ScrubbingQueryPlan(PhysicalPlan):
             yield Progress(
                 phase="importance_ranking", total_frames=context.video.num_frames
             )
-            order = self._ranking.order(context, ledger)
+            with self._ranking.traced(context, ledger):
+                order = self._ranking.order(context, ledger)
             # Shard-aware entry: each shard worker verifies its frames in
             # ranking-restricted order — exactly the subsequence the global
             # gap/limit walk will consume from it — so the hit set (and its
             # order) is identical to the sequential walk at any parallelism.
             context.announce_access_plan(order)
-            yield from self._verifier.stream(
-                context, control, ledger, order, limit, result
-            )
+            with self._verifier.traced(context, ledger):
+                yield from self._verifier.stream(
+                    context, control, ledger, order, limit, result
+                )
             if not result.satisfied and control.stop_reason is None:
                 # Exhaustive fallback: sweep only frames the ranked scan
                 # never examined — detections already computed during the
@@ -278,9 +281,10 @@ class ScrubbingQueryPlan(PhysicalPlan):
                         detector_calls=ledger.detector_calls,
                         total_frames=context.video.num_frames,
                     )
-                    yield from self._verifier.stream(
-                        context, control, ledger, remaining, limit, result
-                    )
+                    with self._verifier.traced(context, ledger):
+                        yield from self._verifier.stream(
+                            context, control, ledger, remaining, limit, result
+                        )
         if result.satisfied and limit < self.spec.limit:
             control.note_stop("limit")
         frames = sorted(result.frames)

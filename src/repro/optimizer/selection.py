@@ -36,6 +36,7 @@ from repro.errors import PlanningError
 from repro.frameql.analyzer import SelectionQuerySpec
 from repro.frameql.schema import FrameRecord
 from repro.metrics.runtime import ExecutionLedger
+from repro.obs.trace import operator_scope
 from repro.optimizer.base import CostEstimate, PhysicalPlan
 from repro.optimizer.operators import (
     FilterCascade,
@@ -206,10 +207,10 @@ class SelectionQueryPlan(PhysicalPlan):
         yield Progress(
             phase="filter_inference", total_frames=context.video.num_frames
         )
-        plan = self._cascade.build(context, ledger)
-
-        all_frames = np.arange(context.video.num_frames, dtype=np.int64)
-        surviving = plan.apply(context.video, all_frames, ledger)
+        with self._cascade.traced(context, ledger):
+            plan = self._cascade.build(context, ledger)
+            all_frames = np.arange(context.video.num_frames, dtype=np.int64)
+            surviving = plan.apply(context.video, all_frames, ledger)
         # Shard-aware entry: the filter survivors are the exact detector
         # workload, verified in ascending frame order across the shards.
         context.announce_access_plan(surviving, monotone=True)
@@ -235,43 +236,47 @@ class SelectionQueryPlan(PhysicalPlan):
         matched_frames: set[int] = set()
         candidates_pending = False
         taken = 0
-        while taken < surviving.size:
-            if control.should_stop(ledger):
-                break
-            stop_at = min(int(surviving.size), taken + control.batch_allowance(ledger))
-            batch_results = context.detect_batch(
-                surviving[taken:stop_at], ledger, cost_scale=cost_scale
-            )
-            frame_results.extend(batch_results)
-            taken = stop_at
-            yield Progress(
-                phase="detector_verification",
-                frames_scanned=ledger.frames_decoded,
-                detector_calls=ledger.detector_calls,
-                total_frames=int(surviving.size),
-            )
-            if provisional_limit is not None:
-                # Provisional evaluation over the detections so far: stop as
-                # soon as enough matched windows exist.  (Without a limit the
-                # predicates are evaluated exactly once, after the full scan.)
-                # Track resolution over the full prefix is quadratic in the
-                # worst case, so it only reruns when a batch actually adds a
-                # detection that passes the object-level predicates — batches
-                # of non-candidates cannot change the window count.
-                candidates_pending = candidates_pending or any(
-                    detection_matches(det, self.spec, context.udf_registry)
-                    for result in batch_results
-                    for det in result.detections
-                )
-                if not candidates_pending:
-                    continue
-                records, matched_frames = self._evaluate_predicates(
-                    context, frame_results, plan
-                )
-                candidates_pending = False
-                if len(self._windows(matched_frames, plan)) >= provisional_limit:
-                    control.note_stop("limit")
+        with operator_scope(context, "DetectorVerifier", ledger):
+            while taken < surviving.size:
+                if control.should_stop(ledger):
                     break
+                stop_at = min(
+                    int(surviving.size), taken + control.batch_allowance(ledger)
+                )
+                batch_results = context.detect_batch(
+                    surviving[taken:stop_at], ledger, cost_scale=cost_scale
+                )
+                frame_results.extend(batch_results)
+                taken = stop_at
+                yield Progress(
+                    phase="detector_verification",
+                    frames_scanned=ledger.frames_decoded,
+                    detector_calls=ledger.detector_calls,
+                    total_frames=int(surviving.size),
+                )
+                if provisional_limit is not None:
+                    # Provisional evaluation over the detections so far: stop
+                    # as soon as enough matched windows exist.  (Without a
+                    # limit the predicates are evaluated exactly once, after
+                    # the full scan.)  Track resolution over the full prefix
+                    # is quadratic in the worst case, so it only reruns when a
+                    # batch actually adds a detection that passes the
+                    # object-level predicates — batches of non-candidates
+                    # cannot change the window count.
+                    candidates_pending = candidates_pending or any(
+                        detection_matches(det, self.spec, context.udf_registry)
+                        for result in batch_results
+                        for det in result.detections
+                    )
+                    if not candidates_pending:
+                        continue
+                    records, matched_frames = self._evaluate_predicates(
+                        context, frame_results, plan
+                    )
+                    candidates_pending = False
+                    if len(self._windows(matched_frames, plan)) >= provisional_limit:
+                        control.note_stop("limit")
+                        break
         if provisional_limit is None or (
             taken >= surviving.size and control.stop_reason is None
         ):
@@ -348,7 +353,8 @@ class SelectionQueryPlan(PhysicalPlan):
         aggregator = TrackAggregator(
             iou_threshold=iou_threshold, max_gap=max(1, step)
         )
-        tracks = aggregator.resolve(frame_results)
+        with aggregator.traced(context):
+            tracks = aggregator.resolve(frame_results)
 
         min_detections = 1
         if spec.min_track_frames is not None:
@@ -356,27 +362,28 @@ class SelectionQueryPlan(PhysicalPlan):
 
         records: list[FrameRecord] = []
         matched_frames: set[int] = set()
-        for track in tracks:
-            matching = [
-                det
-                for det in track.detections
-                if detection_matches(det, spec, context.udf_registry)
-            ]
-            if len(matching) < min_detections:
-                continue
-            for det in matching:
-                records.append(
-                    FrameRecord(
-                        timestamp=det.timestamp,
-                        frame_index=det.frame_index,
-                        object_class=det.object_class,
-                        mask=det.box,
-                        trackid=track.track_id,
-                        features=det.features,
-                        confidence=det.confidence,
-                        color=det.color,
-                        color_name=det.color_name,
+        with operator_scope(context, "PredicateEvaluation"):
+            for track in tracks:
+                matching = [
+                    det
+                    for det in track.detections
+                    if detection_matches(det, spec, context.udf_registry)
+                ]
+                if len(matching) < min_detections:
+                    continue
+                for det in matching:
+                    records.append(
+                        FrameRecord(
+                            timestamp=det.timestamp,
+                            frame_index=det.frame_index,
+                            object_class=det.object_class,
+                            mask=det.box,
+                            trackid=track.track_id,
+                            features=det.features,
+                            confidence=det.confidence,
+                            color=det.color,
+                            color_name=det.color_name,
+                        )
                     )
-                )
-                matched_frames.add(det.frame_index)
+                    matched_frames.add(det.frame_index)
         return records, matched_frames

@@ -29,9 +29,10 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -102,6 +103,9 @@ class DetectionPrefetcher:
         #: difference to the driver's charged calls is the speculation cost.
         self.frames_prefetched = 0
         self._prefetched_lock = threading.Lock()
+        #: Per-shard span payloads (wall time, frames, chunks) appended by
+        #: workers on exit; stitched into the driver's trace after shutdown.
+        self._worker_spans: list[dict[str, Any]] = []
 
     # -- driver-side protocol -------------------------------------------------------
 
@@ -197,6 +201,16 @@ class DetectionPrefetcher:
                 state.thread.join()
                 state.thread = None
 
+    def worker_spans(self) -> "list[dict[str, Any]]":
+        """Span payloads of every finished worker, in shard-id order.
+
+        Call after :meth:`shutdown`: workers append their payload on exit,
+        so joined workers have all reported.  Wall durations are display-only
+        (the tracer's determinism contract); identity comes from shard ids.
+        """
+        with self._prefetched_lock:
+            return sorted(self._worker_spans, key=lambda p: p["shard_id"])
+
     # -- worker side ----------------------------------------------------------------
 
     def _cancelled(self) -> bool:
@@ -223,6 +237,8 @@ class DetectionPrefetcher:
         shard = state.shard
         frames = state.frames
         computed = 0
+        chunks = 0
+        started = time.perf_counter()  # repro: allow[RPR001]: worker span wall stamping (display only)
         try:
             while computed < frames.size and not self._cancelled():
                 chunk = frames[computed : computed + self.chunk_size]
@@ -230,6 +246,7 @@ class DetectionPrefetcher:
                 if not self._put(state, (chunk, results)):
                     return
                 computed += len(chunk)
+                chunks += 1
                 with self._prefetched_lock:
                     self.frames_prefetched += len(chunk)
                 self.progress_events.put(
@@ -249,6 +266,18 @@ class DetectionPrefetcher:
             # the driver computes them inline, reproducing (and surfacing)
             # the error on its own thread with normal charging.
             self._put(state, _DONE)
+            wall = time.perf_counter() - started  # repro: allow[RPR001]: worker span wall stamping (display only)
+            with self._prefetched_lock:
+                self._worker_spans.append(
+                    {
+                        "shard_id": shard.shard_id,
+                        "name": "shard_worker",
+                        "wall_duration": wall,
+                        "frames": computed,
+                        "chunks": chunks,
+                        "backend": "threads",
+                    }
+                )
 
     def _compute_chunk(
         self, context: "ExecutionContext", chunk: np.ndarray

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import multiprocessing
 import queue
+import time
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -133,6 +134,9 @@ class ProcessShardExecutor:
         #: Frames computed speculatively by workers (consumed or not), counted
         #: driver-side as publication headers arrive.
         self.frames_prefetched = 0
+        #: Per-shard span payloads shipped on the ``done`` sentinel; keyed by
+        #: shard id so a re-delivered sentinel cannot duplicate a span.
+        self._worker_spans: dict[int, dict[str, Any]] = {}
 
     # -- driver-side protocol -------------------------------------------------------
 
@@ -236,7 +240,41 @@ class ProcessShardExecutor:
                     process.kill()
                     process.join()
             state.process = None
+            # The exiting worker's ``done`` sentinel (carrying its span
+            # payload) may still sit undelivered in the ready queue when the
+            # driver stopped taking early; drain it before the transport is
+            # torn down so traces keep their worker spans.
+            self._drain_done_sentinels(state)
             self._teardown_transport(state)
+
+    def _drain_done_sentinels(self, state: _ShardState) -> None:
+        if state.ready is None:
+            return
+        while True:
+            try:
+                header = state.ready.get_nowait()
+            except (queue.Empty, OSError, ValueError):
+                return
+            if header[0] == "done":
+                self._note_done(state, header)
+
+    def worker_spans(self) -> "list[dict[str, Any]]":
+        """Span payloads of every reporting worker, in shard-id order.
+
+        Call after :meth:`shutdown`; a worker that died without its ``done``
+        sentinel (crash, SIGKILL) simply has no span — identity of the
+        surviving spans is unaffected (ids derive from shard ids).
+        """
+        return [self._worker_spans[k] for k in sorted(self._worker_spans)]
+
+    def _note_done(self, state: _ShardState, header: tuple) -> None:
+        state.finished = True
+        # Arity-tolerant: old-style sentinels are ("done", computed); new
+        # workers append their span payload as a third element.
+        if len(header) > 2 and isinstance(header[2], dict):
+            payload = dict(header[2])
+            payload.setdefault("shard_id", state.shard.shard_id)
+            self._worker_spans[state.shard.shard_id] = payload
 
     def _teardown_transport(self, state: _ShardState) -> None:
         """Close the shard's queues and unlink its shm segments."""
@@ -300,7 +338,7 @@ class ProcessShardExecutor:
         """Decode one publication header into the shard's result buffer."""
         kind = header[0]
         if kind == "done":
-            state.finished = True
+            self._note_done(state, header)
             return
         if kind == "slot":
             _, slot_index, nbytes, computed = header
@@ -351,6 +389,8 @@ def _shard_worker_main(
     """
     slots = attach_slots(spec.slot_names)
     computed = 0
+    chunks = 0
+    started = time.perf_counter()  # repro: allow[RPR001]: worker span wall stamping (display only)
     try:
         video = spec.context_spec.build_video()
         detector = spec.context_spec.detector
@@ -364,11 +404,21 @@ def _shard_worker_main(
             results = detector.detect_many(video, chunk)  # repro: allow[RPR002]: uncharged speculation, charged on consumption
             payload = encode_to_bytes(results)
             computed += len(chunk)
+            chunks += 1
             if not _publish(payload, computed, slots, free_slots, ready, stop):
                 return
     finally:
+        wall = time.perf_counter() - started  # repro: allow[RPR001]: worker span wall stamping (display only)
+        span_payload = {
+            "shard_id": spec.shard_id,
+            "name": "shard_worker",
+            "wall_duration": wall,
+            "frames": computed,
+            "chunks": chunks,
+            "backend": "processes",
+        }
         try:
-            ready.put(("done", computed))
+            ready.put(("done", computed, span_payload))
         except (OSError, ValueError):  # pragma: no cover - driver gone
             pass
         detach_slots(slots)

@@ -5,7 +5,8 @@ framework, no new dependencies — that exposes the
 :class:`~repro.service.manager.ServiceManager` over the wire:
 
 ====================================  =============================================
-``GET  /healthz``                     service status summary
+``GET  /healthz``                     service status summary (+ metrics snapshot)
+``GET  /metrics``                     Prometheus text exposition of the registry
 ``POST /tenants``                     ``{"name", "quota": {...}}``
 ``POST /sessions``                    ``{"tenant", "video"?, "hints"?}``
 ``DELETE /sessions/{id}``             close a session
@@ -43,10 +44,12 @@ import asyncio
 import functools
 import json
 import threading
+from dataclasses import dataclass
 from typing import Any, Callable, TypeVar
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import BlazeItError
+from repro.obs.metrics import get_registry
 from repro.service.manager import ServiceError, ServiceManager
 
 _MAX_BODY_BYTES = 8 << 20
@@ -76,6 +79,15 @@ _STATUS_TEXT = {
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
+
+
+@dataclass(frozen=True)
+class _TextResponse:
+    """A non-JSON route response (the Prometheus exposition endpoint)."""
+
+    status: int
+    body: str
+    content_type: str = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def _error_payload(exc: BlazeItError) -> tuple[int, dict[str, Any]]:
@@ -143,6 +155,11 @@ class QueryServiceApp:
                     continue
                 if handled == "streamed":
                     return  # SSE responses own the connection and close it
+                if isinstance(handled, _TextResponse):
+                    await self._write_text(writer, handled, keep_alive)
+                    if not keep_alive:
+                        return
+                    continue
                 status, payload = handled
                 await self._write_json(writer, status, payload, keep_alive)
                 if not keep_alive:
@@ -191,7 +208,7 @@ class QueryServiceApp:
         headers: dict[str, str],
         body: bytes,
         writer: asyncio.StreamWriter,
-    ) -> tuple[int, dict[str, Any]] | str:
+    ) -> tuple[int, dict[str, Any]] | _TextResponse | str:
         url = urlsplit(target)
         parts = [p for p in url.path.split("/") if p]
         query_params = parse_qs(url.query)
@@ -199,6 +216,10 @@ class QueryServiceApp:
 
         if parts == ["healthz"] and method == "GET":
             return 200, await self._call(self.manager.status)
+        if parts == ["metrics"] and method == "GET":
+            # The registry has its own lock (no manager lock, no planning),
+            # so rendering inline on the loop is safe and fast.
+            return _TextResponse(200, get_registry().render_prometheus())
         if parts == ["tenants"] and method == "POST":
             return 200, await self._create_tenant(payload)
         if parts == ["sessions"] and method == "POST":
@@ -400,6 +421,23 @@ class QueryServiceApp:
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
+        ).encode()
+        writer.write(head + body)
+        await writer.drain()
+
+    async def _write_text(
+        self,
+        writer: asyncio.StreamWriter,
+        response: _TextResponse,
+        keep_alive: bool,
+    ) -> None:
+        body = response.body.encode()
+        head = (
+            f"HTTP/1.1 {response.status} "
+            f"{_STATUS_TEXT.get(response.status, 'Unknown')}\r\n"
+            f"Content-Type: {response.content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
         ).encode()

@@ -83,6 +83,21 @@ class ServiceClient:
     def healthz(self) -> dict[str, Any]:
         return self._request("GET", "/healthz")
 
+    def metrics(self) -> str:
+        """The service's Prometheus text exposition (``GET /metrics``), raw."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            body = response.read().decode("utf-8")
+            if response.status >= 400:
+                raise ServiceClientError(response.status, "metrics", body)
+            return body
+        finally:
+            connection.close()
+
     def create_tenant(
         self,
         name: str,

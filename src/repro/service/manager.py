@@ -29,11 +29,13 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.core.events import Completed, ExecutionStream
 from repro.errors import BlazeItError
+from repro.obs.metrics import get_registry
 from repro.service.protocol import event_to_json, hints_from_json, result_to_json
 from repro.service.scheduler import FairScheduler
 
@@ -202,6 +204,12 @@ class QueryRecord:
         self.error: str | None = None
         self.cancel_requested = False
         self.done = threading.Event()
+        # Wall-clock lifecycle stamps (satellite S1).  Display-only: they
+        # feed the status payload and the metrics registry, never results.
+        self.submitted_at: float | None = None  # admission accepted
+        self.enqueued_at: float | None = None  # entered the scheduler queue
+        self.dispatched_at: float | None = None  # drainer thread started
+        self.first_event_at: float | None = None  # first event logged (TTFE)
 
     # The scheduler keys fairness and serialization off these two:
     @property
@@ -211,6 +219,27 @@ class QueryRecord:
     @property
     def session_key(self) -> str:
         return self.session_id
+
+    @property
+    def admission_wait_seconds(self) -> float | None:
+        """Admission accepted -> drainer started (queue + slot wait)."""
+        if self.submitted_at is None or self.dispatched_at is None:
+            return None
+        return max(0.0, self.dispatched_at - self.submitted_at)
+
+    @property
+    def slot_wait_seconds(self) -> float | None:
+        """Scheduler queue entry -> drainer started (pure slot contention)."""
+        if self.enqueued_at is None or self.dispatched_at is None:
+            return None
+        return max(0.0, self.dispatched_at - self.enqueued_at)
+
+    @property
+    def ttfe_seconds(self) -> float | None:
+        """Admission accepted -> first event on the log (time to first event)."""
+        if self.submitted_at is None or self.first_event_at is None:
+            return None
+        return max(0.0, self.first_event_at - self.submitted_at)
 
     def status(self) -> dict[str, Any]:
         """JSON-ready status summary (no event payloads)."""
@@ -223,6 +252,9 @@ class QueryRecord:
             "events": len(self.log),
             "slots": self.slots,
             "stop_reason": self.stop_reason,
+            "admission_wait_seconds": self.admission_wait_seconds,
+            "slot_wait_seconds": self.slot_wait_seconds,
+            "ttfe_seconds": self.ttfe_seconds,
         }
         if self.error is not None:
             payload["error"] = self.error
@@ -410,6 +442,11 @@ class ServiceManager:
                 quota.max_detector_calls is not None
                 and tenant.detector_calls_charged >= quota.max_detector_calls
             ):
+                get_registry().inc(
+                    "repro_quota_rejections_total",
+                    labels={"tenant": tenant.name},
+                    help="Submissions rejected by an exhausted detector-call quota.",
+                )
                 raise QuotaExceededError(
                     f"tenant {tenant.name!r} has charged "
                     f"{tenant.detector_calls_charged} detector calls against a "
@@ -419,11 +456,21 @@ class ServiceManager:
                 quota.max_active_queries is not None
                 and tenant.active_queries >= quota.max_active_queries
             ):
+                get_registry().inc(
+                    "repro_admission_rejections_total",
+                    labels={"reason": "tenant_cap"},
+                    help="Submissions rejected at admission (queue full or tenant cap).",
+                )
                 raise AdmissionRejectedError(
                     f"tenant {tenant.name!r} already has {tenant.active_queries} "
                     f"active queries (cap {quota.max_active_queries})"
                 )
             if self.scheduler.queued_count() >= self.config.max_queue_depth:
+                get_registry().inc(
+                    "repro_admission_rejections_total",
+                    labels={"reason": "queue_full"},
+                    help="Submissions rejected at admission (queue full or tenant cap).",
+                )
                 raise AdmissionRejectedError(
                     f"admission queue is full "
                     f"({self.config.max_queue_depth} queries waiting)"
@@ -454,6 +501,7 @@ class ServiceManager:
             self._queries[record.query_id] = record
             tenant.queries_submitted += 1
             tenant.active_queries += 1
+            record.submitted_at = time.perf_counter()
         self.scheduler.submit(record)
         return record
 
@@ -471,10 +519,34 @@ class ServiceManager:
         shard worker, is gone).
         """
         record.state = RUNNING
+        registry = get_registry()
+        wait = record.admission_wait_seconds
+        if wait is not None:
+            registry.observe(
+                "repro_admission_wait_seconds",
+                wait,
+                help="Admission-accepted to drainer-start wait per query.",
+            )
+        slot_wait = record.slot_wait_seconds
+        if slot_wait is not None:
+            registry.observe(
+                "repro_slot_wait_seconds",
+                slot_wait,
+                help="Scheduler-queue to drainer-start wait per query.",
+            )
         stream = record.stream
         try:
             for event in stream:
                 record.log.append(event_to_json(event))
+                if record.first_event_at is None:
+                    record.first_event_at = time.perf_counter()
+                    ttfe = record.ttfe_seconds
+                    if ttfe is not None:
+                        registry.observe(
+                            "repro_ttfe_seconds",
+                            ttfe,
+                            help="Admission-accepted to first-event latency per query.",
+                        )
                 if isinstance(event, Completed):
                     record.result = event.result
                     record.stop_reason = event.stop_reason
@@ -575,6 +647,7 @@ class ServiceManager:
                 "queued": self.scheduler.queued_count(),
                 "running": self.scheduler.running_count(),
                 "index": index,
+                "metrics": get_registry().snapshot(),
             }
 
 

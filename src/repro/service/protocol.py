@@ -160,6 +160,8 @@ def result_to_json(result: QueryResult) -> dict[str, Any]:
         "plan_description": result.plan_description,
         "stop_reason": result.stop_reason,
     }
+    if result.profile is not None:
+        payload["profile"] = result.profile.to_json()
     if isinstance(result, AggregateResult):
         payload.update(
             value=result.value,
@@ -207,6 +209,10 @@ def result_from_json(payload: dict[str, Any]) -> QueryResult:
         plan_description=payload["plan_description"],
         stop_reason=payload["stop_reason"],
     )
+    if payload.get("profile") is not None:
+        from repro.obs.profile import ExecutionProfile
+
+        common["profile"] = ExecutionProfile.from_json(payload["profile"])
     if cls is AggregateResult:
         return AggregateResult(
             **common,
@@ -255,11 +261,15 @@ def result_fingerprint(result: QueryResult) -> str:
 
     Wall-clock time (``ledger.wall_seconds``) is zeroed — it measures the
     machine, not the query — matching ``ExecutionLedger``'s own equality
-    semantics.  Two results are "byte-identical over the wire" exactly when
-    their fingerprints are equal strings.
+    semantics.  The execution profile is likewise excluded: its span wall
+    times are display-only observability, never part of the result proper,
+    which is what makes a traced run byte-identical to an untraced one.
+    Two results are "byte-identical over the wire" exactly when their
+    fingerprints are equal strings.
     """
     payload = result_to_json(result)
     payload["ledger"].pop("wall_seconds", None)
+    payload.pop("profile", None)
     return json.dumps(payload, sort_keys=True)
 
 
@@ -326,6 +336,8 @@ def hints_to_json(hints: QueryHints) -> dict[str, Any]:
         payload["force_plan"] = hints.force_plan
     if hints.use_index is not None:
         payload["use_index"] = hints.use_index
+    if hints.trace is not None:
+        payload["trace"] = hints.trace
     return payload
 
 
@@ -349,6 +361,7 @@ def hints_from_json(payload: dict[str, Any] | None) -> QueryHints | None:
         "backend",
         "force_plan",
         "use_index",
+        "trace",
     }
     unknown = set(payload) - known
     if unknown:

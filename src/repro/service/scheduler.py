@@ -27,6 +27,7 @@ Two additional invariants:
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import TYPE_CHECKING, Callable
 
@@ -75,6 +76,7 @@ class FairScheduler:
             if queue is None:
                 queue = self._queues[tenant] = deque()
                 self._rotation.append(tenant)
+            record.enqueued_at = time.perf_counter()
             queue.append(record)
             self._dispatch_locked()
 
@@ -113,6 +115,7 @@ class FairScheduler:
                 if demand > self._free:
                     continue
                 queue.popleft()
+                record.dispatched_at = time.perf_counter()
                 self._free -= demand
                 self._busy_sessions.add(record.session_key)
                 # No modulo here: the rotation can grow before the next

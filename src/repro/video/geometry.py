@@ -39,6 +39,15 @@ class BoundingBox:
     y_max: float
 
     def __post_init__(self) -> None:
+        # Coordinates are normalised to float so a box survives any wire
+        # round-trip byte-identically: the process-backend shard transport
+        # packs boxes into float64 arrays, and an int-valued coordinate
+        # (e.g. a clip to an integer frame width) would otherwise serialise
+        # as `1280` sequentially but `1280.0` after the round-trip.
+        object.__setattr__(self, "x_min", float(self.x_min))
+        object.__setattr__(self, "y_min", float(self.y_min))
+        object.__setattr__(self, "x_max", float(self.x_max))
+        object.__setattr__(self, "y_max", float(self.y_max))
         if self.x_max < self.x_min or self.y_max < self.y_min:
             raise ValueError(
                 f"invalid box: ({self.x_min}, {self.y_min}, {self.x_max}, {self.y_max})"

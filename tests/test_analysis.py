@@ -33,6 +33,7 @@ from repro.analysis.checkers import (
     ForkSafetyChecker,
     LedgerAccountingChecker,
     LockDisciplineChecker,
+    ObservabilityHygieneChecker,
     PersistenceHygieneChecker,
     WireExhaustivenessChecker,
 )
@@ -935,6 +936,120 @@ class TestPersistenceHygieneChecker:
         report = run_analysis(tmp_path / PKG, package=PKG)
         assert not [d for d in report.findings if d.rule == "RPR007"]
         assert [d for d in report.suppressed if d.rule == "RPR007"]
+
+
+class TestObservabilityHygieneChecker:
+    def test_wall_field_read_outside_obs_flagged(self, tmp_path: Path) -> None:
+        project = build_project(
+            tmp_path,
+            {
+                "optimizer/cost.py": """
+                    def estimate(span):
+                        return span.wall_duration * 2.0
+                """,
+                "obs/report.py": """
+                    def render(span):
+                        return f"{span.wall_duration:.3f}s"
+                """,
+                "service/status.py": """
+                    def row(span):
+                        return {"wall": span.wall_duration}
+                """,
+            },
+        )
+        findings = list(ObservabilityHygieneChecker().check(project))
+        assert len(findings) == 1
+        assert findings[0].context == f"{PKG}.optimizer.cost.estimate"
+        assert "wall_duration" in findings[0].message
+
+    def test_dict_key_literals_are_clean(self, tmp_path: Path) -> None:
+        # The worker span payloads in parallel/ carry the wall fields as
+        # dict *keys*; only attribute loads leak values into expressions.
+        project = build_project(
+            tmp_path,
+            {
+                "parallel/worker.py": """
+                    def payload(elapsed):
+                        return {"wall_duration": elapsed, "wall_start": 0.0}
+                """,
+            },
+        )
+        assert list(ObservabilityHygieneChecker().check(project)) == []
+
+    def test_render_prometheus_outside_service_flagged(self, tmp_path: Path) -> None:
+        project = build_project(
+            tmp_path,
+            {
+                "core/engine.py": """
+                    def status(registry):
+                        return registry.render_prometheus()
+                """,
+                "service/app.py": """
+                    def metrics(registry):
+                        return registry.render_prometheus()
+                """,
+            },
+        )
+        findings = list(ObservabilityHygieneChecker().check(project))
+        assert len(findings) == 1
+        assert findings[0].context == f"{PKG}.core.engine.status"
+        assert "render_prometheus" in findings[0].message
+
+    def test_span_held_in_variable_flagged(self, tmp_path: Path) -> None:
+        project = build_project(
+            tmp_path,
+            {
+                "core/run.py": """
+                    def leaky(tracer):
+                        s = tracer.span("execute")
+                        s.__enter__()
+                        return s
+
+                    def passed_along(tracer, consume):
+                        consume(tracer.span("execute"))
+                """,
+            },
+        )
+        findings = list(ObservabilityHygieneChecker().check(project))
+        assert {f.context.rsplit(".", 1)[-1] for f in findings} == {
+            "leaky",
+            "passed_along",
+        }
+        assert all("with" in f.message for f in findings)
+
+    def test_with_item_and_factory_return_are_clean(self, tmp_path: Path) -> None:
+        project = build_project(
+            tmp_path,
+            {
+                "core/run.py": """
+                    def traced(tracer, ledger):
+                        with tracer.span("execute"):
+                            with tracer.operator_span("FullScan", ledger):
+                                pass
+
+                    def scope(context, name):
+                        return maybe_span(context.tracer, name)
+
+                    def op_scope(context, name, ledger):
+                        return operator_scope(context, name, ledger)
+                """,
+            },
+        )
+        assert list(ObservabilityHygieneChecker().check(project)) == []
+
+    def test_pragma_suppressed(self, tmp_path: Path) -> None:
+        build_project(
+            tmp_path,
+            {
+                "core/run.py": """
+                    def probe(span):
+                        return span.wall_duration  # repro: allow[RPR008]: debug probe
+                """,
+            },
+        )
+        report = run_analysis(tmp_path / PKG, package=PKG)
+        assert not [d for d in report.findings if d.rule == "RPR008"]
+        assert [d for d in report.suppressed if d.rule == "RPR008"]
 
 
 # -- baseline + runner ----------------------------------------------------------------

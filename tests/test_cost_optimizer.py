@@ -267,6 +267,8 @@ class TestExplainSnapshots:
             " [~0 detector calls, ~0.04s]\n"
             "    ControlVariateSampler(adaptive CLT-bounded sampling, "
             "NN auxiliary) [~348 detector calls, ~116.00s]\n"
+            "    RandomSampler(fallback: too little training data)"
+            " [~400 detector calls, ~133.33s]\n"
             "  estimated detector calls: 400\n"
             "  hints: none\n"
             "  parallelism: sequential [cost_model] — parallelism not requested\n"
